@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing: every benchmark writes its rendered
+paper-versus-measured table under ``benchmarks/results/`` so the
+regenerated figures are inspectable artifacts, not just timings."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """record_table(name, text): persist and echo a rendered table."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

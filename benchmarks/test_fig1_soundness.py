@@ -1,0 +1,27 @@
+"""Figure 1 regeneration benchmark: the "sats" arrow as a randomized
+oracle — the cost of fuzzing every kernel and checking every produced
+trace against the abstraction and the proved properties."""
+
+from repro.harness import soundness
+
+
+def test_soundness_sweep(benchmark, record_table):
+    verdicts = benchmark.pedantic(
+        soundness.run_soundness,
+        kwargs={"seeds": range(3), "events": 25},
+        rounds=1, iterations=1,
+    )
+    assert all(v.sound for v in verdicts)
+    assert sum(v.trace_length for v in verdicts) > 500
+    record_table("fig1_soundness", soundness.render_soundness(verdicts))
+
+
+def test_single_session_throughput(benchmark):
+    """Interpreter + oracle cost for one 40-event browser session."""
+
+    def run():
+        session = soundness.fuzz_session("browser", seed=1, events=40)
+        return soundness.check_session(session, "browser", 1)
+
+    verdict = benchmark(run)
+    assert verdict.sound

@@ -1,0 +1,42 @@
+"""Figure 6 regeneration benchmark: the 41 properties, per benchmark and
+as the full figure.
+
+Timings here are the reproduction's analog of Figure 6's T(s) column; the
+rendered table (written to ``benchmarks/results/figure6.txt``) places the
+paper's numbers alongside ours and asserts the shape claims.
+"""
+
+import pytest
+
+from repro.harness import figure6
+from repro.prover import ProverOptions, Verifier
+from repro.systems import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+def test_verify_benchmark(benchmark, bench_name):
+    """Per-benchmark pushbutton verification time (all properties,
+    including proof checking — the full user-facing pipeline)."""
+    spec = BENCHMARKS[bench_name].load()
+
+    def run():
+        return Verifier(spec).verify_all()
+
+    report = benchmark(run)
+    assert report.all_proved
+    benchmark.extra_info["properties"] = len(report.results)
+
+
+def test_full_figure6(benchmark, record_table):
+    """The whole figure: all 41 properties across all seven kernels."""
+    options = ProverOptions()
+
+    def run():
+        return figure6.run_figure6(options)
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(rows) == 41
+    assert all(r.proved for r in rows)
+    for line in figure6.shape_checks(rows):
+        assert "FAIL" not in line, line
+    record_table("figure6", figure6.render_figure6(rows))

@@ -1,0 +1,12 @@
+"""Section 6.3 regeneration benchmark: the time to reject every false
+policy and every injected kernel bug (the developer feedback-loop cost)."""
+
+from repro.harness import utility
+
+
+def test_utility_scenarios(benchmark, record_table):
+    outcomes = benchmark.pedantic(utility.run_utility, rounds=3,
+                                  iterations=1)
+    assert len(outcomes) == 5
+    assert all(o.reproduced for o in outcomes)
+    record_table("sec63_utility", utility.render_utility(outcomes))

@@ -1,0 +1,13 @@
+"""Section 6.5 regeneration: development-effort accounting by role."""
+
+from repro.harness import effort
+
+
+def test_effort_breakdown(benchmark, record_table):
+    rows = benchmark(effort.run_effort)
+    assert {r.role for r in rows} == set(effort.PAPER_EFFORT)
+    ours_total = sum(r.our_loc for r in rows)
+    paper_total = sum(r.paper_loc for r in rows)
+    # same order of magnitude as the paper's once-and-for-all effort
+    assert 0.3 < ours_total / paper_total < 3.0
+    record_table("sec65_effort", effort.render_effort(rows))

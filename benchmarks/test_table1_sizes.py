@@ -1,0 +1,14 @@
+"""Table 1 regeneration benchmark: benchmark sizes (and the cost of the
+size accounting itself, which includes parsing every kernel)."""
+
+from repro.harness import table1
+
+
+def test_table1(benchmark, record_table):
+    rows = benchmark(table1.run_table1)
+    assert len(rows) == 7
+    for row in rows:
+        assert 0 < row.kernel_loc < 100
+        assert 0 < row.properties_loc < 50
+        assert row.component_loc > 0
+    record_table("table1", table1.render_table1(rows))

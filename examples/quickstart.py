@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Quickstart: write a REFLEX kernel, verify it, run it.
+
+This is the paper's Figure 5 car controller, end to end:
+
+1. write the kernel and its properties in concrete REFLEX syntax,
+2. push the button — every property is proved (or rejected) with zero
+   manual proof effort,
+3. run the same program in the interpreter against simulated components
+   and watch the verified behavior happen on a real trace.
+"""
+
+from repro import Interpreter, ScriptedBehavior, Verifier, World, parse_program
+
+SOURCE = """
+program quickstart_car {
+  components {
+    Engine "engine.c" {}
+    Doors "doors.c" {}
+    Radio "radio.c" {}
+  }
+  messages {
+    Crash();
+    Accelerating();
+    DoorsM(string);
+    Volume(string);
+  }
+  init {
+    E <- spawn Engine();
+    D <- spawn Doors();
+    R <- spawn Radio();
+  }
+  handlers {
+    Engine => Crash() {
+      send(D, DoorsM("unlock"));
+    }
+    Engine => Accelerating() {
+      send(R, Volume("crank it up"));
+    }
+    Doors => DoorsM(s) {
+      if (s == "open") {
+        send(R, Volume("mute"));
+      }
+    }
+  }
+  properties {
+    NoInterfere:
+      NoInterference high [Engine()] highvars [];
+    UnlockOnCrash:
+      [Recv(Engine(), Crash())] Ensures [Send(Doors(), DoorsM("unlock"))];
+    UnlockOnlyOnCrash:
+      [Recv(Engine(), Crash())] Enables [Send(Doors(), DoorsM("unlock"))];
+  }
+}
+"""
+
+
+def main() -> None:
+    # 1. Parse + validate.  Type errors, unknown messages, malformed
+    #    properties — everything is caught here, before any proof runs.
+    spec = parse_program(SOURCE)
+    print(f"parsed program {spec.name!r} with "
+          f"{len(spec.properties)} properties\n")
+
+    # 2. Pushbutton verification.  No tactics, no proof assistant.
+    report = Verifier(spec).verify_all()
+    print(report)
+    assert report.all_proved, "the quickstart kernel must verify"
+
+    # 3. Run it.  Components are simulated Python behaviors registered
+    #    under the executables the program declares.
+    world = World(seed=42)
+
+    class Doors(ScriptedBehavior):
+        def __init__(self) -> None:
+            self.locked = True
+
+        def on_message(self, port, msg, payload):
+            if msg == "DoorsM" and payload[0].s == "unlock":
+                self.locked = False
+
+    world.register_executable("doors.c", Doors)
+    world.register_executable("engine.c", ScriptedBehavior)
+    world.register_executable("radio.c", ScriptedBehavior)
+
+    interp = Interpreter(spec.info, world)
+    state = interp.run_init()
+    engine, doors, _radio = state.comps
+
+    print("\n-- crash! --")
+    world.stimulate(engine, "Crash")
+    interp.run(state)
+
+    print(f"doors locked after crash: {world.behavior_of(doors).locked}")
+    print("\nfull trace:")
+    print(state.trace)
+
+    # The verified property holds on this concrete run too (it must:
+    # that is the end-to-end guarantee).
+    prop = spec.property_named("UnlockOnCrash")
+    print(f"\n{prop.name} holds on the trace: {prop.holds_on(state.trace)}")
+
+
+if __name__ == "__main__":
+    main()

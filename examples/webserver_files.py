@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The web-server benchmark: authenticated file access.
+
+Scenario (paper section 6.1):
+
+* alice logs in (the kernel spawns her client handler — exactly once,
+  even if she logs in again),
+* she requests a file on her access list and receives its descriptor,
+* she requests one off her list and gets nothing,
+* mallory, who never authenticates, has no client handler at all.
+
+This is also the section-6.3 benchmark: the run ends by re-stating one of
+the paper's *false* policies and showing the prover reject it with a
+pointed diagnostic.
+"""
+
+from repro import Interpreter, Verifier, World
+from repro.harness.utility import false_webserver_properties, webserver_with
+from repro.systems import webserver
+
+
+def main() -> None:
+    spec = webserver.load()
+
+    print("== verification (pushbutton) ==")
+    report = Verifier(spec).verify_all()
+    print(report)
+    assert report.all_proved
+
+    print("\n== serving files ==")
+    world = World(seed=11)
+    webserver.register_components(world)
+    interp = Interpreter(spec.info, world)
+    state = interp.run_init()
+    listener = state.comps[0]
+
+    def connect(user: str, password: str) -> None:
+        world.stimulate(listener, "ConnReq", user, password)
+        interp.run(state)
+
+    connect("alice", "wonderland")
+    connect("alice", "wonderland")  # a second login: no duplicate client
+    connect("mallory", "guessing")
+
+    clients = [c for c in state.comps if c.ctype == "Client"]
+    print(f"client handlers spawned: {[str(c) for c in clients]}")
+    assert len(clients) == 1, "one authenticated user, one client"
+    alice = clients[0]
+
+    for path in ("/reports/q1.txt", "/etc/shadow"):
+        print(f"alice requests {path}")
+        world.stimulate(alice, "FileReq", path)
+        interp.run(state)
+    delivered = world.behavior_of(alice).delivered
+    print(f"delivered to alice: {delivered}")
+    assert [p for p, _fd in delivered] == ["/reports/q1.txt"]
+
+    print("\n== a false policy is rejected (section 6.3) ==")
+    false_prop = false_webserver_properties()[0]
+    print(f"story: {false_prop.story}")
+    result = Verifier(
+        webserver_with(false_prop.wrong)
+    ).prove_property(false_prop.wrong)
+    print(f"prover verdict on {false_prop.wrong.name!r}: {result.status}")
+    print(f"diagnostic: {result.error}")
+    assert not result.proved
+
+    corrected = Verifier(
+        webserver_with(false_prop.corrected)
+    ).prove_property(false_prop.corrected)
+    print(f"corrected statement {false_prop.corrected.name!r}: "
+          f"{corrected.status}")
+    assert corrected.proved
+
+
+if __name__ == "__main__":
+    main()

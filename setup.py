@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,178 @@
+"""The ``repro`` command-line interface.
+
+The pushbutton workflow of the paper as a tool::
+
+    python -m repro verify kernel.rfx          # prove every property
+    python -m repro verify kernel.rfx -p Name  # one property
+    python -m repro check kernel.rfx           # parse + validate only
+    python -m repro fmt kernel.rfx             # canonical formatting
+    python -m repro bench --figure6            # regenerate Figure 6
+
+Exit status: 0 on success (all requested properties proved / the file is
+well-formed), 1 on verification failure, 2 on syntax or validation errors
+— suitable for CI gating, which is exactly how the paper's authors used
+the automation (re-run on every modification, section 6.3/6.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .frontend import parse_program, pretty
+from .lang.errors import ReflexError
+from .prover import ProverOptions, Verifier
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    spec = _load(args.file)
+    program = spec.program
+    print(
+        f"{spec.name}: ok — {len(program.components)} component types, "
+        f"{len(program.messages)} message types, "
+        f"{len(program.handlers)} handlers, "
+        f"{len(spec.properties)} properties"
+    )
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    spec = _load(args.file)
+    formatted = pretty(spec)
+    if args.in_place:
+        with open(args.file, "w", encoding="utf-8") as handle:
+            handle.write(formatted)
+        print(f"formatted {args.file}")
+    else:
+        sys.stdout.write(formatted)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    spec = _load(args.file)
+    options = ProverOptions(
+        syntactic_skip=not args.no_skip,
+        check_proofs=not args.no_check,
+    )
+    verifier = Verifier(spec, options)
+    if args.property:
+        results = [verifier.prove_property(
+            spec.property_named(args.property)
+        )]
+    else:
+        results = verifier.verify_all().results
+    failed = 0
+    for result in results:
+        if args.explain:
+            from .prover.explain import explain_result
+
+            print(explain_result(result))
+            print()
+            if not result.proved:
+                failed += 1
+            continue
+        print(result)
+        if not result.proved:
+            failed += 1
+            if result.counterexample is not None and args.counterexample:
+                print(result.counterexample)
+    total = len(results)
+    print(f"{total - failed}/{total} properties proved")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import (
+        ablation, effort, figure6, mutation, soundness, table1, utility,
+    )
+
+    ran = False
+    if args.mutation or args.all:
+        print(mutation.render_mutation(mutation.run_mutation()))
+        ran = True
+    if args.figure6 or args.all:
+        print(figure6.render_figure6(figure6.run_figure6()))
+        ran = True
+    if args.table1 or args.all:
+        print(table1.render_table1(table1.run_table1()))
+        ran = True
+    if args.utility or args.all:
+        print(utility.render_utility(utility.run_utility()))
+        ran = True
+    if args.ablation or args.all:
+        print(ablation.render_ablation(ablation.run_ablation()))
+        ran = True
+    if args.effort or args.all:
+        print(effort.render_effort(effort.run_effort()))
+        ran = True
+    if args.soundness or args.all:
+        print(soundness.render_soundness(soundness.run_soundness()))
+        ran = True
+    if not ran:
+        print("nothing selected; see --help", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the `repro` tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REFLEX reproduction: verify reactive-system kernels "
+                    "with zero manual proof effort",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and validate a kernel")
+    check.add_argument("file")
+    check.set_defaults(func=_cmd_check)
+
+    fmt = sub.add_parser("fmt", help="pretty-print a kernel canonically")
+    fmt.add_argument("file")
+    fmt.add_argument("-i", "--in-place", action="store_true")
+    fmt.set_defaults(func=_cmd_fmt)
+
+    verify = sub.add_parser("verify", help="prove a kernel's properties")
+    verify.add_argument("file")
+    verify.add_argument("-p", "--property", help="verify one property")
+    verify.add_argument("--no-check", action="store_true",
+                        help="skip re-validation of derivations")
+    verify.add_argument("--no-skip", action="store_true",
+                        help="disable the syntactic skip optimization")
+    verify.add_argument("-c", "--counterexample", action="store_true",
+                        help="print candidate counterexamples on failure")
+    verify.add_argument("-e", "--explain", action="store_true",
+                        help="narrate each proof (or failure) in prose")
+    verify.set_defaults(func=_cmd_verify)
+
+    bench = sub.add_parser("bench",
+                           help="regenerate the paper's tables/figures")
+    for flag in ("figure6", "table1", "utility", "ablation", "effort",
+                 "soundness", "mutation", "all"):
+        bench.add_argument(f"--{flag}", action="store_true")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReflexError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

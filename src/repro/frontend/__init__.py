@@ -1,0 +1,12 @@
+"""The concrete-syntax frontend: lexer, parser, pretty-printer.
+
+This is the reproduction of the paper's Python frontend (section 3.1): it
+translates the textual REFLEX syntax of Figure 3 into the validated AST,
+insulating programmers from the embedded representation.
+"""
+
+from .lexer import Token, tokenize
+from .parser import parse_expr, parse_program
+from .pretty import pretty
+
+__all__ = ["Token", "tokenize", "parse_expr", "parse_program", "pretty"]

@@ -1,0 +1,146 @@
+"""Lexer for the REFLEX concrete syntax.
+
+The token stream feeds the recursive-descent parser in
+:mod:`repro.frontend.parser`.  Tokens carry positions so that syntax errors
+point at the offending source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..lang.errors import ReflexSyntaxError
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "==", "!=", "<=", "<-", "=>", "++", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", "+",
+    "!", ".", "*", "_",
+)
+
+KEYWORDS = frozenset({
+    "program", "components", "messages", "init", "handlers", "properties",
+    "if", "else", "skip", "send", "spawn", "call", "lookup", "sender",
+    "true", "false", "string", "num", "bool", "fdesc",
+    "Enables", "Ensures", "Disables", "ImmBefore", "ImmAfter",
+    "AtMostOnce",
+    "NoInterference", "forall", "high", "highvars",
+    "Send", "Recv", "Spawn", "Select", "Call",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "number" | "string" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return repr(self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ReflexSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            text, consumed = _scan_string(source, i, line, col)
+            tokens.append(Token("string", text, line, col))
+            i += consumed
+            col += consumed
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("number", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_" and _is_ident_start(source, i):
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        matched = _match_operator(source, i)
+        if matched is not None:
+            tokens.append(Token("op", matched, line, col))
+            i += len(matched)
+            col += len(matched)
+            continue
+        raise ReflexSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def _is_ident_start(source: str, i: int) -> bool:
+    """A lone ``_`` is the wildcard operator; ``_foo`` is an identifier."""
+    return i + 1 < len(source) and (
+        source[i + 1].isalnum() or source[i + 1] == "_"
+    )
+
+
+def _match_operator(source: str, i: int) -> Optional[str]:
+    for op in OPERATORS:
+        if source.startswith(op, i):
+            return op
+    return None
+
+
+def _scan_string(source: str, start: int, line: int,
+                 col: int) -> Tuple[str, int]:
+    """Scan a double-quoted string literal with ``\\"`` and ``\\\\``
+    escapes; returns (unescaped text, characters consumed)."""
+    i = start + 1
+    out: List[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == "\n":
+            raise ReflexSyntaxError("unterminated string literal", line, col)
+        if ch == "\\":
+            if i + 1 >= len(source):
+                raise ReflexSyntaxError("dangling escape", line, col)
+            escape = source[i + 1]
+            if escape == "n":
+                out.append("\n")
+            elif escape == "t":
+                out.append("\t")
+            elif escape in ('"', "\\"):
+                out.append(escape)
+            else:
+                raise ReflexSyntaxError(
+                    f"unknown escape \\{escape}", line, col
+                )
+            i += 2
+            continue
+        if ch == '"':
+            return "".join(out), i - start + 1
+        out.append(ch)
+        i += 1
+    raise ReflexSyntaxError("unterminated string literal", line, col)

@@ -1,0 +1,565 @@
+"""Recursive-descent parser for the REFLEX concrete syntax.
+
+The grammar mirrors Figure 3 of the paper with explicit braces::
+
+    program ssh {
+      components {
+        Connection "client.py" {}
+        Tab "tab.py" { domain: string, id: num }
+      }
+      messages {
+        ReqAuth(string, string);
+        Auth(string);
+      }
+      init {
+        authorized = ("", false);
+        C <- spawn Connection();
+      }
+      handlers {
+        Connection => ReqAuth(user, pass) {
+          send(P, ReqAuth(user, pass));
+        }
+        Connection => ReqTerm(user) {
+          if ((user, true) == authorized) {
+            send(T, ReqTerm(user));
+          }
+        }
+      }
+      properties {
+        AuthBeforeTerm:
+          [Recv(Password(), Auth(u))] Enables [Send(Terminal(), ReqTerm(u))];
+        DomainsNoInterfere:
+          NoInterference forall d high [Tab(d), CookieProc(d)] highvars [];
+      }
+    }
+
+In property patterns, identifiers are universally quantified variables,
+``_`` is a wildcard, quoted strings / numbers / ``true`` / ``false`` are
+literals, and ``T(*)`` matches any configuration of component type ``T``.
+
+:func:`parse_program` returns a fully validated
+:class:`~repro.props.spec.SpecifiedProgram` — parse errors, type errors and
+property mistakes all surface here, before any proof is attempted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..lang import ast
+from ..lang import types as ty
+from ..lang.errors import ReflexSyntaxError
+from ..lang.validate import validate
+from ..lang.values import VBool, VNum, VStr
+from ..props import patterns as pat
+from ..props.spec import (
+    NonInterference,
+    Property,
+    SpecifiedProgram,
+    TraceProperty,
+    specify,
+)
+from .lexer import Token, tokenize
+
+_TRACE_PRIMITIVES = ("Enables", "Ensures", "Disables", "ImmBefore",
+                     "ImmAfter")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> ReflexSyntaxError:
+        token = self.peek()
+        return ReflexSyntaxError(
+            f"{message} (found {token})", token.line, token.column
+        )
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise self.error(f"expected {wanted!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- program --------------------------------------------------------------
+
+    def parse_program(self) -> SpecifiedProgram:
+        self.expect("keyword", "program")
+        name = self.expect("ident").text
+        self.expect("op", "{")
+        components: List[ty.ComponentDecl] = []
+        messages: List[ty.MessageDecl] = []
+        init: List[ast.Cmd] = []
+        handlers: List[ast.Handler] = []
+        properties: List[Property] = []
+        while not self.at("op", "}"):
+            if self.accept("keyword", "components"):
+                components.extend(self._components())
+            elif self.accept("keyword", "messages"):
+                messages.extend(self._messages())
+            elif self.accept("keyword", "init"):
+                init.extend(self._init())
+            elif self.accept("keyword", "handlers"):
+                handlers.extend(self._handlers())
+            elif self.accept("keyword", "properties"):
+                properties.extend(self._properties())
+            else:
+                raise self.error("expected a program section")
+        self.expect("op", "}")
+        self.expect("eof")
+        program = ast.Program(
+            name=name,
+            components=tuple(components),
+            messages=tuple(messages),
+            init=tuple(init),
+            handlers=tuple(handlers),
+        )
+        return specify(validate(program), *properties)
+
+    # -- declarations ------------------------------------------------------------
+
+    def _components(self) -> List[ty.ComponentDecl]:
+        self.expect("op", "{")
+        decls: List[ty.ComponentDecl] = []
+        while not self.at("op", "}"):
+            comp_name = self.expect("ident").text
+            executable = self.expect("string").text
+            fields: List[ty.ConfigField] = []
+            if self.accept("op", "{"):
+                while not self.at("op", "}"):
+                    field_name = self.expect("ident").text
+                    self.expect("op", ":")
+                    fields.append(
+                        ty.ConfigField(field_name, self._type())
+                    )
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", "}")
+            decls.append(
+                ty.ComponentDecl(comp_name, executable, tuple(fields))
+            )
+        self.expect("op", "}")
+        return decls
+
+    def _messages(self) -> List[ty.MessageDecl]:
+        self.expect("op", "{")
+        decls: List[ty.MessageDecl] = []
+        while not self.at("op", "}"):
+            msg_name = self.expect("ident").text
+            self.expect("op", "(")
+            payload: List[ty.Type] = []
+            while not self.at("op", ")"):
+                payload.append(self._type())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+            self.expect("op", ";")
+            decls.append(ty.MessageDecl(msg_name, tuple(payload)))
+        self.expect("op", "}")
+        return decls
+
+    def _type(self) -> ty.Type:
+        if self.accept("keyword", "string"):
+            return ty.STR
+        if self.accept("keyword", "num"):
+            return ty.NUM
+        if self.accept("keyword", "bool"):
+            return ty.BOOL
+        if self.accept("keyword", "fdesc"):
+            return ty.FD
+        if self.accept("op", "("):
+            elems = [self._type()]
+            while self.accept("op", ","):
+                elems.append(self._type())
+            self.expect("op", ")")
+            return ty.TupleType(tuple(elems))
+        raise self.error("expected a type")
+
+    # -- init ---------------------------------------------------------------------
+
+    def _init(self) -> List[ast.Cmd]:
+        self.expect("op", "{")
+        cmds: List[ast.Cmd] = []
+        while not self.at("op", "}"):
+            target = self.expect("ident").text
+            if self.accept("op", "="):
+                cmds.append(ast.Assign(target, self._expr()))
+            elif self.accept("op", "<-"):
+                cmds.append(self._binding_command(target))
+            else:
+                raise self.error("expected '=' or '<-' in Init")
+            self.expect("op", ";")
+        self.expect("op", "}")
+        return cmds
+
+    def _binding_command(self, bind: str) -> ast.Cmd:
+        if self.accept("keyword", "spawn"):
+            ctype, args = self._callish()
+            return ast.SpawnCmd(ctype, tuple(args), bind)
+        if self.accept("keyword", "call"):
+            func, args = self._callish()
+            return ast.CallCmd(func, tuple(args), bind)
+        raise self.error("expected 'spawn' or 'call' after '<-'")
+
+    def _callish(self) -> Tuple[str, List[ast.Expr]]:
+        target = self.expect("ident").text
+        self.expect("op", "(")
+        args: List[ast.Expr] = []
+        while not self.at("op", ")"):
+            args.append(self._expr())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return target, args
+
+    # -- handlers --------------------------------------------------------------------
+
+    def _handlers(self) -> List[ast.Handler]:
+        self.expect("op", "{")
+        handlers: List[ast.Handler] = []
+        while not self.at("op", "}"):
+            ctype = self.expect("ident").text
+            self.expect("op", "=>")
+            msg = self.expect("ident").text
+            self.expect("op", "(")
+            params: List[str] = []
+            while not self.at("op", ")"):
+                params.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+            body = self._block()
+            handlers.append(ast.Handler(ctype, msg, tuple(params), body))
+        self.expect("op", "}")
+        return handlers
+
+    def _block(self) -> ast.Cmd:
+        self.expect("op", "{")
+        cmds: List[ast.Cmd] = []
+        while not self.at("op", "}"):
+            cmds.append(self._stmt())
+        self.expect("op", "}")
+        return ast.seq(*cmds)
+
+    def _stmt(self) -> ast.Cmd:
+        if self.accept("keyword", "skip"):
+            self.expect("op", ";")
+            return ast.Nop()
+        if self.accept("keyword", "send"):
+            self.expect("op", "(")
+            target = self._expr()
+            self.expect("op", ",")
+            msg, args = self._callish()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.SendCmd(target, msg, tuple(args))
+        if self.accept("keyword", "spawn"):
+            ctype, args = self._callish()
+            self.expect("op", ";")
+            return ast.SpawnCmd(ctype, tuple(args), None)
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self._expr()
+            self.expect("op", ")")
+            then = self._block()
+            otherwise: ast.Cmd = ast.Nop()
+            if self.accept("keyword", "else"):
+                otherwise = self._block()
+            return ast.If(cond, then, otherwise)
+        if self.accept("keyword", "lookup"):
+            bind = self.expect("ident").text
+            self.expect("op", ":")
+            ctype = self.expect("ident").text
+            self.expect("op", "(")
+            pred = self._expr()
+            self.expect("op", ")")
+            found = self._block()
+            missing: ast.Cmd = ast.Nop()
+            if self.accept("keyword", "else"):
+                missing = self._block()
+            return ast.LookupCmd(ctype, bind, pred, found, missing)
+        # assignment or binding
+        target = self.expect("ident").text
+        if self.accept("op", "="):
+            expr = self._expr()
+            self.expect("op", ";")
+            return ast.Assign(target, expr)
+        if self.accept("op", "<-"):
+            cmd = self._binding_command(target)
+            self.expect("op", ";")
+            return cmd
+        raise self.error("expected a statement")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept("op", "||"):
+            left = ast.BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._cmp_expr()
+        while self.accept("op", "&&"):
+            left = ast.BinOp("and", left, self._cmp_expr())
+        return left
+
+    _CMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le"}
+
+    def _cmp_expr(self) -> ast.Expr:
+        left = self._add_expr()
+        for symbol, op in self._CMP.items():
+            if self.accept("op", symbol):
+                return ast.BinOp(op, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> ast.Expr:
+        left = self._unary_expr()
+        while True:
+            if self.accept("op", "+"):
+                left = ast.BinOp("add", left, self._unary_expr())
+            elif self.accept("op", "++"):
+                left = ast.BinOp("concat", left, self._unary_expr())
+            else:
+                return left
+
+    def _unary_expr(self) -> ast.Expr:
+        if self.accept("op", "!"):
+            return ast.Not(self._unary_expr())
+        return self._postfix_expr()
+
+    def _postfix_expr(self) -> ast.Expr:
+        expr = self._primary_expr()
+        while self.accept("op", "."):
+            token = self.peek()
+            if token.kind == "number":
+                self.advance()
+                expr = ast.Proj(expr, int(token.text))
+            elif token.kind == "ident":
+                self.advance()
+                expr = ast.Field(expr, token.text)
+            else:
+                raise self.error(
+                    "expected a projection index or config field after '.'"
+                )
+        return expr
+
+    def _primary_expr(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return ast.Lit(VStr(token.text))
+        if token.kind == "number":
+            self.advance()
+            return ast.Lit(VNum(int(token.text)))
+        if self.accept("keyword", "true"):
+            return ast.Lit(VBool(True))
+        if self.accept("keyword", "false"):
+            return ast.Lit(VBool(False))
+        if self.accept("keyword", "sender"):
+            return ast.Sender()
+        if token.kind == "ident":
+            self.advance()
+            return ast.Name(token.text)
+        if self.accept("op", "("):
+            elems = [self._expr()]
+            while self.accept("op", ","):
+                elems.append(self._expr())
+            self.expect("op", ")")
+            if len(elems) == 1:
+                return elems[0]
+            return ast.TupleExpr(tuple(elems))
+        raise self.error("expected an expression")
+
+    # -- properties --------------------------------------------------------------------
+
+    def _properties(self) -> List[Property]:
+        self.expect("op", "{")
+        props: List[Property] = []
+        while not self.at("op", "}"):
+            prop_name = self.expect("ident").text
+            self.expect("op", ":")
+            if self.at("keyword", "NoInterference"):
+                props.append(self._ni_property(prop_name))
+            elif self.accept("keyword", "AtMostOnce"):
+                # sugar (paper section 6.1): desugars to Disables A A
+                from ..props.sugar import at_most_once
+
+                self.expect("op", "[")
+                pattern = self._action_pattern()
+                self.expect("op", "]")
+                props.append(at_most_once(prop_name, pattern))
+            else:
+                props.append(self._trace_property(prop_name))
+            self.expect("op", ";")
+        self.expect("op", "}")
+        return props
+
+    def _trace_property(self, prop_name: str) -> TraceProperty:
+        self.expect("op", "[")
+        a = self._action_pattern()
+        self.expect("op", "]")
+        token = self.peek()
+        if token.kind != "keyword" or token.text not in _TRACE_PRIMITIVES:
+            raise self.error(
+                f"expected one of {', '.join(_TRACE_PRIMITIVES)}"
+            )
+        primitive = self.advance().text
+        self.expect("op", "[")
+        b = self._action_pattern()
+        self.expect("op", "]")
+        return TraceProperty(prop_name, primitive, a, b)
+
+    def _ni_property(self, prop_name: str) -> NonInterference:
+        self.expect("keyword", "NoInterference")
+        params: List[str] = []
+        if self.accept("keyword", "forall"):
+            params.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                params.append(self.expect("ident").text)
+        self.expect("keyword", "high")
+        self.expect("op", "[")
+        high: List[pat.CompPat] = [self._comp_pattern()]
+        while self.accept("op", ","):
+            high.append(self._comp_pattern())
+        self.expect("op", "]")
+        high_vars: List[str] = []
+        if self.accept("keyword", "highvars"):
+            self.expect("op", "[")
+            while not self.at("op", "]"):
+                high_vars.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "]")
+        return NonInterference(
+            prop_name,
+            high_patterns=tuple(high),
+            high_vars=frozenset(high_vars),
+            params=tuple(params),
+        )
+
+    def _action_pattern(self) -> pat.ActionPattern:
+        if self.accept("keyword", "Send"):
+            return self._send_recv(pat.SendPat)
+        if self.accept("keyword", "Recv"):
+            return self._send_recv(pat.RecvPat)
+        if self.accept("keyword", "Spawn"):
+            self.expect("op", "(")
+            comp = self._comp_pattern()
+            self.expect("op", ")")
+            return pat.SpawnPat(comp)
+        if self.accept("keyword", "Select"):
+            self.expect("op", "(")
+            comp = self._comp_pattern()
+            self.expect("op", ")")
+            return pat.SelectPat(comp)
+        if self.accept("keyword", "Call"):
+            return self._call_pattern()
+        raise self.error("expected an action pattern")
+
+    def _send_recv(self, cls) -> pat.ActionPattern:
+        self.expect("op", "(")
+        comp = self._comp_pattern()
+        self.expect("op", ",")
+        msg = self._msg_pattern()
+        self.expect("op", ")")
+        return cls(comp, msg)
+
+    def _comp_pattern(self) -> pat.CompPat:
+        ctype = self.expect("ident").text
+        self.expect("op", "(")
+        if self.accept("op", "*"):
+            self.expect("op", ")")
+            return pat.CompPat(ctype, None)
+        fields: List[pat.FieldPattern] = []
+        while not self.at("op", ")"):
+            fields.append(self._field_pattern())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return pat.CompPat(ctype, tuple(fields))
+
+    def _msg_pattern(self) -> pat.MsgPat:
+        msg_name = self.expect("ident").text
+        self.expect("op", "(")
+        fields: List[pat.FieldPattern] = []
+        while not self.at("op", ")"):
+            fields.append(self._field_pattern())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return pat.MsgPat(msg_name, tuple(fields))
+
+    def _call_pattern(self) -> pat.CallPat:
+        self.expect("op", "(")
+        func = self.expect("ident").text
+        self.expect("op", "(")
+        args: List[pat.FieldPattern] = []
+        while not self.at("op", ")"):
+            args.append(self._field_pattern())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        result: pat.FieldPattern = pat.PWild()
+        if self.accept("op", "="):
+            result = self._field_pattern()
+        self.expect("op", ")")
+        return pat.CallPat(func, tuple(args), result)
+
+    def _field_pattern(self) -> pat.FieldPattern:
+        token = self.peek()
+        if self.accept("op", "_"):
+            return pat.PWild()
+        if token.kind == "string":
+            self.advance()
+            return pat.PLit(VStr(token.text))
+        if token.kind == "number":
+            self.advance()
+            return pat.PLit(VNum(int(token.text)))
+        if self.accept("keyword", "true"):
+            return pat.PLit(VBool(True))
+        if self.accept("keyword", "false"):
+            return pat.PLit(VBool(False))
+        if token.kind == "ident":
+            self.advance()
+            return pat.PVar(token.text)
+        raise self.error("expected a field pattern")
+
+
+def parse_program(source: str) -> SpecifiedProgram:
+    """Parse and validate a complete REFLEX source file."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a standalone expression (handy in tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expr()
+    parser.expect("eof")
+    return expr

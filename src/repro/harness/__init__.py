@@ -1,0 +1,40 @@
+"""The evaluation harness: one module per paper table/figure/claim.
+
+=====================  =====================================================
+Module                  Regenerates
+=====================  =====================================================
+``harness.table1``      Table 1 (benchmark sizes)
+``harness.figure6``     Figure 6 (41 properties × verification time)
+``harness.utility``     section 6.3 (false policies / injected bugs caught)
+``harness.ablation``    section 6.4 (optimization speedups)
+``harness.effort``      section 6.5 (implementation size by role)
+``harness.soundness``   Figure 1's "sats" arrow (randomized trace oracle)
+``harness.ni_testing``  section 4.2's relational NI definition, dynamically
+``harness.mutation``    section 6.3 extension: mutation-testing the kernels
+=====================  =====================================================
+
+Each module is runnable (``python -m repro.harness.figure6``) and is also
+driven by the ``benchmarks/`` pytest-benchmark suite.
+"""
+
+from . import (
+    ablation,
+    effort,
+    figure6,
+    mutation,
+    ni_testing,
+    soundness,
+    table1,
+    utility,
+)
+
+__all__ = [
+    "ablation",
+    "effort",
+    "figure6",
+    "mutation",
+    "ni_testing",
+    "soundness",
+    "table1",
+    "utility",
+]

@@ -1,0 +1,141 @@
+"""Section 6.5 regeneration: development effort.
+
+The paper breaks the once-and-for-all REFLEX implementation into roles:
+
+===============================================  ==========
+REFLEX syntax and semantics                       2,827 loc
+manual (once-and-for-all) Coq proofs              2,786 loc
+non-interference infrastructure                     254 loc
+Ltac proof-automation tactics                     1,768 loc
+OCaml primitives                                    193 loc
+===============================================  ==========
+
+The reproduction has the same architecture, so the harness counts our
+modules under the corresponding roles.  The mapping:
+
+* *syntax and semantics* → ``repro.lang`` + ``repro.frontend`` +
+  ``repro.runtime`` (minus the world, counted as primitives),
+* *once-and-for-all proofs* → ``repro.symbolic`` (the machinery whose
+  correctness our trust rests on) + the trusted checker,
+* *non-interference infrastructure* → ``repro.prover.ni``,
+* *tactics* → the untrusted search (obligations, invariants, tactics,
+  engine, derivations),
+* *primitives* → ``repro.runtime.world`` + ``repro.runtime.components``.
+
+The reproduced shape: the per-role proportions — semantics and the
+trusted core dominate, tactics come next, NI infrastructure is small —
+and the punchline that all of it is *amortized*: none of the 41 benchmark
+properties needed a single line of manual proof.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Dict, List
+
+PAPER_EFFORT = {
+    "syntax and semantics": 2827,
+    "once-and-for-all proofs": 2786,
+    "non-interference infrastructure": 254,
+    "proof-automation tactics": 1768,
+    "primitives": 193,
+}
+
+
+def _module_loc(module) -> int:
+    source = inspect.getsource(module)
+    return sum(
+        1 for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def _role_modules() -> Dict[str, List]:
+    from .. import frontend, lang, props, prover, runtime, symbolic
+    from ..frontend import lexer, parser, pretty
+    from ..lang import ast, builder, errors, types, validate, values
+    from ..props import patterns, spec, tracepreds
+    from ..prover import (
+        checker as prover_checker,
+        derivation,
+        engine,
+        invariants,
+        ni,
+        obligations,
+        trace_tactics,
+    )
+    from ..runtime import actions, components, interpreter, trace, world
+    from ..symbolic import (
+        behabs,
+        expr,
+        seval,
+        simplify,
+        solver,
+        templates,
+        unify,
+    )
+
+    return {
+        "syntax and semantics": [
+            errors, types, values, ast, validate, builder,
+            lexer, parser, pretty,
+            actions, trace, interpreter,
+            patterns, tracepreds, spec,
+        ],
+        "once-and-for-all proofs": [
+            expr, simplify, solver, templates, unify, seval, behabs,
+            prover_checker,
+        ],
+        "non-interference infrastructure": [ni],
+        "proof-automation tactics": [
+            obligations, derivation, invariants, trace_tactics, engine,
+        ],
+        "primitives": [world, components],
+    }
+
+
+@dataclass
+class EffortRow:
+    role: str
+    our_loc: int
+    paper_loc: int
+
+
+def run_effort() -> List[EffortRow]:
+    """Count our modules under the paper's section-6.5 roles."""
+    rows: List[EffortRow] = []
+    for role, modules in _role_modules().items():
+        rows.append(EffortRow(
+            role=role,
+            our_loc=sum(_module_loc(m) for m in modules),
+            paper_loc=PAPER_EFFORT[role],
+        ))
+    return rows
+
+
+def render_effort(rows: List[EffortRow]) -> str:
+    """Render the effort table next to the paper's numbers."""
+    out = [
+        "Section 6.5 — development effort (lines of code by role)",
+        f"{'role':36s} {'ours':>8s} {'paper':>8s}",
+    ]
+    for row in rows:
+        out.append(f"{row.role:36s} {row.our_loc:8d} {row.paper_loc:8d}")
+    ours_total = sum(r.our_loc for r in rows)
+    paper_total = sum(r.paper_loc for r in rows)
+    out.append(f"{'total':36s} {ours_total:8d} {paper_total:8d}")
+    out.append(
+        "[shape] one amortized implementation; zero per-program manual "
+        "proof lines for all 41 benchmark properties (paper: previous "
+        "versions of these benchmarks were >80% proof code)"
+    )
+    return "\n".join(out)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_effort(run_effort()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,144 @@
+"""Table 1 regeneration: benchmark sizes.
+
+The paper's Table 1 counts lines of code for each benchmark's verified
+kernel + properties (REFLEX) and its surrounding sandboxed components
+(C/C++/Python built on WebKit, OpenSSH, ...).  Here the kernel and
+property counts are lines of our concrete DSL sources, and the component
+counts are lines of the simulated Python components.
+
+Absolute component sizes cannot match (we simulate WebKit with a few
+hundred lines, per the substitution rule); the *shape* claims reproduced:
+
+* kernels + properties are tiny (tens of lines) — the paper's headline
+  "81 lines of REFLEX vs Quark's 859 lines of Coq",
+* components dwarf the kernels by orders of magnitude in the paper; here
+  the harness reports the paper's component numbers next to our simulated
+  stand-ins so the asymmetry is explicit.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..systems import BENCHMARKS
+
+#: Paper Table 1 (kernel+properties LoC, component LoC).  The paper groups
+#: the browser variants under one "Browser Kernel" row and both ssh
+#: variants under one "SSH Kernel" row.
+PAPER_TABLE1 = {
+    "ssh": {"kernel": 64, "properties": 22, "components": 89_567,
+            "component_langs": "C, Python"},
+    "browser": {"kernel": 81, "properties": 37, "components": 970_240,
+                "component_langs": "C++, Python"},
+    "webserver": {"kernel": 56, "properties": 29, "components": 386,
+                  "component_langs": "Python"},
+}
+
+#: Which of our benchmarks corresponds to which paper row.
+PAPER_ROW_OF = {
+    "ssh": "ssh",
+    "ssh2": "ssh",
+    "browser": "browser",
+    "browser2": "browser",
+    "browser3": "browser",
+    "webserver": "webserver",
+    "car": None,  # the paper sizes the car kernel in prose (60 lines)
+}
+
+
+@dataclass
+class SizeRow:
+    benchmark: str
+    kernel_loc: int
+    properties_loc: int
+    component_loc: int
+    paper_kernel: int = 0
+    paper_properties: int = 0
+    paper_components: int = 0
+
+
+def _count_nonblank(text: str) -> int:
+    return sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+        and not line.strip().startswith("#")
+    )
+
+
+def split_source(source: str) -> Dict[str, str]:
+    """Split a benchmark's concrete source into kernel text and property
+    text (the ``properties { ... }`` section)."""
+    marker = "properties {"
+    index = source.find(marker)
+    if index < 0:
+        return {"kernel": source, "properties": ""}
+    head = source[:index]
+    tail = source[index:]
+    closing = tail.rfind("}")  # the program's final brace
+    properties = tail[:closing]
+    return {"kernel": head, "properties": properties}
+
+
+def component_loc(module) -> int:
+    """Lines of the simulated components: the module's Python source minus
+    its embedded DSL text and module docstring."""
+    text = inspect.getsource(module)
+    total = _count_nonblank(text)
+    dsl = _count_nonblank(module.SOURCE)
+    doc = _count_nonblank(module.__doc__ or "")
+    return max(total - dsl - doc, 0)
+
+
+def run_table1() -> List[SizeRow]:
+    """Measure every benchmark's kernel/property/component sizes."""
+    rows: List[SizeRow] = []
+    for name, module in BENCHMARKS.items():
+        parts = split_source(module.SOURCE)
+        paper_key = PAPER_ROW_OF.get(name)
+        paper = PAPER_TABLE1.get(paper_key, {}) if paper_key else {}
+        rows.append(SizeRow(
+            benchmark=name,
+            kernel_loc=_count_nonblank(parts["kernel"]),
+            properties_loc=_count_nonblank(parts["properties"]),
+            component_loc=component_loc(module),
+            paper_kernel=paper.get("kernel", 0),
+            paper_properties=paper.get("properties", 0),
+            paper_components=paper.get("components", 0),
+        ))
+    return rows
+
+
+def render_table1(rows: List[SizeRow]) -> str:
+    """Render Table 1 with the paper's numbers alongside."""
+    out = [
+        "Table 1 — benchmark sizes (lines of code)",
+        f"{'benchmark':10s} {'kernel':>7s} {'props':>6s} {'comps':>7s}   "
+        f"{'paper kernel/props/comps':>28s}",
+    ]
+    for row in rows:
+        paper = (
+            f"{row.paper_kernel}/{row.paper_properties}/"
+            f"{row.paper_components:,}"
+            if row.paper_kernel else "(prose: ~60-line kernel)"
+        )
+        out.append(
+            f"{row.benchmark:10s} {row.kernel_loc:7d} "
+            f"{row.properties_loc:6d} {row.component_loc:7d}   "
+            f"{paper:>28s}"
+        )
+    out.append(
+        "[shape] kernels and properties are tens of lines while the "
+        "paper's real components span 386 to 970,240 lines; our simulated "
+        "components keep the kernel-vs-component asymmetry."
+    )
+    return "\n".join(out)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_table1(run_table1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,94 @@
+"""The REFLEX language: types, AST, values, validation and builders.
+
+This package is the foundation every other subsystem builds on:
+
+* :mod:`repro.lang.types` — the simple type universe plus component and
+  message declarations,
+* :mod:`repro.lang.ast` — expressions, commands, handlers, programs,
+* :mod:`repro.lang.values` — runtime values and component instances,
+* :mod:`repro.lang.validate` — well-formedness/type checking (the role of
+  Coq's dependent types in the paper),
+* :mod:`repro.lang.builder` — the Python-embedded construction API.
+"""
+
+from .ast import Handler, Program
+from .errors import (
+    ProofCheckFailure,
+    ProofError,
+    ProofSearchFailure,
+    ReflexError,
+    ReflexSyntaxError,
+    RuntimeFault,
+    SymbolicError,
+    TypeMismatch,
+    ValidationError,
+    WorldError,
+)
+from .types import (
+    BOOL,
+    FD,
+    NUM,
+    STR,
+    ComponentDecl,
+    CompType,
+    ConfigField,
+    MessageDecl,
+    TupleType,
+    Type,
+    tuple_of,
+)
+from .validate import ProgramInfo, validate
+from .values import (
+    ComponentInstance,
+    Value,
+    VBool,
+    VComp,
+    VFd,
+    VNum,
+    VStr,
+    VTuple,
+    vbool,
+    vnum,
+    vstr,
+    vtuple,
+)
+
+__all__ = [
+    "Handler",
+    "Program",
+    "ProofCheckFailure",
+    "ProofError",
+    "ProofSearchFailure",
+    "ReflexError",
+    "ReflexSyntaxError",
+    "RuntimeFault",
+    "SymbolicError",
+    "TypeMismatch",
+    "ValidationError",
+    "WorldError",
+    "BOOL",
+    "FD",
+    "NUM",
+    "STR",
+    "ComponentDecl",
+    "CompType",
+    "ConfigField",
+    "MessageDecl",
+    "TupleType",
+    "Type",
+    "tuple_of",
+    "ProgramInfo",
+    "validate",
+    "ComponentInstance",
+    "Value",
+    "VBool",
+    "VComp",
+    "VFd",
+    "VNum",
+    "VStr",
+    "VTuple",
+    "vbool",
+    "vnum",
+    "vstr",
+    "vtuple",
+]

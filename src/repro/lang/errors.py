@@ -1,0 +1,94 @@
+"""Exception hierarchy for the REFLEX reproduction.
+
+Every error raised by the library derives from :class:`ReflexError` so that
+callers can catch library failures with a single ``except`` clause.  The
+hierarchy mirrors the pipeline stages: parsing, validation (the role played
+by Coq's dependent types in the paper), runtime execution, symbolic
+evaluation, and proof search/checking.
+"""
+
+from __future__ import annotations
+
+
+class ReflexError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ReflexSyntaxError(ReflexError):
+    """Raised by the frontend when concrete syntax cannot be parsed.
+
+    Carries the source position so tooling can point at the offending text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(ReflexError):
+    """Raised when a program is structurally or type-wise ill-formed.
+
+    In the paper, Coq's dependent types make ill-formed REFLEX programs
+    unrepresentable; here :mod:`repro.lang.validate` performs the same checks
+    eagerly and raises this error.
+    """
+
+
+class TypeMismatch(ValidationError):
+    """A specific validation failure: an expression has the wrong type."""
+
+    def __init__(self, context: str, expected: object, actual: object) -> None:
+        self.context = context
+        self.expected = expected
+        self.actual = actual
+        super().__init__(f"{context}: expected {expected}, got {actual}")
+
+
+class RuntimeFault(ReflexError):
+    """Raised by the concrete interpreter on an impossible-state failure.
+
+    A validated program should never trigger this; it guards the same
+    conditions that the paper's Ynot preconditions guard (e.g. sending on a
+    closed channel).
+    """
+
+
+class WorldError(RuntimeFault):
+    """Raised by the effect layer (``runtime.world``) on misuse of an effect,
+    e.g. sending to a component whose channel has been closed."""
+
+
+class SymbolicError(ReflexError):
+    """Raised on internal errors of the symbolic-evaluation machinery."""
+
+
+class ProofError(ReflexError):
+    """Base class for proof-search and proof-checking failures."""
+
+
+class ProofSearchFailure(ProofError):
+    """The automation could not find a proof.
+
+    This is the analog of the paper's tactics failing (section 5.3: the
+    automation is incomplete).  It carries the residual obligations so a user
+    can see *why* the search got stuck, which is the diagnostic the paper's
+    authors used to find their two false web-server policies (section 6.3).
+    """
+
+    def __init__(self, message: str, residual: list | None = None,
+                 counterexample: object | None = None) -> None:
+        self.residual = list(residual or [])
+        #: optional CandidateCounterexample instantiating the stuck goal
+        self.counterexample = counterexample
+        super().__init__(message)
+
+
+class ProofCheckFailure(ProofError):
+    """The trusted checker rejected a derivation produced by the search.
+
+    If this fires, the *search* has a bug — the analog of Coq's kernel
+    rejecting a term produced by a buggy tactic.
+    """

@@ -1,0 +1,456 @@
+"""Well-formedness and type checking of REFLEX programs.
+
+In the paper, heavy use of Coq's dependent types ensures REFLEX programs
+"never go wrong": no undefined variables, no ill-typed sends, no effectful
+primitive invoked without its preconditions (section 3.1).  This module
+plays that role: :func:`validate` either returns a :class:`ProgramInfo`
+(symbol tables plus derived typing facts that every later stage relies on)
+or raises :class:`~repro.lang.errors.ValidationError`.
+
+LAC restrictions enforced here, beyond plain typing:
+
+* ``Init`` is a flat sequence of ``Assign`` / ``spawn`` / ``call`` commands —
+  no branching — so the post-``Init`` state is a single concrete state, which
+  keeps the base case of every inductive proof trivial to compute.
+* Handler bodies are loop free by construction (no loop AST node exists) and
+  may only *assign* to globals declared in ``Init``.
+* ``spawn``/``lookup``/``call`` bindings inside handlers are handler-local
+  and immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from . import ast
+from . import types as ty
+from .errors import TypeMismatch, ValidationError
+from .values import type_of as value_type
+
+#: External functions callable via ``call``.  The paper exposes arbitrary
+#: OCaml functions returning strings; we fix the signature: any number of
+#: string arguments, one string result.
+CALL_RESULT_TYPE = ty.STR
+
+
+@dataclass
+class TypeContext:
+    """Everything needed to type an expression at some program point."""
+
+    info: "ProgramInfo"
+    locals: Dict[str, ty.Type] = field(default_factory=dict)
+    sender_ctype: Optional[str] = None
+
+    def child(self, extra: Mapping[str, ty.Type]) -> "TypeContext":
+        """A copy with additional local bindings (for lookup branches)."""
+        merged = dict(self.locals)
+        merged.update(extra)
+        return TypeContext(self.info, merged, self.sender_ctype)
+
+
+@dataclass
+class ProgramInfo:
+    """The validated view of a program.
+
+    Later pipeline stages (interpreter, symbolic evaluator, prover) take a
+    ``ProgramInfo`` rather than a bare :class:`~repro.lang.ast.Program`, so
+    they can assume well-formedness.
+    """
+
+    program: ast.Program
+    comp_table: Dict[str, ty.ComponentDecl]
+    msg_table: Dict[str, ty.MessageDecl]
+    #: Global variable name → type, in declaration (Init) order.
+    global_types: Dict[str, ty.Type]
+
+    def global_type(self, name: str) -> ty.Type:
+        if name not in self.global_types:
+            raise ValidationError(f"undeclared global variable: {name}")
+        return self.global_types[name]
+
+    def handler_context(self, handler: ast.Handler) -> TypeContext:
+        """The typing context at the start of a handler body."""
+        msg = self.msg_table[handler.msg]
+        params = dict(zip(handler.params, msg.payload))
+        return TypeContext(self, params, handler.ctype)
+
+
+# ---------------------------------------------------------------------------
+# Expression typing
+# ---------------------------------------------------------------------------
+
+
+def type_of_expr(e: ast.Expr, ctx: TypeContext) -> ty.Type:
+    """The type of expression ``e`` in context ``ctx``; raises on error."""
+    if isinstance(e, ast.Lit):
+        _check_literal_naturals(e)
+        return value_type(e.value)
+    if isinstance(e, ast.Name):
+        if e.name in ctx.locals:
+            return ctx.locals[e.name]
+        return ctx.info.global_type(e.name)
+    if isinstance(e, ast.Sender):
+        if ctx.sender_ctype is None:
+            raise ValidationError("'sender' used outside a handler body")
+        return ty.CompType(ctx.sender_ctype)
+    if isinstance(e, ast.Field):
+        return _type_of_field(e, ctx)
+    if isinstance(e, ast.BinOp):
+        return _type_of_binop(e, ctx)
+    if isinstance(e, ast.Not):
+        arg = type_of_expr(e.arg, ctx)
+        if arg != ty.BOOL:
+            raise TypeMismatch(f"argument of ! in {e}", ty.BOOL, arg)
+        return ty.BOOL
+    if isinstance(e, ast.TupleExpr):
+        return ty.TupleType(tuple(type_of_expr(x, ctx) for x in e.elems))
+    if isinstance(e, ast.Proj):
+        inner = type_of_expr(e.tuple_expr, ctx)
+        if not isinstance(inner, ty.TupleType):
+            raise TypeMismatch(f"projection base in {e}", "a tuple", inner)
+        if not 0 <= e.index < len(inner.elems):
+            raise ValidationError(
+                f"projection index {e.index} out of range for {inner} in {e}"
+            )
+        return inner.elems[e.index]
+    raise ValidationError(f"unknown expression form: {e!r}")
+
+
+def _check_literal_naturals(e: ast.Lit) -> None:
+    """Numbers are naturals (Coq ``num``); negative literals are rejected."""
+    from .values import VNum, VTuple
+
+    def walk(v) -> None:
+        if isinstance(v, VNum) and v.n < 0:
+            raise ValidationError(
+                f"negative numeric literal {v.n}: num is a natural type"
+            )
+        if isinstance(v, VTuple):
+            for inner in v.elems:
+                walk(inner)
+
+    walk(e.value)
+
+
+def _type_of_field(e: ast.Field, ctx: TypeContext) -> ty.Type:
+    base = type_of_expr(e.comp, ctx)
+    if not isinstance(base, ty.CompType):
+        raise TypeMismatch(
+            f"configuration access base in {e}", "a component", base
+        )
+    decl = ctx.info.comp_table.get(base.name)
+    if decl is None:
+        raise ValidationError(f"unknown component type {base.name} in {e}")
+    try:
+        return decl.config_type(e.field)
+    except (KeyError, IndexError):
+        raise ValidationError(
+            f"component type {base.name} has no config field '{e.field}'"
+        ) from None
+
+
+_NUM_OPS = {"add": ty.NUM, "lt": ty.BOOL, "le": ty.BOOL}
+
+
+def _type_of_binop(e: ast.BinOp, ctx: TypeContext) -> ty.Type:
+    if e.op not in ast.BINOPS:
+        raise ValidationError(f"unknown operator '{e.op}' in {e}")
+    lt_ = type_of_expr(e.left, ctx)
+    rt_ = type_of_expr(e.right, ctx)
+    if e.op in ("eq", "ne"):
+        if lt_ != rt_:
+            raise TypeMismatch(f"operands of {e.op} in {e}", lt_, rt_)
+        return ty.BOOL
+    if e.op in _NUM_OPS:
+        if lt_ != ty.NUM or rt_ != ty.NUM:
+            raise TypeMismatch(f"operands of {e.op} in {e}", ty.NUM,
+                               lt_ if lt_ != ty.NUM else rt_)
+        return _NUM_OPS[e.op]
+    if e.op in ("and", "or"):
+        if lt_ != ty.BOOL or rt_ != ty.BOOL:
+            raise TypeMismatch(f"operands of {e.op} in {e}", ty.BOOL,
+                               lt_ if lt_ != ty.BOOL else rt_)
+        return ty.BOOL
+    # concat
+    if lt_ != ty.STR or rt_ != ty.STR:
+        raise TypeMismatch(f"operands of ++ in {e}", ty.STR,
+                           lt_ if lt_ != ty.STR else rt_)
+    return ty.STR
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def _check_declarations(p: ast.Program) -> Tuple[dict, dict]:
+    comp_table = ty.make_decl_table(p.components, "component")
+    msg_table = ty.make_decl_table(p.messages, "message")
+    if set(comp_table) & set(msg_table):
+        shared = sorted(set(comp_table) & set(msg_table))
+        raise ValidationError(
+            f"names used as both component and message type: {shared}"
+        )
+    for c in p.components:
+        for f in c.config:
+            if not ty.is_base(f.type):
+                raise ValidationError(
+                    f"component {c.name}: config field {f.name} must have a "
+                    f"base type, got {f.type}"
+                )
+    for m in p.messages:
+        for i, t in enumerate(m.payload):
+            if not ty.is_base(t):
+                raise ValidationError(
+                    f"message {m.name}: payload slot {i} must have a base "
+                    f"type, got {t}"
+                )
+    return comp_table, msg_table
+
+
+# ---------------------------------------------------------------------------
+# Init section
+# ---------------------------------------------------------------------------
+
+
+def _check_init(p: ast.Program, info: ProgramInfo) -> None:
+    """Check the Init section and populate ``info.global_types``.
+
+    Init commands are flat: assignments declare-or-update globals, spawns
+    declare component-reference globals, calls declare string globals.
+    """
+    ctx = TypeContext(info)
+    for cmd in p.init:
+        if isinstance(cmd, ast.Assign):
+            t = type_of_expr(cmd.expr, ctx)
+            if _mentions_comp_type(t):
+                raise ValidationError(
+                    f"Init: variable {cmd.var} of component type must be "
+                    f"bound by spawn, not assignment"
+                )
+            prev = info.global_types.get(cmd.var)
+            if prev is not None and prev != t:
+                raise TypeMismatch(f"Init: re-assignment of {cmd.var}",
+                                   prev, t)
+            info.global_types[cmd.var] = t
+        elif isinstance(cmd, ast.SpawnCmd):
+            _check_spawn_shape(cmd, ctx)
+            if cmd.bind is None:
+                raise ValidationError(
+                    "Init: spawn must bind its component to a variable"
+                )
+            if cmd.bind in info.global_types:
+                raise ValidationError(
+                    f"Init: duplicate binding of {cmd.bind}"
+                )
+            info.global_types[cmd.bind] = ty.CompType(cmd.ctype)
+        elif isinstance(cmd, ast.CallCmd):
+            _check_call_shape(cmd, ctx)
+            if cmd.bind in info.global_types:
+                raise ValidationError(
+                    f"Init: duplicate binding of {cmd.bind}"
+                )
+            info.global_types[cmd.bind] = CALL_RESULT_TYPE
+        elif isinstance(cmd, ast.Nop):
+            continue
+        else:
+            raise ValidationError(
+                f"Init section only allows flat assignments, spawns and "
+                f"calls, got: {cmd}"
+            )
+
+
+def _check_spawn_shape(cmd: ast.SpawnCmd, ctx: TypeContext) -> None:
+    decl = ctx.info.comp_table.get(cmd.ctype)
+    if decl is None:
+        raise ValidationError(f"spawn of undeclared component type "
+                              f"{cmd.ctype}")
+    if len(cmd.config) != len(decl.config):
+        raise ValidationError(
+            f"spawn({cmd.ctype}): expected {len(decl.config)} config "
+            f"values, got {len(cmd.config)}"
+        )
+    for f, e in zip(decl.config, cmd.config):
+        t = type_of_expr(e, ctx)
+        if t != f.type:
+            raise TypeMismatch(
+                f"spawn({cmd.ctype}) config field {f.name}", f.type, t
+            )
+
+
+def _check_call_shape(cmd: ast.CallCmd, ctx: TypeContext) -> None:
+    for i, e in enumerate(cmd.args):
+        t = type_of_expr(e, ctx)
+        if t != ty.STR:
+            raise TypeMismatch(
+                f"call {cmd.func} argument {i}", ty.STR, t
+            )
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+def _check_handlers(p: ast.Program, info: ProgramInfo) -> None:
+    seen = set()
+    for h in p.handlers:
+        if h.ctype not in info.comp_table:
+            raise ValidationError(
+                f"handler for undeclared component type {h.ctype}"
+            )
+        msg = info.msg_table.get(h.msg)
+        if msg is None:
+            raise ValidationError(
+                f"handler for undeclared message type {h.msg}"
+            )
+        if h.key in seen:
+            raise ValidationError(
+                f"duplicate handler for {h.ctype}=>{h.msg}"
+            )
+        seen.add(h.key)
+        if len(h.params) != msg.arity:
+            raise ValidationError(
+                f"handler {h.ctype}=>{h.msg}: message has {msg.arity} "
+                f"payload slots but handler binds {len(h.params)}"
+            )
+        if len(set(h.params)) != len(h.params):
+            raise ValidationError(
+                f"handler {h.ctype}=>{h.msg}: duplicate parameter names"
+            )
+        _check_cmd(h.body, info.handler_context(h))
+
+
+def _check_cmd(cmd: ast.Cmd, ctx: TypeContext) -> None:
+    """Type-check a handler-body command in context ``ctx``."""
+    if isinstance(cmd, ast.Nop):
+        return
+    if isinstance(cmd, ast.Assign):
+        if cmd.var in ctx.locals:
+            raise ValidationError(
+                f"assignment to handler-local binding {cmd.var}"
+            )
+        declared = ctx.info.global_type(cmd.var)
+        if _mentions_comp_type(declared):
+            # LAC restriction: component-reference globals are immutable
+            # after Init.  This is what lets the behavioral abstraction pin
+            # them to their Init components in every reachable state.
+            raise ValidationError(
+                f"assignment to component-reference variable {cmd.var}; "
+                f"component globals are bound once by spawn in Init"
+            )
+        actual = type_of_expr(cmd.expr, ctx)
+        if declared != actual:
+            raise TypeMismatch(f"assignment to {cmd.var}", declared, actual)
+        return
+    if isinstance(cmd, ast.Seq):
+        # Sequential scope threading: call/spawn/lookup binders introduced in
+        # one element are visible to the following elements of the sequence.
+        running = ctx
+        for c in cmd.cmds:
+            _check_cmd(c, running)
+            running = running.child(_bindings_of(c, running))
+        return
+    if isinstance(cmd, ast.If):
+        t = type_of_expr(cmd.cond, ctx)
+        if t != ty.BOOL:
+            raise TypeMismatch(f"branch condition {cmd.cond}", ty.BOOL, t)
+        _check_cmd(cmd.then, ctx)
+        _check_cmd(cmd.otherwise, ctx)
+        return
+    if isinstance(cmd, ast.SendCmd):
+        target_t = type_of_expr(cmd.target, ctx)
+        if not isinstance(target_t, ty.CompType):
+            raise TypeMismatch(f"send target {cmd.target}", "a component",
+                               target_t)
+        msg = ctx.info.msg_table.get(cmd.msg)
+        if msg is None:
+            raise ValidationError(f"send of undeclared message {cmd.msg}")
+        if len(cmd.args) != msg.arity:
+            raise ValidationError(
+                f"send({cmd.msg}): expected {msg.arity} arguments, got "
+                f"{len(cmd.args)}"
+            )
+        for i, (e, t) in enumerate(zip(cmd.args, msg.payload)):
+            actual = type_of_expr(e, ctx)
+            if actual != t:
+                raise TypeMismatch(f"send({cmd.msg}) argument {i}", t, actual)
+        return
+    if isinstance(cmd, ast.SpawnCmd):
+        _check_spawn_shape(cmd, ctx)
+        _check_fresh_binding(cmd.bind, ctx)
+        return
+    if isinstance(cmd, ast.CallCmd):
+        _check_call_shape(cmd, ctx)
+        _check_fresh_binding(cmd.bind, ctx)
+        return
+    if isinstance(cmd, ast.LookupCmd):
+        decl = ctx.info.comp_table.get(cmd.ctype)
+        if decl is None:
+            raise ValidationError(
+                f"lookup of undeclared component type {cmd.ctype}"
+            )
+        _check_fresh_binding(cmd.bind, ctx)
+        inner = ctx.child({cmd.bind: ty.CompType(cmd.ctype)})
+        t = type_of_expr(cmd.pred, inner)
+        if t != ty.BOOL:
+            raise TypeMismatch(f"lookup predicate {cmd.pred}", ty.BOOL, t)
+        _check_cmd(cmd.found, inner)
+        _check_cmd(cmd.missing, ctx)
+        return
+    raise ValidationError(f"unknown command form: {cmd!r}")
+
+
+def _mentions_comp_type(t: ty.Type) -> bool:
+    if isinstance(t, ty.CompType):
+        return True
+    if isinstance(t, ty.TupleType):
+        return any(_mentions_comp_type(e) for e in t.elems)
+    return False
+
+
+def _check_fresh_binding(name: Optional[str], ctx: TypeContext) -> None:
+    if name is None:
+        return
+    if name in ctx.locals:
+        raise ValidationError(f"rebinding of handler-local name {name}")
+    if name in ctx.info.global_types:
+        raise ValidationError(
+            f"handler-local binding {name} shadows a global variable"
+        )
+
+
+def _bindings_of(cmd: ast.Cmd, ctx: TypeContext) -> Dict[str, ty.Type]:
+    """Bindings a command contributes to the *rest of its sequence*.
+
+    Only top-level spawn/call binders scope over the remainder of a
+    sequence; lookup binders scope only over the ``found`` branch.
+    """
+    if isinstance(cmd, ast.SpawnCmd) and cmd.bind is not None:
+        return {cmd.bind: ty.CompType(cmd.ctype)}
+    if isinstance(cmd, ast.CallCmd):
+        return {cmd.bind: CALL_RESULT_TYPE}
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def validate(p: ast.Program) -> ProgramInfo:
+    """Validate ``p``; return its :class:`ProgramInfo` or raise.
+
+    Every later stage of the pipeline requires the returned info.
+    """
+    comp_table, msg_table = _check_declarations(p)
+    info = ProgramInfo(
+        program=p,
+        comp_table=comp_table,
+        msg_table=msg_table,
+        global_types={},
+    )
+    _check_init(p, info)
+    _check_handlers(p, info)
+    return info

@@ -1,0 +1,65 @@
+"""The REFLEX property language: action patterns, the five trace
+primitives, non-interference labelings, and specified programs.
+"""
+
+from .patterns import (
+    ActionPattern,
+    CallPat,
+    CompPat,
+    MsgPat,
+    PLit,
+    PVar,
+    PWild,
+    RecvPat,
+    SelectPat,
+    SendPat,
+    SpawnPat,
+    comp_pat,
+    msg_pat,
+    plit,
+    recv_pat,
+    send_pat,
+    spawn_pat,
+)
+from .spec import (
+    NonInterference,
+    Property,
+    SpecifiedProgram,
+    TraceProperty,
+    specify,
+)
+from .sugar import at_most, at_most_once, counted_field, exactly_follows
+from .tracepreds import PRIMITIVES, Violation, holds, violations
+
+__all__ = [
+    "ActionPattern",
+    "CallPat",
+    "CompPat",
+    "MsgPat",
+    "PLit",
+    "PVar",
+    "PWild",
+    "RecvPat",
+    "SelectPat",
+    "SendPat",
+    "SpawnPat",
+    "comp_pat",
+    "msg_pat",
+    "plit",
+    "recv_pat",
+    "send_pat",
+    "spawn_pat",
+    "NonInterference",
+    "Property",
+    "SpecifiedProgram",
+    "TraceProperty",
+    "specify",
+    "at_most",
+    "at_most_once",
+    "counted_field",
+    "exactly_follows",
+    "PRIMITIVES",
+    "Violation",
+    "holds",
+    "violations",
+]

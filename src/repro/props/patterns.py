@@ -1,0 +1,335 @@
+"""Action patterns (paper section 4.1).
+
+An action pattern is an action whose fields contain *literals*, *variables*,
+or *wildcards*.  ``Send(C(), M(3, _, s))`` matches any ``Send`` action whose
+recipient has component type ``C`` with an empty configuration and whose
+message is of type ``M`` with payload ``(3, anything, s)`` — binding the
+pattern variable ``s``.  All pattern variables are universally quantified at
+the outermost level of the enclosing property.
+
+Matching is implemented as one-way unification against concrete actions: a
+match either fails or returns the binding environment extended consistently.
+The symbolic twin of this operation (patterns against *action templates*
+containing symbolic expressions) lives in :mod:`repro.symbolic.unify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from ..lang.errors import ValidationError
+from ..lang.values import ComponentInstance, Value, from_python
+from ..runtime.actions import ACall, ARecv, ASelect, ASend, ASpawn, Action
+
+# ---------------------------------------------------------------------------
+# Field patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PLit:
+    """Matches exactly one value."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A pattern variable: matches anything, consistently across the
+    property (same variable, same value)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PWild:
+    """Matches anything, binding nothing (the paper's ``_``)."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+FieldPattern = Union[PLit, PVar, PWild]
+
+#: A binding environment for pattern variables.
+Binding = Dict[str, Value]
+
+
+def plit(value: object) -> PLit:
+    """Literal field pattern from a plain Python value."""
+    return PLit(from_python(value))
+
+
+def field_pattern(x: object) -> FieldPattern:
+    """Coerce: strings starting with ``?`` become variables, ``_`` becomes a
+    wildcard, pattern objects pass through, anything else is a literal."""
+    if isinstance(x, (PLit, PVar, PWild)):
+        return x
+    if x is None:
+        return PWild()
+    if isinstance(x, str) and x == "_":
+        return PWild()
+    if isinstance(x, str) and x.startswith("?"):
+        return PVar(x[1:])
+    return plit(x)
+
+
+def match_field(pat: FieldPattern, value: Value,
+                binding: Binding) -> Optional[Binding]:
+    """Match one field; returns the extended binding or ``None``."""
+    if isinstance(pat, PWild):
+        return binding
+    if isinstance(pat, PLit):
+        return binding if pat.value == value else None
+    # PVar
+    bound = binding.get(pat.name)
+    if bound is None:
+        extended = dict(binding)
+        extended[pat.name] = value
+        return extended
+    return binding if bound == value else None
+
+
+# ---------------------------------------------------------------------------
+# Component and message patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompPat:
+    """Matches a component instance by type and (optionally) configuration.
+
+    ``config is None`` means "any configuration"; otherwise every config
+    field is matched positionally.
+    """
+
+    ctype: str
+    config: Optional[Tuple[FieldPattern, ...]] = None
+
+    def __str__(self) -> str:
+        if self.config is None:
+            return f"{self.ctype}(*)"
+        return f"{self.ctype}({', '.join(str(p) for p in self.config)})"
+
+    def match(self, comp: ComponentInstance,
+              binding: Binding) -> Optional[Binding]:
+        if comp.ctype != self.ctype:
+            return None
+        if self.config is None:
+            return binding
+        if len(self.config) != len(comp.config):
+            return None
+        current: Optional[Binding] = binding
+        for pat, value in zip(self.config, comp.config):
+            current = match_field(pat, value, current)
+            if current is None:
+                return None
+        return current
+
+    def variables(self) -> FrozenSet[str]:
+        if self.config is None:
+            return frozenset()
+        return frozenset(
+            p.name for p in self.config if isinstance(p, PVar)
+        )
+
+
+@dataclass(frozen=True)
+class MsgPat:
+    """Matches a message by name and payload fields."""
+
+    name: str
+    payload: Tuple[FieldPattern, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(p) for p in self.payload)})"
+
+    def match(self, msg: str, payload: Tuple[Value, ...],
+              binding: Binding) -> Optional[Binding]:
+        if msg != self.name or len(payload) != len(self.payload):
+            return None
+        current: Optional[Binding] = binding
+        for pat, value in zip(self.payload, payload):
+            current = match_field(pat, value, current)
+            if current is None:
+                return None
+        return current
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(
+            p.name for p in self.payload if isinstance(p, PVar)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Action patterns
+# ---------------------------------------------------------------------------
+
+
+class ActionPattern:
+    """Base class of action patterns."""
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SendPat(ActionPattern):
+    """Matches ``Send`` actions: the kernel sent a message."""
+
+    comp: CompPat
+    msg: MsgPat
+
+    def __str__(self) -> str:
+        return f"Send({self.comp}, {self.msg})"
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:
+        if not isinstance(action, ASend):
+            return None
+        after_comp = self.comp.match(action.comp, binding)
+        if after_comp is None:
+            return None
+        return self.msg.match(action.msg, action.payload, after_comp)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.comp.variables() | self.msg.variables()
+
+
+@dataclass(frozen=True)
+class RecvPat(ActionPattern):
+    """Matches ``Recv`` actions: the kernel received a message."""
+
+    comp: CompPat
+    msg: MsgPat
+
+    def __str__(self) -> str:
+        return f"Recv({self.comp}, {self.msg})"
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:
+        if not isinstance(action, ARecv):
+            return None
+        after_comp = self.comp.match(action.comp, binding)
+        if after_comp is None:
+            return None
+        return self.msg.match(action.msg, action.payload, after_comp)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.comp.variables() | self.msg.variables()
+
+
+@dataclass(frozen=True)
+class SpawnPat(ActionPattern):
+    """Matches ``Spawn`` actions: the kernel created a component."""
+
+    comp: CompPat
+
+    def __str__(self) -> str:
+        return f"Spawn({self.comp})"
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:
+        if not isinstance(action, ASpawn):
+            return None
+        return self.comp.match(action.comp, binding)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.comp.variables()
+
+
+@dataclass(frozen=True)
+class SelectPat(ActionPattern):
+    """Matches ``Select`` actions (rarely used in properties, provided for
+    completeness of the pattern algebra)."""
+
+    comp: CompPat
+
+    def __str__(self) -> str:
+        return f"Select({self.comp})"
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:
+        if not isinstance(action, ASelect):
+            return None
+        return self.comp.match(action.comp, binding)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.comp.variables()
+
+
+@dataclass(frozen=True)
+class CallPat(ActionPattern):
+    """Matches ``Call`` actions by function name, arguments and result."""
+
+    func: str
+    args: Tuple[FieldPattern, ...] = ()
+    result: FieldPattern = PWild()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.args)
+        return f"Call({self.func}({args}) = {self.result})"
+
+    def match(self, action: Action,
+              binding: Binding) -> Optional[Binding]:
+        if not isinstance(action, ACall):
+            return None
+        if action.func != self.func or len(action.args) != len(self.args):
+            return None
+        current: Optional[Binding] = binding
+        for pat, value in zip(self.args, action.args):
+            current = match_field(pat, value, current)
+            if current is None:
+                return None
+        return match_field(self.result, action.result, current)
+
+    def variables(self) -> FrozenSet[str]:
+        names = {p.name for p in self.args if isinstance(p, PVar)}
+        if isinstance(self.result, PVar):
+            names.add(self.result.name)
+        return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (used by the systems and tests)
+# ---------------------------------------------------------------------------
+
+
+def comp_pat(ctype: str, *config: object,
+             any_config: bool = False) -> CompPat:
+    """Component pattern; with no config arguments the pattern requires an
+    *empty* configuration unless ``any_config=True``."""
+    if any_config:
+        if config:
+            raise ValidationError(
+                "any_config component pattern cannot list config fields"
+            )
+        return CompPat(ctype, None)
+    return CompPat(ctype, tuple(field_pattern(c) for c in config))
+
+
+def msg_pat(msg_name: str, *payload: object) -> MsgPat:
+    return MsgPat(msg_name, tuple(field_pattern(p) for p in payload))
+
+
+def send_pat(comp: CompPat, msg: MsgPat) -> SendPat:
+    return SendPat(comp, msg)
+
+
+def recv_pat(comp: CompPat, msg: MsgPat) -> RecvPat:
+    return RecvPat(comp, msg)
+
+
+def spawn_pat(comp: CompPat) -> SpawnPat:
+    return SpawnPat(comp)

@@ -1,0 +1,231 @@
+"""Concrete-trace semantics of the five REFLEX trace primitives.
+
+This module is the *oracle*: given a finished trace, it decides whether the
+trace satisfies a property.  The prover never calls it — proofs are about
+**all** traces in BehAbs — but the test suite uses it relentlessly as the
+ground truth the prover's verdicts are differentially checked against
+(the executable substitute for the paper's end-to-end Coq guarantee).
+
+Conventions (see :mod:`repro.runtime.trace`): the paper stores traces
+newest-first; this module works over the chronological view and the
+definitions below are the chronological transliterations of the paper's
+Coq definitions (section 4.1), which the test suite cross-checks against a
+literal newest-first implementation.
+
+Semantics, with *trigger* and *required* patterns and all pattern variables
+universally quantified at the outermost level:
+
+================  ========  ===========================================
+Primitive          Trigger   Requirement
+================  ========  ===========================================
+``ImmBefore A B``  each B    an A-match immediately before it
+``ImmAfter A B``   each A    a B-match immediately after it
+``Enables A B``    each B    an A-match strictly before it
+``Ensures A B``    each A    a B-match strictly after it
+``Disables A B``   each B    **no** A-match strictly before it
+================  ========  ===========================================
+
+Variable scoping: for the four positive primitives, the required pattern's
+variables must be a subset of the trigger's (checked by
+:func:`check_wellformed`) — otherwise universal quantification makes the
+property unsatisfiable on any non-degenerate trace.  For ``Disables`` the
+forbidden pattern may mention extra variables; they act as wildcards in the
+(negated) match, which is exactly what outermost universal quantification
+yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang.errors import ValidationError
+from ..runtime.actions import Action
+from ..runtime.trace import Trace
+from .patterns import ActionPattern, Binding
+
+#: The five primitive names, as in the paper.
+PRIMITIVES = ("ImmBefore", "ImmAfter", "Enables", "Ensures", "Disables")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A concrete counterexample: the trigger action position and binding
+    for which the requirement failed."""
+
+    primitive: str
+    position: int
+    action: Action
+    binding: Tuple[Tuple[str, object], ...]
+
+    def __str__(self) -> str:
+        env = ", ".join(f"{k}={v}" for k, v in self.binding)
+        return (
+            f"{self.primitive} violated at action #{self.position} "
+            f"({self.action}) with [{env}]"
+        )
+
+
+def _freeze(binding: Binding) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(binding.items()))
+
+
+def check_wellformed(primitive: str, a: ActionPattern,
+                     b: ActionPattern) -> None:
+    """Reject positive-requirement properties whose required pattern has
+    variables the trigger does not bind (see module docstring)."""
+    if primitive not in PRIMITIVES:
+        raise ValidationError(f"unknown trace primitive {primitive}")
+    trigger, required = _trigger_required(primitive, a, b)
+    if primitive == "Disables":
+        return
+    extra = required.variables() - trigger.variables()
+    if extra:
+        raise ValidationError(
+            f"{primitive}: required pattern binds variables "
+            f"{sorted(extra)} that the trigger pattern does not; such a "
+            f"property is unsatisfiable under outermost universal "
+            f"quantification"
+        )
+
+
+def _trigger_required(
+    primitive: str, a: ActionPattern, b: ActionPattern
+) -> Tuple[ActionPattern, ActionPattern]:
+    """(trigger, required) patterns per the table in the module docstring."""
+    if primitive in ("ImmBefore", "Enables", "Disables"):
+        return b, a
+    return a, b
+
+
+def _trigger_matches(
+    trigger: ActionPattern, actions: Sequence[Action]
+) -> List[Tuple[int, Binding]]:
+    """All (position, binding) pairs where the trigger matches."""
+    matches: List[Tuple[int, Binding]] = []
+    for i, action in enumerate(actions):
+        binding = trigger.match(action, {})
+        if binding is not None:
+            matches.append((i, binding))
+    return matches
+
+
+def violations(primitive: str, a: ActionPattern, b: ActionPattern,
+               trace: Trace) -> List[Violation]:
+    """All violations of ``primitive A B`` on ``trace`` (empty = satisfied)."""
+    actions = trace.chronological()
+    trigger, required = _trigger_required(primitive, a, b)
+    found: List[Violation] = []
+    for i, binding in _trigger_matches(trigger, actions):
+        if _requirement_holds(primitive, required, actions, i, binding):
+            continue
+        found.append(
+            Violation(primitive, i, actions[i], _freeze(binding))
+        )
+    return found
+
+
+def _requirement_holds(primitive: str, required: ActionPattern,
+                       actions: Sequence[Action], i: int,
+                       binding: Binding) -> bool:
+    if primitive == "ImmBefore":
+        return i > 0 and required.match(actions[i - 1], binding) is not None
+    if primitive == "ImmAfter":
+        return (
+            i + 1 < len(actions)
+            and required.match(actions[i + 1], binding) is not None
+        )
+    if primitive == "Enables":
+        return any(
+            required.match(actions[j], binding) is not None
+            for j in range(i)
+        )
+    if primitive == "Ensures":
+        return any(
+            required.match(actions[j], binding) is not None
+            for j in range(i + 1, len(actions))
+        )
+    if primitive == "Disables":
+        return not any(
+            required.match(actions[j], binding) is not None
+            for j in range(i)
+        )
+    raise ValidationError(f"unknown trace primitive {primitive}")
+
+
+def holds(primitive: str, a: ActionPattern, b: ActionPattern,
+          trace: Trace) -> bool:
+    """Does ``primitive A B`` hold on ``trace``?"""
+    return not violations(primitive, a, b, trace)
+
+
+# ---------------------------------------------------------------------------
+# Literal newest-first transliteration (for duality cross-checks)
+# ---------------------------------------------------------------------------
+
+
+def _amatch(p: ActionPattern, action: Action,
+            binding: Binding) -> Optional[Binding]:
+    return p.match(action, binding)
+
+
+def immbefore_newest_first(a: ActionPattern, b: ActionPattern,
+                           tr: Sequence[Action]) -> bool:
+    """Direct transliteration of the paper's ``immbefore`` over a
+    newest-first action list: for every decomposition ``tr = suf ++ b0 ::
+    pre`` with ``b0`` matching B, ``pre`` starts with an A-match."""
+    for i, action in enumerate(tr):
+        binding = _amatch(b, action, {})
+        if binding is None:
+            continue
+        pre = tr[i + 1:]
+        if not pre or _amatch(a, pre[0], binding) is None:
+            return False
+    return True
+
+
+def enables_newest_first(a: ActionPattern, b: ActionPattern,
+                         tr: Sequence[Action]) -> bool:
+    """Direct transliteration of the paper's ``enables``."""
+    for i, action in enumerate(tr):
+        binding = _amatch(b, action, {})
+        if binding is None:
+            continue
+        pre = tr[i + 1:]
+        if not any(_amatch(a, older, binding) is not None for older in pre):
+            return False
+    return True
+
+
+def immafter_newest_first(a: ActionPattern, b: ActionPattern,
+                          tr: Sequence[Action]) -> bool:
+    """The paper's ``immafter A B tr := immbefore B A (rev tr)``."""
+    return immbefore_newest_first(b, a, list(reversed(tr)))
+
+
+def ensures_newest_first(a: ActionPattern, b: ActionPattern,
+                         tr: Sequence[Action]) -> bool:
+    """The paper's ``ensures A B tr := enables B A (rev tr)``."""
+    return enables_newest_first(b, a, list(reversed(tr)))
+
+
+def disables_newest_first(a: ActionPattern, b: ActionPattern,
+                          tr: Sequence[Action]) -> bool:
+    """Direct transliteration of the paper's ``disables``."""
+    for i, action in enumerate(tr):
+        binding = _amatch(b, action, {})
+        if binding is None:
+            continue
+        pre = tr[i + 1:]
+        if any(_amatch(a, older, binding) is not None for older in pre):
+            return False
+    return True
+
+
+NEWEST_FIRST_SEMANTICS = {
+    "ImmBefore": immbefore_newest_first,
+    "ImmAfter": immafter_newest_first,
+    "Enables": enables_newest_first,
+    "Ensures": ensures_newest_first,
+    "Disables": disables_newest_first,
+}

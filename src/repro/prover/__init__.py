@@ -1,0 +1,58 @@
+"""The REFLEX proof automation: obligations, tactics, invariants,
+non-interference checks, the verification engine, and the independent
+proof checker.
+"""
+
+from .checker import check_trace_proof, trace_proof_complaints
+from .counterexample import CandidateCounterexample, find_model
+from .derivation import (
+    BoundedSpec,
+    InvariantProof,
+    InvariantSpec,
+    TracePropertyProof,
+)
+from .engine import (
+    PropertyResult,
+    ProverOptions,
+    VerificationReport,
+    Verifier,
+    prove,
+    verify,
+)
+from .incremental import IncrementalReport, IncrementalVerifier
+from .invariants import generalize, prove_invariant, validate_invariant
+from .ni import Labeling, NIProof, build_labeling, prove_noninterference
+from .obligations import InstPattern, Occurrence, Scheme, scheme_of
+from .trace_tactics import prove_trace_property, validate_justification
+
+__all__ = [
+    "check_trace_proof",
+    "trace_proof_complaints",
+    "CandidateCounterexample",
+    "find_model",
+    "BoundedSpec",
+    "IncrementalReport",
+    "IncrementalVerifier",
+    "InvariantProof",
+    "InvariantSpec",
+    "TracePropertyProof",
+    "PropertyResult",
+    "ProverOptions",
+    "VerificationReport",
+    "Verifier",
+    "prove",
+    "verify",
+    "generalize",
+    "prove_invariant",
+    "validate_invariant",
+    "Labeling",
+    "NIProof",
+    "build_labeling",
+    "prove_noninterference",
+    "InstPattern",
+    "Occurrence",
+    "Scheme",
+    "scheme_of",
+    "prove_trace_property",
+    "validate_justification",
+]

@@ -1,0 +1,138 @@
+"""The independent proof checker.
+
+The proof *search* is allowed to be arbitrarily buggy; the checker decides.
+Given a program and a derivation it re-validates, without consulting the
+search:
+
+* **structure** — the derivation's scheme matches the property, and there
+  is an occurrence proof for every trigger occurrence of the Init trace and
+  of every symbolic path of every exchange (omissions are rejected);
+* **skips** — syntactically skipped exchanges really are statically silent;
+* **justifications** — every entailment, witness index, lookup bridge and
+  invariant use re-checks against the solver, including the full secondary
+  induction of every invariant proof.
+
+The trusted base of the reproduction is therefore: the symbolic evaluator
+(shared between search and checker — the analog of Coq's evaluation rules),
+the solver, the matcher, and this module.  The search — the analog of the
+paper's 1,768 lines of Ltac — is untrusted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.errors import ProofCheckFailure
+from ..props.spec import TraceProperty
+from ..symbolic.behabs import GenericStep
+from .derivation import (
+    PathProof,
+    SkippedExchange,
+    TracePropertyProof,
+)
+from .obligations import exchange_statically_silent, occurrences, scheme_of
+from .trace_tactics import OccurrenceContext, validate_justification
+
+
+def check_trace_proof(step: GenericStep,
+                      proof: TracePropertyProof) -> None:
+    """Raise :class:`ProofCheckFailure` unless the derivation is valid."""
+    complaints = trace_proof_complaints(step, proof)
+    if complaints:
+        raise ProofCheckFailure(
+            f"derivation for {proof.property.name} rejected: "
+            + "; ".join(complaints)
+        )
+
+
+def trace_proof_complaints(step: GenericStep,
+                           proof: TracePropertyProof) -> List[str]:
+    """All reasons the derivation fails to validate (empty = valid)."""
+    complaints: List[str] = []
+    prop = proof.property
+    expected_scheme = scheme_of(prop)
+    if proof.scheme != expected_scheme:
+        complaints.append("derivation scheme does not match the property")
+        return complaints
+    scheme = expected_scheme
+
+    # Base case coverage + justification validity.
+    base_ctx = OccurrenceContext(
+        step=step,
+        scheme=scheme,
+        actions=step.init.actions,
+        cond=(),
+        lookup_facts=(),
+        has_history=False,
+    )
+    complaints.extend(_check_occurrence_list(
+        base_ctx, proof.base.occurrence_proofs, "base case"
+    ))
+
+    # Inductive coverage.
+    recorded = {}
+    for sp in proof.steps:
+        if isinstance(sp, SkippedExchange):
+            recorded[(sp.exchange_key, None)] = sp
+        elif isinstance(sp, PathProof):
+            recorded[(sp.exchange_key, sp.path_index)] = sp
+        else:
+            complaints.append(f"unknown step proof {sp!r}")
+
+    for ex in step.exchanges:
+        skip = recorded.get((ex.key, None))
+        if isinstance(skip, SkippedExchange):
+            body = ex.handler.body if ex.handler is not None else None
+            if not exchange_statically_silent(
+                [scheme.trigger], ex.ctype, ex.msg, body
+            ):
+                complaints.append(
+                    f"invalid syntactic skip of {ex.ctype}=>{ex.msg}"
+                )
+            continue
+        for path_index, path in enumerate(ex.paths):
+            path_proof = recorded.get((ex.key, path_index))
+            if not isinstance(path_proof, PathProof):
+                complaints.append(
+                    f"missing case for {ex.ctype}=>{ex.msg} "
+                    f"path {path_index}"
+                )
+                continue
+            ctx = OccurrenceContext(
+                step=step,
+                scheme=scheme,
+                actions=path.actions,
+                cond=path.cond,
+                lookup_facts=path.lookup_facts,
+                has_history=True,
+                sender=ex.sender,
+            )
+            complaints.extend(_check_occurrence_list(
+                ctx, path_proof.occurrence_proofs,
+                f"{ex.ctype}=>{ex.msg} path {path_index}",
+            ))
+    return complaints
+
+
+def _check_occurrence_list(ctx: OccurrenceContext, occurrence_proofs,
+                           where: str) -> List[str]:
+    complaints: List[str] = []
+    expected = occurrences(ctx.scheme.trigger, ctx.actions)
+    proved = {op.occurrence.index: op for op in occurrence_proofs}
+    for occ in expected:
+        op = proved.get(occ.index)
+        if op is None:
+            complaints.append(
+                f"{where}: trigger occurrence at action #{occ.index} has "
+                f"no justification"
+            )
+            continue
+        if op.occurrence != occ:
+            complaints.append(
+                f"{where}: recorded occurrence at #{occ.index} differs "
+                f"from the actual match"
+            )
+            continue
+        for complaint in validate_justification(ctx, occ, op.justification):
+            complaints.append(f"{where} action #{occ.index}: {complaint}")
+    return complaints

@@ -1,0 +1,262 @@
+"""Candidate counterexamples for failed proofs.
+
+When the search gets stuck on an occurrence, the bare diagnostic ("no
+earlier action matches ...") already names the handler and path; this
+module goes further and *instantiates* the stuck path: a small model
+finder assigns concrete values to the path's symbolic variables, and the
+exchange's action templates are rendered under that model — a concrete
+"here is the exchange that would break your property" story.
+
+The candidate is honest about its status: the pre-state is an *arbitrary*
+state satisfying the path condition, so the scenario is a genuine
+counterexample only if that state is reachable.  For genuinely false
+properties (the section-6.3 scenarios) it always is; for properties that
+are true but beyond the automation the candidate shows exactly which
+invariant the search failed to infer.  Both readings are precisely what a
+user debugging a failed pushbutton proof needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang import types as ty
+from ..lang.values import VBool, VFd, VNum, VStr, VTuple, Value
+from ..symbolic.expr import (
+    SComp,
+    SConst,
+    SOp,
+    SProj,
+    STuple,
+    SVar,
+    Term,
+    free_vars,
+    sub_terms,
+)
+from ..symbolic.templates import (
+    TCall,
+    Template,
+    TRecv,
+    TSelect,
+    TSend,
+    TSpawn,
+)
+
+#: Search-space bounds for the model finder.
+MAX_VARIABLES = 8
+EXTRA_STRINGS = ("witness", "other")
+NUM_RANGE = 5
+
+
+@dataclass(frozen=True)
+class CandidateCounterexample:
+    """A concrete instantiation of the stuck proof obligation."""
+
+    exchange: str
+    model: Tuple[Tuple[str, str], ...]
+    actions: Tuple[str, ...]
+    note: str
+
+    def __str__(self) -> str:
+        assignments = ", ".join(f"{k} = {v}" for k, v in self.model)
+        lines = [
+            f"candidate counterexample at exchange {self.exchange}:",
+            f"  with {assignments or 'no free values'}:",
+        ]
+        lines.extend(f"    {a}" for a in self.actions)
+        lines.append(f"  {self.note}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# A tiny model finder for cubes of literals
+# ---------------------------------------------------------------------------
+
+
+def _string_domain(literals: Sequence[Term]) -> List[Value]:
+    constants = {
+        t.value.s
+        for literal in literals
+        for t in sub_terms(literal)
+        if isinstance(t, SConst) and isinstance(t.value, VStr)
+    }
+    return [VStr(s) for s in sorted(constants) + list(EXTRA_STRINGS)]
+
+
+def _domain(t: ty.Type, strings: List[Value]) -> List[Value]:
+    if isinstance(t, ty.StrType):
+        return strings
+    if isinstance(t, ty.NumType):
+        return [VNum(n) for n in range(NUM_RANGE)]
+    if isinstance(t, ty.BoolType):
+        return [VBool(False), VBool(True)]
+    if isinstance(t, ty.FdType):
+        return [VFd(9), VFd(10)]
+    if isinstance(t, ty.TupleType):
+        parts = [_domain(e, strings) for e in t.elems]
+        return [VTuple(combo) for combo in itertools.product(*parts)]
+    return []
+
+
+def _eval(t: Term, model: Dict[SVar, Value]) -> Optional[Value]:
+    if isinstance(t, SConst):
+        return t.value
+    if isinstance(t, SVar):
+        return model.get(t)
+    if isinstance(t, STuple):
+        elems = [_eval(e, model) for e in t.elems]
+        if any(e is None for e in elems):
+            return None
+        return VTuple(tuple(elems))
+    if isinstance(t, SProj):
+        base = _eval(t.base, model)
+        if not isinstance(base, VTuple):
+            return None
+        return base.elems[t.index]
+    if isinstance(t, SComp):
+        # Component identity: label-distinct terms get distinct tokens
+        # except that aliasing constraints are not modelled — literals
+        # over raw component identity make the finder give up (None).
+        return None
+    if isinstance(t, SOp):
+        args = [_eval(a, model) for a in t.args]
+        if any(a is None for a in args):
+            return None
+        return _eval_op(t.op, args)
+    return None
+
+
+def _eval_op(op: str, args: List[Value]) -> Optional[Value]:
+    if op == "eq":
+        return VBool(args[0] == args[1])
+    if op == "not":
+        return VBool(not args[0].b)
+    if op == "and":
+        return VBool(all(a.b for a in args))
+    if op == "or":
+        return VBool(any(a.b for a in args))
+    if op == "add":
+        return VNum(args[0].n + args[1].n)
+    if op == "sub":
+        return VNum(args[0].n - args[1].n)
+    if op == "lt":
+        return VBool(args[0].n < args[1].n)
+    if op == "le":
+        return VBool(args[0].n <= args[1].n)
+    if op == "concat":
+        return VStr(args[0].s + args[1].s)
+    return None
+
+
+def find_model(literals: Sequence[Term]) -> Optional[Dict[SVar, Value]]:
+    """A small-domain satisfying assignment for a cube, or ``None`` (both
+    for unsatisfiable cubes and when the search space is too large or the
+    cube leaves the supported fragment)."""
+    variables = sorted(
+        {v for literal in literals for v in free_vars(literal)},
+        key=lambda v: v.name,
+    )
+    if len(variables) > MAX_VARIABLES:
+        return None
+    strings = _string_domain(literals)
+    domains = [_domain(v.type, strings) for v in variables]
+    if any(not d for d in domains):
+        return None
+    for combo in itertools.product(*domains):
+        model = dict(zip(variables, combo))
+        verdict = [(_eval(lit, model)) for lit in literals]
+        if any(v is None for v in verdict):
+            return None  # unsupported fragment: give up, don't guess
+        if all(isinstance(v, VBool) and v.b for v in verdict):
+            return model
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rendering templates under a model
+# ---------------------------------------------------------------------------
+
+
+def _render_term(t: Term, model: Dict[SVar, Value]) -> str:
+    value = _eval(t, model)
+    if value is not None:
+        return str(value)
+    if isinstance(t, SComp):
+        return _render_comp(t, model)
+    return f"⟨{t}⟩"
+
+
+def _render_comp(c: SComp, model: Dict[SVar, Value]) -> str:
+    config = ", ".join(_render_term(e, model) for e in c.config)
+    return f"{c.ctype}({config})"
+
+
+def _template_terms(template: Template) -> List[Term]:
+    if isinstance(template, (TSelect, TSpawn)):
+        return [template.comp]
+    if isinstance(template, (TRecv, TSend)):
+        return [template.comp, *template.payload]
+    if isinstance(template, TCall):
+        return [*template.args, template.result]
+    return []
+
+
+def render_template(template: Template, model: Dict[SVar, Value]) -> str:
+    """Render one action template with the model's values filled in."""
+    if isinstance(template, TSelect):
+        return f"Select({_render_comp(template.comp, model)})"
+    if isinstance(template, TRecv):
+        payload = ", ".join(_render_term(p, model) for p in template.payload)
+        return (f"Recv({_render_comp(template.comp, model)}, "
+                f"{template.msg}({payload}))")
+    if isinstance(template, TSend):
+        payload = ", ".join(_render_term(p, model) for p in template.payload)
+        return (f"Send({_render_comp(template.comp, model)}, "
+                f"{template.msg}({payload}))")
+    if isinstance(template, TSpawn):
+        return f"Spawn({_render_comp(template.comp, model)})"
+    if isinstance(template, TCall):
+        args = ", ".join(_render_term(a, model) for a in template.args)
+        return (f"Call({template.func}({args}) = "
+                f"{_render_term(template.result, model)})")
+    return str(template)
+
+
+def build_candidate(exchange_name: str, cond: Sequence[Term],
+                    match_constraints: Sequence[Term],
+                    actions: Sequence[Template],
+                    trigger_index: int,
+                    reason: str) -> Optional[CandidateCounterexample]:
+    """Instantiate a stuck occurrence, if the model finder succeeds."""
+    literals = list(cond) + list(match_constraints)
+    model = find_model(literals)
+    if model is None:
+        return None
+    # Give unconstrained action-payload variables default values so the
+    # rendered exchange is fully concrete.
+    strings = _string_domain(literals)
+    for template in actions:
+        for slot in _template_terms(template):
+            for v in free_vars(slot):
+                if v not in model:
+                    domain = _domain(v.type, strings)
+                    if domain:
+                        model[v] = domain[0]
+    rendered = []
+    for i, template in enumerate(actions):
+        marker = "  <-- trigger" if i == trigger_index else ""
+        rendered.append(render_template(template, model) + marker)
+    shown_model = tuple(sorted(
+        (v.name, str(val)) for v, val in model.items()
+    ))
+    return CandidateCounterexample(
+        exchange=exchange_name,
+        model=shown_model,
+        actions=tuple(rendered),
+        note=(
+            f"{reason} (counterexample is relative to the behavioral "
+            f"abstraction: genuine if the assumed pre-state is reachable)"
+        ),
+    )

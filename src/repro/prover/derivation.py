@@ -1,0 +1,349 @@
+"""Proof objects (derivations).
+
+The proof search (:mod:`repro.prover.trace_tactics`, :mod:`repro.prover
+.invariants`) emits these data structures; the independent checker
+(:mod:`repro.prover.checker`) re-validates them without trusting the
+search.  This mirrors the paper's architecture, where Ltac tactics search
+for a term that Coq's kernel then type-checks: the search may be arbitrarily
+buggy, the checker decides.
+
+A :class:`TracePropertyProof` is an induction over BehAbs: the base case
+covers every trigger occurrence in the Init trace; each inductive case
+covers every trigger occurrence in every symbolic path of one exchange.
+Justifications say *why* an occurrence is fine:
+
+* :class:`Vacuous` — the occurrence's match condition contradicts the path,
+* :class:`ImmWitness` / :class:`EarlierWitness` / :class:`LaterWitness` —
+  the required action is found at a specific index of the same action list,
+* :class:`FoundBridge` — a ``lookup`` *found* fact plus the component-set /
+  Spawn correspondence puts the required spawn in the past,
+* :class:`HistoryInvariant` — a guard-implies-history invariant proved by a
+  secondary induction (the paper's section 5.1 second induction),
+* :class:`NoPriorMatch` — for ``Disables``: every earlier potential match is
+  refuted, and the pre-state trace is clean by an absence invariant, a
+  ``lookup`` *missing* fact bridge, or emptiness (base case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..props.spec import TraceProperty
+from ..symbolic.expr import SVar, Term
+from .obligations import InstPattern, Occurrence, Scheme
+
+# ---------------------------------------------------------------------------
+# Invariants (shared by justifications and their own proofs)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvariantSpec:
+    """A candidate inductive invariant.
+
+    * ``kind == "history"``: whenever every ``guard`` literal holds of the
+      state, the trace contains an action matching ``inst``.
+    * ``kind == "absence"``: whenever every ``guard`` literal holds of the
+      state, the trace contains **no** action matching ``inst``.
+
+    Guards and the instantiated pattern range over pre-state variables and
+    the universally quantified ``params``.
+    """
+
+    kind: str
+    guard: Tuple[Term, ...]
+    inst: InstPattern
+    params: Tuple[SVar, ...]
+
+    def __str__(self) -> str:
+        guard = " and ".join(str(g) for g in self.guard) or "true"
+        what = "exists" if self.kind == "history" else "no"
+        return f"[{guard}] => {what} action matching {self.inst}"
+
+
+#: Inductive-case tags of an invariant proof, in the order the search tries
+#: them.  ``established`` carries the witnessing action index (history only).
+@dataclass(frozen=True)
+class CaseInfeasible:
+    """Paper case (C): the branch conditions contradict the post-guard."""
+
+
+@dataclass(frozen=True)
+class CaseEstablished:
+    """Paper case (A): the handler itself emits the required action."""
+
+    action_index: int
+
+
+@dataclass(frozen=True)
+class CasePreserved:
+    """Paper case (B): the guard already held before the exchange (and, for
+    absence, the handler emits no matching action)."""
+
+    refuted_indices: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CaseSyntacticSkip:
+    """The handler assigns none of the guard's variables and cannot emit a
+    matching action — decided without symbolic evaluation (section 6.4's
+    syntactic check)."""
+
+
+InvariantCase = Union[
+    CaseInfeasible, CaseEstablished, CasePreserved, CaseSyntacticSkip
+]
+
+
+@dataclass(frozen=True)
+class BaseVacuous:
+    """The guard is false of the Init state."""
+
+
+@dataclass(frozen=True)
+class BaseWitness:
+    """Init itself emitted the required action (history invariants)."""
+
+    action_index: int
+
+
+@dataclass(frozen=True)
+class BaseClean:
+    """No Init action can match (absence invariants)."""
+
+    refuted_indices: Tuple[int, ...] = ()
+
+
+InvariantBase = Union[BaseVacuous, BaseWitness, BaseClean]
+
+
+@dataclass(frozen=True)
+class InvariantProof:
+    """The full secondary induction for one invariant."""
+
+    spec: InvariantSpec
+    base: InvariantBase
+    #: one entry per (exchange key, path index); syntactically skipped
+    #: exchanges contribute a single entry with path index -1.
+    cases: Tuple[Tuple[Tuple[str, str], int, InvariantCase], ...]
+
+
+# ---------------------------------------------------------------------------
+# Bounded-counter invariants
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundedSpec:
+    """Every ``Spawn`` of a ``ctype`` component in the trace has
+    ``config[config_index] < bound_var``, and ``bound_var`` only grows.
+
+    This is the classic allocation-counter invariant: it is how uniqueness
+    of counter-assigned identities (browser tab ids) is proved without a
+    guarding ``lookup``.
+    """
+
+    ctype: str
+    config_index: int
+    bound_var: SVar
+
+    def __str__(self) -> str:
+        return (
+            f"every Spawn({self.ctype}).config[{self.config_index}] < "
+            f"{self.bound_var} (monotone)"
+        )
+
+
+@dataclass(frozen=True)
+class BoundedProof:
+    """Induction for a :class:`BoundedSpec`: the base case checks Init
+    spawns; each inductive case checks monotonicity of the bound and the
+    bound on newly spawned components (``"skip"`` marks exchanges the
+    syntactic check discharges)."""
+
+    spec: BoundedSpec
+    cases: Tuple[Tuple[Tuple[str, str], int, str], ...]
+
+
+# ---------------------------------------------------------------------------
+# Occurrence justifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Vacuous:
+    """The occurrence's match condition contradicts the path condition."""
+
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ImmWitness:
+    """The required action sits exactly at ``witness_index`` (the adjacent
+    slot for the ``imm_*`` modes)."""
+
+    witness_index: int
+
+
+@dataclass(frozen=True)
+class EarlierWitness:
+    """The required action is emitted earlier in the same action list."""
+
+    witness_index: int
+
+
+@dataclass(frozen=True)
+class LaterWitness:
+    """The required action is emitted later in the same action list."""
+
+    witness_index: int
+
+
+@dataclass(frozen=True)
+class FoundBridge:
+    """`lookup` found a matching component; by the component-set/Spawn
+    correspondence its spawn (Init or trace) precedes the lookup, which
+    precedes the trigger."""
+
+    fact_index: int
+
+
+@dataclass(frozen=True)
+class HistoryInvariant:
+    """A guard-implies-history invariant supplies the past action.
+
+    ``instantiation`` maps the invariant's universal parameters to the
+    occurrence's terms; the checker verifies the instantiated guard holds
+    under the occurrence's facts and that the instantiated pattern binding
+    coincides with the trigger's binding."""
+
+    proof: InvariantProof
+    instantiation: Tuple[Tuple[SVar, Term], ...]
+
+
+@dataclass(frozen=True)
+class EmptyHistory:
+    """Base case: there is no pre-state trace."""
+
+
+@dataclass(frozen=True)
+class AbsenceInvariant:
+    """A guard-implies-absence invariant clears the pre-state trace."""
+
+    proof: InvariantProof
+    instantiation: Tuple[Tuple[SVar, Term], ...]
+
+
+@dataclass(frozen=True)
+class MissingBridge:
+    """`lookup` observed no matching component; by the component-set/Spawn
+    correspondence no matching spawn exists anywhere in the trace."""
+
+    fact_index: int
+
+
+@dataclass(frozen=True)
+class BoundedBridge:
+    """The trigger spawns a component whose counted configuration field is
+    at least the current bound; the bounded invariant says every earlier
+    spawn sits strictly below the bound, so none can collide."""
+
+    proof: BoundedProof
+    #: the term the forbidden pattern pins the counted field to
+    field_term: Term
+
+
+@dataclass(frozen=True)
+class SenderChain:
+    """Chain through the sender's own creation (used for properties like
+    "files can only be requested after login"):
+
+    1. the trigger's variables are bound to the *sender's* configuration
+       (or constants),
+    2. the sender is a member of the component set, hence — since no Init
+       component has its type — was spawned in the pre-state trace,
+    3. ``lemma`` proves that every such spawn is preceded by the required
+       action, with the variables carried through the spawned component's
+       configuration.
+    """
+
+    lemma: "TracePropertyProof"
+    #: property variable → sender config index for the chained variables
+    field_map: Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class NoPriorMatch:
+    """Justification shape for ``Disables`` occurrences."""
+
+    refuted_indices: Tuple[int, ...]
+    history: Union[EmptyHistory, AbsenceInvariant, MissingBridge,
+                   BoundedBridge]
+
+
+Justification = Union[
+    Vacuous,
+    ImmWitness,
+    EarlierWitness,
+    LaterWitness,
+    FoundBridge,
+    HistoryInvariant,
+    SenderChain,
+    NoPriorMatch,
+]
+
+
+@dataclass(frozen=True)
+class OccurrenceProof:
+    occurrence: Occurrence
+    justification: Justification
+
+
+@dataclass(frozen=True)
+class BaseProof:
+    """Trigger coverage of the Init trace."""
+
+    occurrence_proofs: Tuple[OccurrenceProof, ...]
+
+
+@dataclass(frozen=True)
+class PathProof:
+    """Trigger coverage of one symbolic path of one exchange."""
+
+    exchange_key: Tuple[str, str]
+    path_index: int
+    occurrence_proofs: Tuple[OccurrenceProof, ...]
+
+
+@dataclass(frozen=True)
+class SkippedExchange:
+    """The whole exchange was discharged by the syntactic check."""
+
+    exchange_key: Tuple[str, str]
+    reason: str
+
+
+StepProof = Union[PathProof, SkippedExchange]
+
+
+@dataclass(frozen=True)
+class TracePropertyProof:
+    """The complete derivation for one trace property."""
+
+    property: TraceProperty
+    scheme: Scheme
+    base: BaseProof
+    steps: Tuple[StepProof, ...]
+
+    def summary(self) -> str:
+        """One-line account of the derivation's case analysis."""
+        skipped = sum(1 for s in self.steps
+                      if isinstance(s, SkippedExchange))
+        detailed = len(self.steps) - skipped
+        return (
+            f"{self.property.name}: base with "
+            f"{len(self.base.occurrence_proofs)} occurrence(s); "
+            f"{detailed} path case(s), {skipped} exchange(s) skipped "
+            f"syntactically"
+        )

@@ -1,0 +1,154 @@
+"""Incremental re-verification (the future work of paper section 6.4:
+"Future work can explore incremental verification in order to further
+reduce the time required for re-verification").
+
+The paper's headline workflow edits a kernel and simply re-runs the
+automation.  This module makes the re-run cheap, soundly:
+
+* **identical program** → cached results are returned outright;
+* **edited program** → derivations from the previous round are *replayed
+  through the independent checker* against the freshly built behavioral
+  abstraction.  Because the abstraction's terms are named locally per
+  exchange (see :func:`repro.symbolic.behabs.generic_step`), a derivation
+  that never touched the edited handler validates byte-for-byte and is
+  reused — no proof search.  Only derivations the checker rejects (they
+  genuinely depended on edited code) are searched for again.
+
+Soundness is free: reuse happens only when the trusted checker accepts
+the old derivation against the *new* program's abstraction.  The search
+is skipped, never the check.  Non-interference results are re-checked
+directly (for NI, checking *is* the proof), so NI reuse only applies to
+byte-identical programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.errors import ProofCheckFailure
+from ..props.spec import NonInterference, Property, SpecifiedProgram, TraceProperty
+from .checker import trace_proof_complaints
+from .derivation import TracePropertyProof
+from .engine import PropertyResult, ProverOptions, Verifier
+
+
+@dataclass
+class IncrementalResult:
+    """A property result plus how it was obtained this round."""
+
+    result: PropertyResult
+    #: "cached" (identical program), "revalidated" (old derivation checked
+    #: against the new abstraction), or "searched" (full proof search)
+    how: str
+
+    @property
+    def proved(self) -> bool:
+        return self.result.proved
+
+
+@dataclass
+class IncrementalReport:
+    """Results of one incremental round, tagged by how each was obtained."""
+
+    program_name: str
+    rounds: int
+    entries: List[IncrementalResult] = field(default_factory=list)
+
+    @property
+    def all_proved(self) -> bool:
+        return all(e.proved for e in self.entries)
+
+    def counts(self) -> Dict[str, int]:
+        """How many results were cached / revalidated / searched."""
+        out = {"cached": 0, "revalidated": 0, "searched": 0}
+        for e in self.entries:
+            out[e.how] += 1
+        return out
+
+    def __str__(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"incremental verification of {self.program_name} "
+            f"(round {self.rounds}): {counts['cached']} cached, "
+            f"{counts['revalidated']} revalidated without search, "
+            f"{counts['searched']} searched"
+        ]
+        lines.extend(f"  [{e.how}] {e.result}" for e in self.entries)
+        return "\n".join(lines)
+
+
+def _program_fingerprint(spec: SpecifiedProgram) -> Tuple:
+    """Structural identity of the program (properties excluded: a changed
+    property is always freshly proved)."""
+    return (spec.program,)
+
+
+class IncrementalVerifier:
+    """Verifies successive versions of a program, reusing work."""
+
+    def __init__(self, options: Optional[ProverOptions] = None) -> None:
+        self.options = options or ProverOptions()
+        self._rounds = 0
+        self._fingerprint: Optional[Tuple] = None
+        #: property name → (property, result) from the previous round
+        self._previous: Dict[str, Tuple[Property, PropertyResult]] = {}
+
+    def verify(self, spec: SpecifiedProgram) -> IncrementalReport:
+        """Verify this round's program, reusing previous derivations."""
+        self._rounds += 1
+        verifier = Verifier(spec, self.options)
+        fingerprint = _program_fingerprint(spec)
+        unchanged_program = fingerprint == self._fingerprint
+        report = IncrementalReport(spec.name, self._rounds)
+
+        for prop in spec.properties:
+            entry = self._verify_one(verifier, prop, unchanged_program)
+            report.entries.append(entry)
+
+        self._fingerprint = fingerprint
+        self._previous = {
+            e.result.property.name: (e.result.property, e.result)
+            for e in report.entries
+        }
+        return report
+
+    # -- per-property strategy -------------------------------------------------
+
+    def _verify_one(self, verifier: Verifier, prop: Property,
+                    unchanged_program: bool) -> IncrementalResult:
+        cached = self._previous.get(prop.name)
+        if cached is not None:
+            old_prop, old_result = cached
+            if unchanged_program and old_prop == prop:
+                return IncrementalResult(old_result, "cached")
+            if (
+                isinstance(prop, TraceProperty)
+                and old_prop == prop
+                and old_result.proved
+                and isinstance(old_result.proof, TracePropertyProof)
+            ):
+                revalidated = self._try_revalidate(verifier, prop,
+                                                   old_result)
+                if revalidated is not None:
+                    return IncrementalResult(revalidated, "revalidated")
+        return IncrementalResult(verifier.prove_property(prop), "searched")
+
+    def _try_revalidate(self, verifier: Verifier, prop: TraceProperty,
+                        old_result: PropertyResult
+                        ) -> Optional[PropertyResult]:
+        """Replay the old derivation through the checker against the new
+        abstraction; None when it no longer validates."""
+        start = time.perf_counter()
+        step = verifier.generic_step()
+        complaints = trace_proof_complaints(step, old_result.proof)
+        if complaints:
+            return None
+        return PropertyResult(
+            property=prop,
+            status="proved",
+            seconds=time.perf_counter() - start,
+            proof=old_result.proof,
+            checked=True,
+        )

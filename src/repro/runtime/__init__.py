@@ -1,0 +1,48 @@
+"""The REFLEX runtime: actions, traces, the effect world, the interpreter.
+
+This is the executable half of Figure 1: given a validated program, the
+:class:`~repro.runtime.interpreter.Interpreter` runs its event loop against
+a :class:`~repro.runtime.world.World` of simulated components and threads a
+ghost :class:`~repro.runtime.trace.Trace` of every observable action.
+"""
+
+from .actions import ACall, ARecv, ASelect, ASend, ASpawn, Action, kind
+from .components import (
+    ComponentBehavior,
+    ComponentPort,
+    EchoBehavior,
+    InertBehavior,
+    RecordingBehavior,
+    ScriptedBehavior,
+)
+from .interpreter import Interpreter, KernelState, run_program
+from .monitor import MonitoredInterpreter, MonitorViolation, TraceMonitor
+from .render import render_sequence
+from .trace import Trace
+from .world import World, make_call_table
+
+__all__ = [
+    "ACall",
+    "ARecv",
+    "ASelect",
+    "ASend",
+    "ASpawn",
+    "Action",
+    "kind",
+    "ComponentBehavior",
+    "ComponentPort",
+    "EchoBehavior",
+    "InertBehavior",
+    "RecordingBehavior",
+    "ScriptedBehavior",
+    "Interpreter",
+    "KernelState",
+    "run_program",
+    "MonitoredInterpreter",
+    "MonitorViolation",
+    "TraceMonitor",
+    "render_sequence",
+    "Trace",
+    "World",
+    "make_call_table",
+]

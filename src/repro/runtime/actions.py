@@ -1,0 +1,108 @@
+"""Trace actions: the observable events of a REFLEX kernel.
+
+A *trace* records all observable interactions between the kernel and the
+outside world (paper section 2).  Each interaction is an *action*; the five
+action kinds below correspond exactly to the effectful primitives of the
+paper's interpreter (Figure 4): selecting a ready component, receiving a
+message, sending a message, spawning a component, and invoking an external
+function.
+
+Actions are immutable and hashable; property patterns
+(:mod:`repro.props.patterns`) match over them, and the symbolic evaluator
+produces *templates* of them (:mod:`repro.symbolic.seval`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..lang.values import ComponentInstance, Value
+
+
+@dataclass(frozen=True)
+class ASelect:
+    """The kernel selected ``comp`` as the next ready component."""
+
+    comp: ComponentInstance
+
+    def __str__(self) -> str:
+        return f"Select({self.comp})"
+
+
+@dataclass(frozen=True)
+class ARecv:
+    """The kernel received message ``msg(payload...)`` from ``comp``."""
+
+    comp: ComponentInstance
+    msg: str
+    payload: Tuple[Value, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(v) for v in self.payload)
+        return f"Recv({self.comp}, {self.msg}({args}))"
+
+
+@dataclass(frozen=True)
+class ASend:
+    """The kernel sent message ``msg(payload...)`` to ``comp``."""
+
+    comp: ComponentInstance
+    msg: str
+    payload: Tuple[Value, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(v) for v in self.payload)
+        return f"Send({self.comp}, {self.msg}({args}))"
+
+
+@dataclass(frozen=True)
+class ASpawn:
+    """The kernel spawned the new component instance ``comp``."""
+
+    comp: ComponentInstance
+
+    def __str__(self) -> str:
+        return f"Spawn({self.comp})"
+
+
+@dataclass(frozen=True)
+class ACall:
+    """The kernel invoked external function ``func`` with string arguments
+    ``args`` and the outside world answered ``result``.
+
+    Call results are the non-deterministic inputs factored into ghost
+    context trees by the non-interference definition (paper section 4.2).
+    """
+
+    func: str
+    args: Tuple[Value, ...]
+    result: Value
+
+    def __str__(self) -> str:
+        args = ", ".join(str(v) for v in self.args)
+        return f"Call({self.func}({args}) = {self.result})"
+
+
+Action = Union[ASelect, ARecv, ASend, ASpawn, ACall]
+
+#: Action kind tags, used by patterns and the pretty-printer.
+KIND_OF = {
+    ASelect: "Select",
+    ARecv: "Recv",
+    ASend: "Send",
+    ASpawn: "Spawn",
+    ACall: "Call",
+}
+
+
+def kind(action: Action) -> str:
+    """The kind tag ("Select", "Recv", ...) of an action."""
+    return KIND_OF[type(action)]
+
+
+def component_of(action: Action):
+    """The component an action concerns, or ``None`` for ``Call``."""
+    if isinstance(action, ACall):
+        return None
+    return action.comp

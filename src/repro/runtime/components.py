@@ -1,0 +1,140 @@
+"""Simulated components.
+
+The paper's components are sandboxed OS processes written in C, C++ and
+Python (Table 1), talking to the kernel over Unix domain sockets.  Per the
+reproduction's substitution rule they become in-process *behaviors*: Python
+objects that react to kernel messages and emit messages back.  The kernel
+and its verification never look inside a component — only the message
+interface matters — so this preserves everything the paper's evaluation
+depends on.
+
+A behavior interacts with the world exclusively through its
+:class:`ComponentPort`: it can ``emit`` messages to the kernel (they are
+queued in the component's outbox and picked up by ``select``) and read its
+own configuration.  External stimuli (a network client connecting, a user
+typing) are modelled by drivers calling :meth:`ComponentPort.emit` from
+test or example code, standing in for the outside world feeding the
+component's real process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..lang.values import ComponentInstance, Value, from_python
+
+
+class ComponentPort:
+    """A behavior's connection to the world: its outbox plus identity."""
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        self.instance = instance
+        self._outbox: Deque[Tuple[str, Tuple[Value, ...]]] = deque()
+
+    # -- behavior-facing API -------------------------------------------------
+
+    def emit(self, msg: str, *payload: object) -> None:
+        """Queue ``msg(payload...)`` for delivery to the kernel.
+
+        Payload items may be plain Python values; they are lifted to REFLEX
+        values here.
+        """
+        values = tuple(from_python(p) for p in payload)
+        self._outbox.append((msg, values))
+
+    @property
+    def config(self) -> Tuple[Value, ...]:
+        """The read-only configuration this instance was spawned with."""
+        return self.instance.config
+
+    # -- world-facing API ----------------------------------------------------
+
+    def has_pending(self) -> bool:
+        return bool(self._outbox)
+
+    def pop(self) -> Tuple[str, Tuple[Value, ...]]:
+        return self._outbox.popleft()
+
+    def pending_count(self) -> int:
+        return len(self._outbox)
+
+
+class ComponentBehavior:
+    """Base class for simulated components.
+
+    Subclasses override :meth:`on_start` (run right after spawn) and
+    :meth:`on_message` (run when the kernel sends this component a message).
+    The default behavior is inert, which is also what unknown executables
+    get — a conservative stand-in for a crashed or silent process.
+    """
+
+    def on_start(self, port: ComponentPort) -> None:
+        """Called once when the component is spawned."""
+
+    def on_message(self, port: ComponentPort, msg: str,
+                   payload: Tuple[Value, ...]) -> None:
+        """Called when the kernel delivers ``msg(payload...)``."""
+
+
+class InertBehavior(ComponentBehavior):
+    """A component that never reacts.  Default for unknown executables."""
+
+
+class ScriptedBehavior(ComponentBehavior):
+    """A behavior assembled from plain functions, for tests and examples.
+
+    ``reactions`` maps a message name to ``fn(port, payload)``; ``on_start``
+    runs the optional ``startup`` function.  Messages with no registered
+    reaction are ignored (like a real process dropping requests it does not
+    understand).
+
+    Subclasses commonly override ``on_message`` directly and skip
+    ``super().__init__``; the class-level defaults keep that safe.
+    """
+
+    #: class-level defaults so subclasses need not call ``__init__``
+    _reactions: Dict[str, Callable] = {}
+    _startup: Optional[Callable[[ComponentPort], None]] = None
+
+    def __init__(
+        self,
+        reactions: Optional[Dict[str, Callable]] = None,
+        startup: Optional[Callable[[ComponentPort], None]] = None,
+    ) -> None:
+        self._reactions = dict(reactions or {})
+        self._startup = startup
+
+    def on_start(self, port: ComponentPort) -> None:
+        if self._startup is not None:
+            self._startup(port)
+
+    def on_message(self, port: ComponentPort, msg: str,
+                   payload: Tuple[Value, ...]) -> None:
+        reaction = self._reactions.get(msg)
+        if reaction is not None:
+            reaction(port, payload)
+
+
+class RecordingBehavior(ComponentBehavior):
+    """A behavior that records every message it receives — the standard
+    observer used by tests to assert what the kernel actually sent."""
+
+    def __init__(self) -> None:
+        self.received: list = []
+
+    def on_message(self, port: ComponentPort, msg: str,
+                   payload: Tuple[Value, ...]) -> None:
+        self.received.append((msg, payload))
+
+
+class EchoBehavior(ComponentBehavior):
+    """Replies to every message with the same message — handy for stress
+    tests of the event loop."""
+
+    def on_message(self, port: ComponentPort, msg: str,
+                   payload: Tuple[Value, ...]) -> None:
+        port.emit(msg, *payload)
+
+
+BehaviorFactory = Callable[[], ComponentBehavior]

@@ -1,0 +1,245 @@
+"""Online (incremental) trace monitoring.
+
+The verified guarantee is that properties hold on the trace of **every
+reachable state** — i.e. after Init and after every completed exchange.
+This module checks exactly that, *online*: a :class:`TraceMonitor` is fed
+actions as they happen plus a ``boundary()`` mark at each quiescent point,
+and reports violations immediately, in O(1) amortized work per action for
+each property (instead of re-scanning the whole trace).
+
+Uses: defense in depth around unverified deployments, testing the oracle
+against itself, and watching long-running systems whose full traces would
+be too large to re-scan.
+
+Semantics note: the offline oracle (:mod:`repro.props.tracepreds`) judges
+one finished trace; the monitor judges *every boundary prefix*, which is
+the stronger, state-quantified reading the prover establishes.  The two
+differ exactly on the non-prefix-closed primitives: an ``Ensures``
+obligation discharged only in a *later* exchange satisfies the final
+trace but violates the intermediate state — the monitor flags it, the
+final-trace oracle does not, and the prover (correctly) refuses to prove
+such a property.  ``tests/runtime/test_monitor.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang.errors import ValidationError
+from .actions import Action
+from .interpreter import Interpreter, KernelState
+
+# NOTE: repro.props imports repro.runtime.actions, so the props imports
+# below must stay local to the functions that need them (the monitor sits
+# at the top of the dependency stack).
+
+#: A binding projected onto a variable subset, frozen for set membership.
+_Key = FrozenSet[Tuple[str, object]]
+
+
+def _project(binding, variables: FrozenSet[str]) -> _Key:
+    return frozenset(
+        (k, v) for k, v in binding.items() if k in variables
+    )
+
+
+@dataclass(frozen=True)
+class MonitorViolation:
+    """One detected violation: the property, the action index (0-based,
+    chronological) of the offending trigger, and its binding."""
+
+    property_name: str
+    primitive: str
+    position: int
+    binding: Tuple[Tuple[str, object], ...]
+
+    def __str__(self) -> str:
+        env = ", ".join(f"{k}={v}" for k, v in self.binding)
+        return (
+            f"{self.property_name} ({self.primitive}) violated at "
+            f"action #{self.position} [{env}]"
+        )
+
+
+class _PropertyState:
+    """Incremental state for one trace property."""
+
+    def __init__(self, prop) -> None:
+        self.prop = prop
+        from ..prover.obligations import scheme_of
+
+        scheme = scheme_of(prop)
+        self.trigger = scheme.trigger
+        self.required = scheme.required
+        self.mode = scheme.mode
+        self.shared = self.trigger.variables() & self.required.variables()
+        #: seen required-matches, projected onto the shared variables
+        self._seen: Set[_Key] = set()
+        #: Ensures: outstanding trigger obligations (projection → position)
+        self._pending: Dict[_Key, int] = {}
+        #: ImmAfter: trigger awaiting its immediate successor
+        self._adjacent: Optional[Tuple[int, dict]] = None
+        self._previous: Optional[Action] = None
+        self.violations: List[MonitorViolation] = []
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, action: Action, position: int) -> None:
+        handler = getattr(self, f"_observe_{self.mode}")
+        handler(action, position)
+        self._previous = action
+
+    def boundary(self, trace_length: int) -> None:
+        """A reachable state: outstanding obligations are violations."""
+        if self.mode == "after":
+            for key, position in sorted(self._pending.items(),
+                                        key=lambda kv: kv[1]):
+                self._flag(position, dict(key))
+            self._pending.clear()
+        elif self.mode == "imm_after" and self._adjacent is not None:
+            position, binding = self._adjacent
+            self._flag(position, binding)
+            self._adjacent = None
+
+    # -- per-mode incremental steps -------------------------------------------
+
+    def _observe_before(self, action: Action, position: int) -> None:
+        # Trigger first: the enabling action must be *strictly* earlier,
+        # so an action matching both patterns does not enable itself.
+        trigger = self.trigger.match(action, {})
+        if trigger is not None:
+            if _project(trigger, self.shared) not in self._seen:
+                self._flag(position, trigger)
+        required = self.required.match(action, {})
+        if required is not None:
+            self._seen.add(_project(required, self.shared))
+
+    def _observe_never_before(self, action: Action, position: int) -> None:
+        trigger = self.trigger.match(action, {})
+        if trigger is not None:
+            if _project(trigger, self.shared) in self._seen:
+                self._flag(position, trigger)
+        required = self.required.match(action, {})
+        if required is not None:
+            self._seen.add(_project(required, self.shared))
+
+    def _observe_after(self, action: Action, position: int) -> None:
+        required = self.required.match(action, {})
+        if required is not None:
+            self._pending.pop(_project(required, self.shared), None)
+        trigger = self.trigger.match(action, {})
+        if trigger is not None:
+            key = _project(trigger, self.shared)
+            self._pending.setdefault(key, position)
+
+    def _observe_imm_before(self, action: Action, position: int) -> None:
+        trigger = self.trigger.match(action, {})
+        if trigger is None:
+            return
+        if self._previous is None or self.required.match(
+                self._previous, dict(trigger)) is None:
+            self._flag(position, trigger)
+
+    def _observe_imm_after(self, action: Action, position: int) -> None:
+        if self._adjacent is not None:
+            pending_pos, pending_binding = self._adjacent
+            self._adjacent = None
+            if self.required.match(action, dict(pending_binding)) is None:
+                self._flag(pending_pos, pending_binding)
+        trigger = self.trigger.match(action, {})
+        if trigger is not None:
+            self._adjacent = (position, trigger)
+
+    def _flag(self, position: int, binding: dict) -> None:
+        self.violations.append(MonitorViolation(
+            property_name=self.prop.name,
+            primitive=self.prop.primitive,
+            position=position,
+            binding=tuple(sorted(binding.items())),
+        ))
+
+
+class TraceMonitor:
+    """Online checker for a set of trace properties.
+
+    Feed it every action in order and call :meth:`boundary` at each
+    reachable state (after Init and after every completed exchange).
+    """
+
+    def __init__(self, properties) -> None:
+        from ..props.spec import TraceProperty
+
+        self._states = []
+        for prop in properties:
+            if not isinstance(prop, TraceProperty):
+                raise ValidationError(
+                    "TraceMonitor only monitors trace properties "
+                    f"(got {prop!r})"
+                )
+            self._states.append(_PropertyState(prop))
+        self._position = 0
+
+    def observe(self, action: Action) -> None:
+        for state in self._states:
+            state.observe(action, self._position)
+        self._position += 1
+
+    def boundary(self) -> None:
+        for state in self._states:
+            state.boundary(self._position)
+
+    @property
+    def violations(self) -> List[MonitorViolation]:
+        """All violations so far, ordered by position."""
+        out: List[MonitorViolation] = []
+        for state in self._states:
+            out.extend(state.violations)
+        out.sort(key=lambda v: (v.position, v.property_name))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class MonitoredInterpreter:
+    """An interpreter that feeds a :class:`TraceMonitor` as it runs.
+
+    Boundaries are placed after Init and after every exchange — the
+    reachable states of the verified semantics.
+    """
+
+    def __init__(self, spec, world) -> None:
+        self.spec = spec
+        self.interpreter = Interpreter(spec.info, world)
+        self.monitor = TraceMonitor(spec.trace_properties())
+        self._fed = 0
+
+    def run_init(self) -> KernelState:
+        """Init, feed the monitor, and mark the first boundary."""
+        state = self.interpreter.run_init()
+        self._feed(state)
+        self.monitor.boundary()
+        return state
+
+    def step(self, state: KernelState) -> bool:
+        """One exchange with monitoring; boundary marked on progress."""
+        progressed = self.interpreter.step(state)
+        self._feed(state)
+        if progressed:
+            self.monitor.boundary()
+        return progressed
+
+    def run(self, state: KernelState, max_steps: int = 1000) -> int:
+        """Run monitored exchanges until idle or ``max_steps``."""
+        steps = 0
+        while steps < max_steps and self.step(state):
+            steps += 1
+        return steps
+
+    def _feed(self, state: KernelState) -> None:
+        actions = state.trace.chronological()
+        for action in actions[self._fed:]:
+            self.monitor.observe(action)
+        self._fed = len(actions)

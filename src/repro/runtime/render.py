@@ -1,0 +1,117 @@
+"""Trace rendering: message-sequence diagrams in plain text.
+
+Traces are the central observable artifact of the whole system; this
+module renders one as a sequence diagram with the kernel in the middle —
+the picture every figure of the paper draws by hand:
+
+    Connection#0        KERNEL          Password#1
+         |------ReqAuth--->|                |
+         |                 |---CheckAuth--->|
+         |                 |<-----Auth------|
+
+Used by the examples and handy in any debugging session
+(``print(render_sequence(state.trace))``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..lang.values import ComponentInstance
+from .actions import ACall, ARecv, ASelect, ASend, ASpawn, Action
+from .trace import Trace
+
+_KERNEL = "KERNEL"
+_LANE_WIDTH = 18
+
+
+def _participants(actions: Sequence[Action]) -> List[ComponentInstance]:
+    seen: Dict[int, ComponentInstance] = {}
+    for action in actions:
+        comp = getattr(action, "comp", None)
+        if comp is not None and comp.ident not in seen:
+            seen[comp.ident] = comp
+    return [seen[i] for i in sorted(seen)]
+
+
+def _label(comp: ComponentInstance) -> str:
+    config = ",".join(str(c) for c in comp.config)
+    text = f"{comp.ctype}#{comp.ident}"
+    if config:
+        text += f"({config})"
+    return text[:_LANE_WIDTH - 1]
+
+
+def _payload(action) -> str:
+    inner = ", ".join(str(p) for p in action.payload)
+    return f"{action.msg}({inner})"
+
+
+def render_sequence(trace: Trace, skip_selects: bool = True,
+                    max_actions: Optional[int] = None) -> str:
+    """Render a trace as a text sequence diagram.
+
+    ``skip_selects`` drops the scheduler's ``Select`` lines (they carry no
+    information beyond the following ``Recv``); ``max_actions`` truncates
+    long traces with an ellipsis line.
+    """
+    actions = list(trace.chronological())
+    if skip_selects:
+        actions = [a for a in actions if not isinstance(a, ASelect)]
+    truncated = False
+    if max_actions is not None and len(actions) > max_actions:
+        actions = actions[:max_actions]
+        truncated = True
+
+    participants = _participants(actions)
+    lanes = [_KERNEL] + [_label(c) for c in participants]
+    lane_of = {c.ident: i + 1 for i, c in enumerate(participants)}
+
+    header = "".join(lane.center(_LANE_WIDTH) for lane in lanes)
+    lines = [header]
+    for action in actions:
+        lines.append(_render_action(action, lane_of, len(lanes)))
+    if truncated:
+        lines.append("  ... (truncated)")
+    return "\n".join(lines)
+
+
+def _spine(n_lanes: int) -> List[str]:
+    return ["|".center(_LANE_WIDTH)] * n_lanes
+
+
+def _arrow(cells: List[str], src: int, dst: int, text: str) -> None:
+    """Draw an arrow between lane columns ``src`` and ``dst``."""
+    lo, hi = min(src, dst), max(src, dst)
+    width = (hi - lo) * _LANE_WIDTH
+    body = text[: width - 4]
+    if dst > src:
+        shaft = f"--{body}".ljust(width - 1, "-") + ">"
+    else:
+        shaft = "<" + f"--{body}".ljust(width - 1, "-")
+    # splice the shaft across the affected columns
+    row = "".join(cells)
+    start = lo * _LANE_WIDTH + _LANE_WIDTH // 2
+    row = row[:start + 1] + shaft + row[start + 1 + len(shaft):]
+    cells[:] = [row[i * _LANE_WIDTH:(i + 1) * _LANE_WIDTH]
+                for i in range(len(cells))]
+
+
+def _render_action(action: Action, lane_of: Dict[int, int],
+                   n_lanes: int) -> str:
+    cells = _spine(n_lanes)
+    if isinstance(action, ASend):
+        _arrow(cells, 0, lane_of[action.comp.ident], _payload(action))
+    elif isinstance(action, ARecv):
+        _arrow(cells, lane_of[action.comp.ident], 0, _payload(action))
+    elif isinstance(action, ASpawn):
+        lane = lane_of[action.comp.ident]
+        _arrow(cells, 0, lane, "spawn")
+    elif isinstance(action, ASelect):
+        lane = lane_of[action.comp.ident]
+        cells[lane] = "(selected)".center(_LANE_WIDTH)
+    elif isinstance(action, ACall):
+        args = ", ".join(str(a) for a in action.args)
+        note = f"* {action.func}({args}) = {action.result}"
+        cells[0] = note[:_LANE_WIDTH].center(_LANE_WIDTH)
+    return "".join(cells).rstrip()

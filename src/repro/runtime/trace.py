@@ -1,0 +1,112 @@
+"""Traces: sequences of observable actions.
+
+The paper stores traces in *reverse chronological* order — the most recent
+action is at the head of the Coq list (section 3.2).  Internally we keep a
+Python list in chronological order (cheap append) and expose both views;
+the property semantics in :mod:`repro.props.tracepreds` is defined, like the
+paper's, over the reverse-chronological view, and tests check the two views
+are consistent.
+
+Traces are ghost state: the interpreter threads them for verification and
+observation, and they never influence execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .actions import Action
+
+
+class Trace:
+    """An append-only sequence of actions.
+
+    ``Trace`` objects are cheap to snapshot (:meth:`snapshot` returns an
+    immutable tuple) and support the suffix/prefix decompositions the trace
+    predicates quantify over.
+    """
+
+    __slots__ = ("_chron",)
+
+    def __init__(self, actions: Iterable[Action] = ()) -> None:
+        #: chronological order: ``_chron[0]`` is the oldest action.
+        self._chron: List[Action] = list(actions)
+
+    # -- construction -------------------------------------------------------
+
+    def push(self, action: Action) -> None:
+        """Record ``action`` as the newest event."""
+        self._chron.append(action)
+
+    def extend(self, actions: Iterable[Action]) -> None:
+        """Record several actions, oldest first."""
+        self._chron.extend(actions)
+
+    @classmethod
+    def from_newest_first(cls, actions: Sequence[Action]) -> "Trace":
+        """Build a trace from the paper's reverse-chronological view."""
+        return cls(reversed(actions))
+
+    # -- views ---------------------------------------------------------------
+
+    def chronological(self) -> Tuple[Action, ...]:
+        """Oldest-first view."""
+        return tuple(self._chron)
+
+    def newest_first(self) -> Tuple[Action, ...]:
+        """The paper's representation: most recent action at the head."""
+        return tuple(reversed(self._chron))
+
+    def snapshot(self) -> "Trace":
+        """An independent copy (the original may keep growing)."""
+        return Trace(self._chron)
+
+    # -- protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._chron)
+
+    def __iter__(self) -> Iterator[Action]:
+        """Iteration is chronological (oldest first)."""
+        return iter(self._chron)
+
+    def __getitem__(self, i: int) -> Action:
+        """Chronological indexing: ``trace[0]`` is the oldest action."""
+        return self._chron[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._chron == other._chron
+
+    def __hash__(self) -> int:  # pragma: no cover - traces rarely hashed
+        return hash(tuple(self._chron))
+
+    def __str__(self) -> str:
+        if not self._chron:
+            return "<empty trace>"
+        return "\n".join(
+            f"  {i:4d}  {a}" for i, a in enumerate(self._chron)
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace(<{len(self)} actions>)"
+
+    # -- queries used by oracles and examples --------------------------------
+
+    def filter(self, predicate) -> Tuple[Action, ...]:
+        """All actions satisfying ``predicate``, chronological order."""
+        return tuple(a for a in self._chron if predicate(a))
+
+    def positions(self, predicate) -> Tuple[int, ...]:
+        """Chronological indices of all actions satisfying ``predicate``."""
+        return tuple(
+            i for i, a in enumerate(self._chron) if predicate(a)
+        )
+
+    def is_extension_of(self, older: "Trace") -> bool:
+        """True when this trace extends ``older`` — traces only grow, a
+        monotonicity fact the prover relies on."""
+        if len(older) > len(self):
+            return False
+        return self._chron[: len(older)] == older._chron

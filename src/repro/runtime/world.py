@@ -1,0 +1,232 @@
+"""The outside world: REFLEX's effectful primitives.
+
+The paper axiomatizes a handful of OCaml primitives (``spawn``, ``send``,
+``recv``, ``select``, ``call`` — 193 lines of OCaml, section 6.5) through
+Ynot, each guarded by preconditions such as "the channel is open".  This
+module is those primitives for the reproduction: a :class:`World` owns all
+component instances, their channels (file descriptors), the scheduler, and
+the source of non-determinism for ``call`` results.
+
+Determinism: given the same seed, registry and driver stimuli, a ``World``
+behaves identically — which is what lets the runtime non-interference
+harness run *paired* executions sharing the same non-deterministic context
+(paper section 4.2's ghost context trees, made executable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..lang.errors import WorldError
+from ..lang.types import ComponentDecl
+from ..lang.values import ComponentInstance, Value, VStr
+from .components import (
+    BehaviorFactory,
+    ComponentBehavior,
+    ComponentPort,
+    InertBehavior,
+)
+
+#: Signature of an external function callable from handlers via ``call``:
+#: it receives the string arguments and a world-owned RNG, returns a string.
+CallFunction = Callable[[Tuple[str, ...], random.Random], str]
+
+#: How ``select`` picks among ready components.
+SELECT_POLICIES = ("fifo", "random")
+
+
+class World:
+    """All effectful state of a running REFLEX system."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        select_policy: str = "fifo",
+    ) -> None:
+        if select_policy not in SELECT_POLICIES:
+            raise WorldError(
+                f"unknown select policy {select_policy!r}; "
+                f"choose one of {SELECT_POLICIES}"
+            )
+        self._rng = random.Random(seed)
+        self._select_policy = select_policy
+        self._behavior_registry: Dict[str, BehaviorFactory] = {}
+        self._call_registry: Dict[str, CallFunction] = {}
+        self._ports: Dict[int, ComponentPort] = {}
+        self._behaviors: Dict[int, ComponentBehavior] = {}
+        self._open_fds: set = set()
+        self._next_ident = 0
+        self._next_fd = 3  # 0/1/2 are stdio, as on a real system
+        #: chronological arrival order used by the fifo select policy
+        self._arrival_clock = 0
+        self._arrival: Dict[int, int] = {}
+
+    # -- registries ----------------------------------------------------------
+
+    def register_executable(self, path: str,
+                            factory: BehaviorFactory) -> None:
+        """Associate a component executable path with a behavior factory.
+
+        The factory runs once per spawned instance, so stateful behaviors
+        are per-instance, just as every OS process has its own memory.
+        """
+        self._behavior_registry[path] = factory
+
+    def register_call(self, func: str, fn: CallFunction) -> None:
+        """Install the implementation of an external ``call`` function."""
+        self._call_registry[func] = fn
+
+    # -- primitives (paper Figure 4 / section 3.2) ---------------------------
+
+    def spawn(self, decl: ComponentDecl,
+              config: Tuple[Value, ...]) -> ComponentInstance:
+        """Spawn a new component of the declared type.
+
+        Allocates a fresh channel descriptor, instantiates the behavior for
+        the declared executable, and runs its startup hook.
+        """
+        instance = ComponentInstance(
+            ident=self._next_ident,
+            ctype=decl.name,
+            config=config,
+            fd=self._next_fd,
+        )
+        self._next_ident += 1
+        self._next_fd += 1
+        self._open_fds.add(instance.fd)
+
+        factory = self._behavior_registry.get(decl.executable, InertBehavior)
+        behavior = factory()
+        port = ComponentPort(instance)
+        self._ports[instance.ident] = port
+        self._behaviors[instance.ident] = behavior
+        behavior.on_start(port)
+        self._note_arrivals(port)
+        return instance
+
+    def send(self, comp: ComponentInstance, msg: str,
+             payload: Tuple[Value, ...]) -> None:
+        """Write a message to the component's channel.
+
+        Precondition (as in the paper's ``send`` axiomatization): the
+        channel must be open.
+        """
+        if comp.fd not in self._open_fds:
+            raise WorldError(f"send on closed channel fd:{comp.fd}")
+        behavior = self._behaviors.get(comp.ident)
+        port = self._ports.get(comp.ident)
+        if behavior is None or port is None:
+            raise WorldError(f"send to unknown component {comp}")
+        behavior.on_message(port, msg, payload)
+        self._note_arrivals(port)
+
+    def ready_components(self) -> List[ComponentInstance]:
+        """Components with at least one pending message for the kernel."""
+        return [
+            port.instance
+            for port in self._ports.values()
+            if port.has_pending()
+        ]
+
+    def select(self) -> Optional[ComponentInstance]:
+        """Pick a ready component, or ``None`` when the system is idle.
+
+        ``fifo`` serves the component whose oldest pending message arrived
+        first (fair, deterministic); ``random`` picks uniformly using the
+        world RNG (models OS-level scheduling noise — useful for fuzzing
+        the trace properties).
+        """
+        ready = self.ready_components()
+        if not ready:
+            return None
+        if self._select_policy == "random":
+            return self._rng.choice(ready)
+        return min(ready, key=lambda c: self._arrival[c.ident])
+
+    def recv(self, comp: ComponentInstance) -> Tuple[str, Tuple[Value, ...]]:
+        """Read the component's oldest pending message.
+
+        Precondition: the component is ready (``select`` returned it).
+        """
+        port = self._ports.get(comp.ident)
+        if port is None or not port.has_pending():
+            raise WorldError(f"recv from non-ready component {comp}")
+        result = port.pop()
+        self._refresh_arrival(port)
+        return result
+
+    def call(self, func: str, args: Tuple[Value, ...]) -> Value:
+        """Invoke an external function; the world produces the result.
+
+        Unregistered functions get a deterministic-per-seed pseudo-random
+        string, which models "the outside world answered something".
+        """
+        str_args = tuple(
+            a.s if isinstance(a, VStr) else str(a) for a in args
+        )
+        fn = self._call_registry.get(func)
+        if fn is not None:
+            return VStr(fn(str_args, self._rng))
+        return VStr(f"{func}:{self._rng.randrange(1 << 30):08x}")
+
+    # -- driver API (the "outside world" for examples and tests) -------------
+
+    def port_of(self, comp: ComponentInstance) -> ComponentPort:
+        """The port of a live component — drivers use it to make the
+        component speak to the kernel (``port.emit(...)``), standing in for
+        network packets, user input, etc."""
+        port = self._ports.get(comp.ident)
+        if port is None:
+            raise WorldError(f"unknown component {comp}")
+        return port
+
+    def behavior_of(self, comp: ComponentInstance) -> ComponentBehavior:
+        """The behavior object of a live component (tests inspect these)."""
+        behavior = self._behaviors.get(comp.ident)
+        if behavior is None:
+            raise WorldError(f"unknown component {comp}")
+        return behavior
+
+    def stimulate(self, comp: ComponentInstance, msg: str,
+                  *payload: object) -> None:
+        """Have ``comp`` send ``msg(payload...)`` to the kernel, as if its
+        process produced it spontaneously."""
+        port = self.port_of(comp)
+        port.emit(msg, *payload)
+        self._note_arrivals(port)
+
+    def components(self) -> List[ComponentInstance]:
+        """All spawned components in spawn order."""
+        return [
+            self._ports[i].instance for i in sorted(self._ports)
+        ]
+
+    def idle(self) -> bool:
+        """True when no component has a pending message."""
+        return not self.ready_components()
+
+    # -- internals ------------------------------------------------------------
+
+    def _note_arrivals(self, port: ComponentPort) -> None:
+        """Timestamp a component's queue for the fifo policy."""
+        if port.has_pending() and port.instance.ident not in self._arrival:
+            self._arrival[port.instance.ident] = self._arrival_clock
+            self._arrival_clock += 1
+
+    def _refresh_arrival(self, port: ComponentPort) -> None:
+        self._arrival.pop(port.instance.ident, None)
+        self._note_arrivals(port)
+
+
+def make_call_table(**functions: Callable[..., str]) -> Dict[str, CallFunction]:
+    """Lift plain ``fn(*args) -> str`` functions into world call functions
+    (ignoring the RNG) — convenience for examples."""
+    table: Dict[str, CallFunction] = {}
+    for fname, fn in functions.items():
+        def wrapper(args: Tuple[str, ...], _rng: random.Random,
+                    _fn=fn) -> str:
+            return _fn(*args)
+
+        table[fname] = wrapper
+    return table

@@ -1,0 +1,295 @@
+"""Symbolic terms.
+
+The behavioral abstraction (paper section 3.3) characterizes *arbitrary*
+reachable states, so the symbolic evaluator manipulates terms over symbolic
+variables rather than concrete values:
+
+* :class:`SVar` — an unknown: a message payload field, an external call
+  result, a configuration field of an arbitrary component, the value of a
+  state variable at an arbitrary reachable state, or a universally
+  quantified property/labeling parameter.  The ``origin`` tag records which,
+  and drives the non-interference taint analysis.
+* :class:`SComp` — a component *instance* term: the identity of a component
+  the kernel holds a reference to.  Its ``origin`` encodes how the prover
+  knows about it (spawned during Init, the current sender, found by
+  ``lookup``, or freshly spawned by the current handler), which determines
+  what distinctness facts the solver may use.
+* :class:`SConst`, :class:`STuple`, :class:`SProj`, :class:`SOp` — the
+  obvious congruence-closed structure over them.
+
+Terms are immutable, hashable dataclasses; the simplifier
+(:mod:`repro.symbolic.simplify`) and the solver (:mod:`repro.symbolic
+.solver`) treat them purely structurally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Tuple, Union
+
+from ..lang import types as ty
+from ..lang.errors import SymbolicError
+from ..lang.values import Value, VBool, VNum, VStr, VTuple
+
+# ---------------------------------------------------------------------------
+# Term constructors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SConst:
+    """A concrete value embedded in the term language."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+#: SVar origins, in the order the NI taint analysis cares about them.
+SVAR_ORIGINS = (
+    "payload",   # a payload field of the message being handled
+    "call",      # the result of an external call (non-deterministic context)
+    "config",    # a configuration field of an arbitrary component
+    "state",     # a global variable's value at an arbitrary reachable state
+    "param",     # a universally quantified property / labeling parameter
+    "init_call", # a call result captured during Init
+)
+
+
+@dataclass(frozen=True)
+class SVar:
+    """A symbolic variable.  Names are globally unique per obligation; the
+    factory :class:`FreshNames` enforces this."""
+
+    name: str
+    type: ty.Type
+    origin: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class STuple:
+    elems: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class SProj:
+    """Projection out of a tuple-typed term that is not literally a tuple
+    (e.g. the symbolic value of a tuple-typed state variable)."""
+
+    base: "Term"
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.index}"
+
+
+#: SComp origins.  Distinctness rules (enforced by the solver):
+#: ``init`` components are pairwise distinct; a ``fresh`` component is
+#: distinct from every component that existed before the current handler ran
+#: (i.e. every non-``fresh`` component and earlier ``fresh`` ones); ``sender``
+#: and ``lookup`` components are arbitrary members of the pre-state component
+#: set and may alias ``init`` components or each other.
+SCOMP_ORIGINS = ("init", "sender", "lookup", "fresh")
+
+
+@dataclass(frozen=True)
+class SComp:
+    """A component-instance term.
+
+    ``label`` is unique per obligation (it names *how the prover refers* to
+    the instance, not its runtime identity); ``config`` holds one term per
+    configuration field.  ``seq`` orders ``fresh`` components so that later
+    fresh spawns are provably distinct from earlier ones.
+    """
+
+    label: str
+    ctype: str
+    config: Tuple["Term", ...]
+    origin: str
+    seq: int = 0
+
+    def __str__(self) -> str:
+        cfg = ", ".join(str(c) for c in self.config)
+        return f"{self.label}:{self.ctype}({cfg})"
+
+
+#: Operators of the term language.  ``eq`` is polymorphic; ``not``/``and``/
+#: ``or`` boolean; ``add``/``sub``/``lt``/``le`` numeric; ``concat`` strings.
+S_OPS = ("eq", "not", "and", "or", "add", "sub", "lt", "le", "concat")
+
+
+@dataclass(frozen=True)
+class SOp:
+    op: str
+    args: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        if self.op == "not":
+            return f"!({self.args[0]})"
+        if len(self.args) == 2:
+            return f"({self.args[0]} {self.op} {self.args[1]})"
+        inner = f" {self.op} ".join(str(a) for a in self.args)
+        return f"({inner})"
+
+
+Term = Union[SConst, SVar, STuple, SProj, SComp, SOp]
+
+#: Canonical boolean constants.
+S_TRUE = SConst(VBool(True))
+S_FALSE = SConst(VBool(False))
+
+
+def sconst(v: object) -> SConst:
+    from ..lang.values import from_python
+
+    return SConst(from_python(v))
+
+
+def snum(n: int) -> SConst:
+    return SConst(VNum(n))
+
+
+def sstr(s: str) -> SConst:
+    return SConst(VStr(s))
+
+
+def seq_(a: Term, b: Term) -> SOp:
+    return SOp("eq", (a, b))
+
+
+def sne(a: Term, b: Term) -> SOp:
+    return SOp("not", (SOp("eq", (a, b)),))
+
+
+def snot(a: Term) -> SOp:
+    return SOp("not", (a,))
+
+
+def sand(*args: Term) -> Term:
+    if not args:
+        return S_TRUE
+    if len(args) == 1:
+        return args[0]
+    return SOp("and", tuple(args))
+
+
+def sor(*args: Term) -> Term:
+    if not args:
+        return S_FALSE
+    if len(args) == 1:
+        return args[0]
+    return SOp("or", tuple(args))
+
+
+def sadd(a: Term, b: Term) -> SOp:
+    return SOp("add", (a, b))
+
+
+def ssub(a: Term, b: Term) -> SOp:
+    return SOp("sub", (a, b))
+
+
+# ---------------------------------------------------------------------------
+# Traversal
+# ---------------------------------------------------------------------------
+
+
+def sub_terms(t: Term) -> Iterator[Term]:
+    """Yield ``t`` and all sub-terms, pre-order."""
+    yield t
+    if isinstance(t, STuple):
+        for e in t.elems:
+            yield from sub_terms(e)
+    elif isinstance(t, SProj):
+        yield from sub_terms(t.base)
+    elif isinstance(t, SComp):
+        for e in t.config:
+            yield from sub_terms(e)
+    elif isinstance(t, SOp):
+        for a in t.args:
+            yield from sub_terms(a)
+
+
+def free_vars(t: Term) -> FrozenSet[SVar]:
+    """All symbolic variables occurring in ``t`` (including inside component
+    configurations)."""
+    return frozenset(x for x in sub_terms(t) if isinstance(x, SVar))
+
+
+def comps_in(t: Term) -> FrozenSet[SComp]:
+    """All component terms occurring in ``t``."""
+    return frozenset(x for x in sub_terms(t) if isinstance(x, SComp))
+
+
+def substitute(t: Term, mapping: Dict[Term, Term]) -> Term:
+    """Capture-free substitution of whole sub-terms.
+
+    Used by invariant generalization (replace payload terms by universal
+    parameters) and by the checker when re-validating instantiations.
+    """
+    hit = mapping.get(t)
+    if hit is not None:
+        return hit
+    if isinstance(t, STuple):
+        return STuple(tuple(substitute(e, mapping) for e in t.elems))
+    if isinstance(t, SProj):
+        return SProj(substitute(t.base, mapping), t.index)
+    if isinstance(t, SComp):
+        return SComp(
+            t.label,
+            t.ctype,
+            tuple(substitute(e, mapping) for e in t.config),
+            t.origin,
+            t.seq,
+        )
+    if isinstance(t, SOp):
+        return SOp(t.op, tuple(substitute(a, mapping) for a in t.args))
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Fresh-name supply
+# ---------------------------------------------------------------------------
+
+
+class FreshNames:
+    """A supply of unique variable and component labels.
+
+    ``prefix`` namespaces the supply: the behavioral abstraction uses one
+    supply per exchange (prefixed by the exchange key) so that editing one
+    handler leaves every other exchange's terms byte-identical — which is
+    what lets the incremental verifier revalidate old derivations against
+    a re-built abstraction.  Distinct prefixes guarantee distinct names.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._counters = itertools.count()
+
+    def var(self, hint: str, type_: ty.Type, origin: str) -> SVar:
+        if origin not in SVAR_ORIGINS:
+            raise SymbolicError(f"unknown SVar origin {origin}")
+        return SVar(f"{self.prefix}{hint}${next(self._counters)}", type_,
+                    origin)
+
+    def comp_label(self, hint: str) -> str:
+        return f"{self.prefix}{hint}${next(self._counters)}"
+
+    def seq(self) -> int:
+        return next(self._counters)
+
+
+def lift_value(v: Value) -> Term:
+    """Embed a concrete value as a term, exposing tuple structure so the
+    simplifier can decompose equalities element-wise."""
+    if isinstance(v, VTuple):
+        return STuple(tuple(lift_value(e) for e in v.elems))
+    return SConst(v)

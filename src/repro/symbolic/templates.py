@@ -1,0 +1,115 @@
+"""Action templates: symbolic counterparts of trace actions.
+
+Where the interpreter records :class:`~repro.runtime.actions.ASend` etc.
+with concrete values, symbolic evaluation of a handler produces *templates*
+whose component and payload slots hold :mod:`repro.symbolic.expr` terms.
+One template stands for the family of concrete actions obtained by
+instantiating its terms — the unit the behavioral abstraction reasons over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .expr import SComp, SVar, Term
+
+
+@dataclass(frozen=True)
+class TSelect:
+    """The kernel selected ``comp``."""
+
+    comp: SComp
+
+    def __str__(self) -> str:
+        return f"Select({self.comp})"
+
+
+@dataclass(frozen=True)
+class TRecv:
+    """The kernel received ``msg(payload...)`` from ``comp``."""
+
+    comp: SComp
+    msg: str
+    payload: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.payload)
+        return f"Recv({self.comp}, {self.msg}({args}))"
+
+
+@dataclass(frozen=True)
+class TSend:
+    """The kernel sent ``msg(payload...)`` to ``comp``."""
+
+    comp: SComp
+    msg: str
+    payload: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.payload)
+        return f"Send({self.comp}, {self.msg}({args}))"
+
+
+@dataclass(frozen=True)
+class TSpawn:
+    """The kernel spawned ``comp``."""
+
+    comp: SComp
+
+    def __str__(self) -> str:
+        return f"Spawn({self.comp})"
+
+
+@dataclass(frozen=True)
+class TCall:
+    """The kernel invoked ``func(args...)`` and the world answered with the
+    fresh symbolic ``result``."""
+
+    func: str
+    args: Tuple[Term, ...]
+    result: SVar
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.args)
+        return f"Call({self.func}({args}) = {self.result})"
+
+
+Template = Union[TSelect, TRecv, TSend, TSpawn, TCall]
+
+
+def template_comp(t: Template):
+    """The component term of a template, or ``None`` for calls."""
+    if isinstance(t, TCall):
+        return None
+    return t.comp
+
+
+def substitute_template(t: Template, mapping) -> Template:
+    """Apply a term substitution to every slot of a template."""
+    from .expr import substitute
+
+    if isinstance(t, TSelect):
+        return TSelect(substitute(t.comp, mapping))
+    if isinstance(t, TRecv):
+        return TRecv(
+            substitute(t.comp, mapping), t.msg,
+            tuple(substitute(p, mapping) for p in t.payload),
+        )
+    if isinstance(t, TSend):
+        return TSend(
+            substitute(t.comp, mapping), t.msg,
+            tuple(substitute(p, mapping) for p in t.payload),
+        )
+    if isinstance(t, TSpawn):
+        return TSpawn(substitute(t.comp, mapping))
+    if isinstance(t, TCall):
+        result = substitute(t.result, mapping)
+        if not isinstance(result, SVar):  # pragma: no cover - defensive
+            raise TypeError("call result slot must remain a variable")
+        return TCall(
+            t.func,
+            tuple(substitute(a, mapping) for a in t.args),
+            result,
+        )
+    raise TypeError(f"not a template: {t!r}")

@@ -1,0 +1,175 @@
+"""The web-browser kernel benchmark (paper section 6.1), first variant.
+
+A re-implementation of the Quark browser kernel in REFLEX: every tab runs
+in its own sandboxed process, cookies are cached by one cookie process per
+domain, and the kernel mediates everything.  As in the paper, this variant
+"establishes private communication channels between tabs and the cookie
+process for their domain": a tab asks the kernel for its cookie channel,
+the kernel introduces the tab to the (possibly freshly spawned) cookie
+process, and the cookie process hands back a channel descriptor which the
+kernel forwards — but only to a tab of the cookie process's own domain.
+
+Figure 6's six browser properties:
+
+1. ``UniqueTabIds`` — tab processes have unique IDs,
+2. ``UniqueCookieProcs`` — cookie processes are unique per domain,
+3. ``CookiesStayInDomain`` — cookies stay in their domain (tab, cookie
+   process): a cookie channel reaches a tab only from its own domain's
+   cookie process,
+4. ``TabsConnectedToCookieProc`` — tabs are correctly connected to their
+   cookie process (a channel request reaches only an already-spawned
+   process),
+5. ``DomainsNoInterfere`` — different domains do not interfere (the
+   labeling follows section 4.2: for every domain ``d``, the high side is
+   the user plus all components of domain ``d``),
+6. ``SocketPolicy`` — tabs can only open sockets to allowed domains (every
+   grant is backed by a recorded policy-check approval).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+
+SOURCE = '''
+program browser {
+  components {
+    UI "ui.py" {}
+    Tab "tab.py" { domain: string, id: num }
+    CookieProc "cookie-proc.py" { domain: string }
+  }
+  messages {
+    ReqTab(string);          // the user opens a tab for a domain
+    ReqCookieChannel();      // a tab asks to be connected to its cookies
+    NewTabChannel(num);      // kernel introduces tab #n to a cookie process
+    Channel(num, fdesc);     // cookie process created a channel for tab #n
+    CookieChannel(fdesc);    // kernel forwards the channel to the tab
+    ReqSocket(string);       // a tab asks to open a socket to a host
+    SocketGranted(string);
+  }
+  init {
+    nextid = 0;
+    U <- spawn UI();
+  }
+  handlers {
+    UI => ReqTab(d) {
+      nt <- spawn Tab(d, nextid);
+      nextid = nextid + 1;
+    }
+    Tab => ReqCookieChannel() {
+      lookup cp : CookieProc(cp.domain == sender.domain) {
+        send(cp, NewTabChannel(sender.id));
+      } else {
+        ncp <- spawn CookieProc(sender.domain);
+        send(ncp, NewTabChannel(sender.id));
+      }
+    }
+    CookieProc => Channel(i, f) {
+      lookup t : Tab((t.domain == sender.domain) && (t.id == i)) {
+        send(t, CookieChannel(f));
+      }
+    }
+    Tab => ReqSocket(h) {
+      ok <- call check_socket_policy(h, sender.domain);
+      if (ok == "grant") {
+        send(sender, SocketGranted(h));
+      }
+    }
+  }
+  properties {
+    UniqueTabIds:
+      [Spawn(Tab(_, i))] Disables [Spawn(Tab(_, i))];
+    UniqueCookieProcs:
+      [Spawn(CookieProc(d))] Disables [Spawn(CookieProc(d))];
+    CookiesStayInDomain:
+      [Recv(CookieProc(d), Channel(i, f))]
+        Enables [Send(Tab(d, i), CookieChannel(f))];
+    TabsConnectedToCookieProc:
+      [Spawn(CookieProc(d))] Enables [Send(CookieProc(d), NewTabChannel(_))];
+    DomainsNoInterfere:
+      NoInterference forall d
+        high [UI(), Tab(d, _), CookieProc(d)] highvars [nextid];
+    SocketPolicy:
+      [Call(check_socket_policy(h, d) = "grant")]
+        Enables [Send(Tab(d, _), SocketGranted(h))];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified browser kernel."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+class TabProcess(ScriptedBehavior):
+    """A simulated WebKit tab: remembers its cookie channel and socket
+    grants; the test driver injects user navigation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cookie_channel = None
+        self.sockets = []
+
+    def on_start(self, port) -> None:
+        # A real tab immediately asks to be wired up to its cookie store.
+        port.emit("ReqCookieChannel")
+
+    def on_message(self, port, msg, payload):
+        if msg == "CookieChannel":
+            self.cookie_channel = payload[0]
+        elif msg == "SocketGranted":
+            self.sockets.append(payload[0].s)
+
+
+class CookieProcess(ScriptedBehavior):
+    """A simulated per-domain cookie store: answers every tab introduction
+    with a fresh channel descriptor."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_channel = 1000
+        self.connected_tabs = []
+
+    def on_message(self, port, msg, payload):
+        if msg != "NewTabChannel":
+            return
+        from ..lang.values import VFd
+
+        tab_id = payload[0].n
+        self.connected_tabs.append(tab_id)
+        port.emit("Channel", tab_id, VFd(self._next_channel))
+        self._next_channel += 1
+
+
+#: The socket whitelist: a tab may talk to its own domain and to hosts its
+#: domain's entry allows (the simulated policy file).
+SOCKET_WHITELIST = {
+    "mail.example": ("mail.example", "static.example"),
+    "shop.example": ("shop.example", "cdn.example"),
+}
+
+
+def check_socket_policy(args: Tuple[str, ...],
+                        _rng: random.Random) -> str:
+    """The external policy function a Quark-style kernel consults."""
+    host, domain = args
+    allowed = SOCKET_WHITELIST.get(domain, (domain,))
+    return "grant" if host in allowed else "deny"
+
+
+def register_components(world: World) -> None:
+    """Install the simulated browser components and the policy call."""
+    world.register_executable("ui.py", ScriptedBehavior)
+    world.register_executable("tab.py", TabProcess)
+    world.register_executable("cookie-proc.py", CookieProcess)
+    world.register_call("check_socket_policy", check_socket_policy)

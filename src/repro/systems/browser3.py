@@ -1,0 +1,155 @@
+"""The ``browser3`` benchmark variant (paper Figure 6).
+
+The third cookie-handling trade-off: cookie processes are created when a
+tab *registers* (rather than on first write), and writes are only honored
+for domains whose cookie process already exists — an unregistered tab's
+writes are dropped by the kernel.  This variant stresses the automation
+(the paper notes the variants "stress the robustness and performance of
+the automation"): the registration handler mixes a lookup, a spawn, and
+two sends in one body.
+
+Figure 6's seven browser3 properties mirror browser2's, with the
+"connected" property about registration:
+
+1. ``UniqueTabIds``
+2. ``UniqueCookieProcs``
+3. ``CookiesStayInDomainTab``
+4. ``CookiesStayInDomainProc``
+5. ``TabsRegisteredWithCookieProc``
+6. ``DomainsNoInterfere``
+7. ``SocketPolicy``
+"""
+
+from __future__ import annotations
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+from .browser import check_socket_policy
+from .browser2 import RoutedCookieProcess, RoutedTab
+
+SOURCE = '''
+program browser3 {
+  components {
+    UI "ui.py" {}
+    Tab "tab.py" { domain: string, id: num }
+    CookieProc "cookie-proc.py" { domain: string }
+  }
+  messages {
+    ReqTab(string);
+    RegisterTab();            // a tab announces itself to its cookie store
+    TabReg(num);              // kernel registers tab #n with the store
+    WriteCookie(string);
+    CookieUpd(string);
+    ReadCookie();
+    CookieRead(num);
+    CookieData(num, string);
+    CookieVal(string);
+    ReqSocket(string);
+    SocketGranted(string);
+  }
+  init {
+    nextid = 0;
+    U <- spawn UI();
+  }
+  handlers {
+    UI => ReqTab(d) {
+      nt <- spawn Tab(d, nextid);
+      nextid = nextid + 1;
+    }
+    Tab => RegisterTab() {
+      lookup cp : CookieProc(cp.domain == sender.domain) {
+        send(cp, TabReg(sender.id));
+      } else {
+        ncp <- spawn CookieProc(sender.domain);
+        send(ncp, TabReg(sender.id));
+      }
+    }
+    Tab => WriteCookie(v) {
+      // Writes are honored only for registered domains: no process, no
+      // write (contrast with browser2's spawn-on-write).
+      lookup cp : CookieProc(cp.domain == sender.domain) {
+        send(cp, CookieUpd(v));
+      }
+    }
+    Tab => ReadCookie() {
+      lookup cp : CookieProc(cp.domain == sender.domain) {
+        send(cp, CookieRead(sender.id));
+      }
+    }
+    CookieProc => CookieData(i, v) {
+      lookup t : Tab((t.domain == sender.domain) && (t.id == i)) {
+        send(t, CookieVal(v));
+      }
+    }
+    Tab => ReqSocket(h) {
+      ok <- call check_socket_policy(h, sender.domain);
+      if (ok == "grant") {
+        send(sender, SocketGranted(h));
+      }
+    }
+  }
+  properties {
+    UniqueTabIds:
+      [Spawn(Tab(_, i))] Disables [Spawn(Tab(_, i))];
+    UniqueCookieProcs:
+      [Spawn(CookieProc(d))] Disables [Spawn(CookieProc(d))];
+    CookiesStayInDomainTab:
+      [Recv(CookieProc(d), CookieData(i, v))]
+        Enables [Send(Tab(d, i), CookieVal(v))];
+    CookiesStayInDomainProc:
+      [Recv(Tab(d, _), WriteCookie(v))]
+        Enables [Send(CookieProc(d), CookieUpd(v))];
+    TabsRegisteredWithCookieProc:
+      [Spawn(CookieProc(d))] Enables [Send(CookieProc(d), TabReg(_))];
+    DomainsNoInterfere:
+      NoInterference forall d
+        high [UI(), Tab(d, _), CookieProc(d)] highvars [nextid];
+    SocketPolicy:
+      [Call(check_socket_policy(h, d) = "grant")]
+        Enables [Send(Tab(d, _), SocketGranted(h))];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified browser3 kernel."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+class RegisteringTab(RoutedTab):
+    """A browser3 tab: registers with its cookie store on startup."""
+
+    def on_start(self, port) -> None:
+        port.emit("RegisterTab")
+
+
+class RegisteringCookieProcess(RoutedCookieProcess):
+    """A browser3 cookie store: tracks registered tabs and only answers
+    reads from them."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.registered = set()
+
+    def on_message(self, port, msg, payload):
+        if msg == "TabReg":
+            self.registered.add(payload[0].n)
+            return
+        if msg == "CookieRead" and payload[0].n not in self.registered:
+            return  # unregistered tabs get silence
+        super().on_message(port, msg, payload)
+
+
+def register_components(world: World) -> None:
+    """Install the simulated browser3 components and the policy call."""
+    world.register_executable("ui.py", ScriptedBehavior)
+    world.register_executable("tab.py", RegisteringTab)
+    world.register_executable("cookie-proc.py", RegisteringCookieProcess)
+    world.register_call("check_socket_policy", check_socket_policy)

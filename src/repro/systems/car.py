@@ -1,0 +1,182 @@
+"""The automobile controller benchmark (paper sections 4.2 and 6.1).
+
+Koscher et al. demonstrated that untrusted automotive components (telematics,
+radio) can influence safety-critical ones (engine, brakes, door locks).  The
+REFLEX answer is a verified kernel mediating all communication.  This is the
+"substantially more detailed version of the hypothetical automobile
+controller" the paper evaluates: engine, brakes, airbags, doors, radio and
+cruise control, with the eight car properties of Figure 6:
+
+1. ``NoInterfereEngine`` — components do not interfere with the engine,
+2. ``AirbagsDeployOnCrash`` — airbags do deploy when there has been a crash,
+3. ``AirbagsImmediatelyAfterCrash`` — ... immediately after the crash,
+4. ``CruiseOffImmediatelyAfterBrake`` — cruise control turns off immediately
+   after braking,
+5. ``DoorsUnlockOnCrash`` — doors unlock when there is a crash,
+6. ``DoorsUnlockAfterAirbags`` — doors unlock immediately after the airbags
+   deploy,
+7. ``NoLockAfterCrash`` — doors can not lock after a crash,
+8. ``AirbagsOnlyOnCrash`` — airbags only deploy if there has been a crash.
+"""
+
+from __future__ import annotations
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+
+SOURCE = '''
+program car {
+  components {
+    Engine "engine.c" {}
+    Brakes "brakes.c" {}
+    Airbag "airbag.c" {}
+    Doors "doors.c" {}
+    Radio "radio.c" {}
+    CruiseControl "cruise.c" {}
+  }
+  messages {
+    Crash();                 // engine detected a collision
+    Braking();               // brake pedal engaged
+    Accelerating();          // throttle engaged
+    EngageCruise();          // driver asks for cruise control
+    Deploy();                // fire the airbags
+    CruiseOff();
+    CruiseOn();
+    DoorsCmd(string);        // "lock" / "unlock"
+    LockReq();               // convenience lock request (e.g. from radio key)
+    VolumeCmd(string);
+    DoorsState(string);      // door sensors: "open" / "closed"
+  }
+  init {
+    crashed = false;
+    E <- spawn Engine();
+    B <- spawn Brakes();
+    A <- spawn Airbag();
+    D <- spawn Doors();
+    R <- spawn Radio();
+    CC <- spawn CruiseControl();
+  }
+  handlers {
+    Engine => Crash() {
+      // Safety-critical sequence: airbags first, then unlock the doors,
+      // then latch the crash state forever.
+      send(A, Deploy());
+      send(D, DoorsCmd("unlock"));
+      crashed = true;
+    }
+    Brakes => Braking() {
+      send(CC, CruiseOff());
+    }
+    Engine => Accelerating() {
+      send(R, VolumeCmd("crank it up"));
+    }
+    Brakes => EngageCruise() {
+      if (crashed == false) {
+        send(CC, CruiseOn());
+      }
+    }
+    Radio => LockReq() {
+      // The radio's remote-lock convenience feature must never lock a
+      // crashed car.
+      if (crashed == false) {
+        send(D, DoorsCmd("lock"));
+      }
+    }
+    Doors => DoorsState(s) {
+      if (s == "open") {
+        send(R, VolumeCmd("mute"));
+      }
+    }
+  }
+  properties {
+    NoInterfereEngine:
+      NoInterference high [Engine()] highvars [crashed];
+    AirbagsDeployOnCrash:
+      [Recv(Engine(), Crash())] Ensures [Send(Airbag(), Deploy())];
+    AirbagsImmediatelyAfterCrash:
+      [Recv(Engine(), Crash())] ImmAfter [Send(Airbag(), Deploy())];
+    CruiseOffImmediatelyAfterBrake:
+      [Recv(Brakes(), Braking())] ImmAfter [Send(CruiseControl(), CruiseOff())];
+    DoorsUnlockOnCrash:
+      [Recv(Engine(), Crash())] Ensures [Send(Doors(), DoorsCmd("unlock"))];
+    DoorsUnlockAfterAirbags:
+      [Send(Airbag(), Deploy())] ImmBefore [Send(Doors(), DoorsCmd("unlock"))];
+    NoLockAfterCrash:
+      [Recv(Engine(), Crash())] Disables [Send(Doors(), DoorsCmd("lock"))];
+    AirbagsOnlyOnCrash:
+      [Recv(Engine(), Crash())] Enables [Send(Airbag(), Deploy())];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified car-controller program."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+class AirbagUnit(ScriptedBehavior):
+    """Simulated airbag controller: records deployments."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.deployed = False
+
+    def on_message(self, port, msg, payload):
+        if msg == "Deploy":
+            self.deployed = True
+
+
+class DoorController(ScriptedBehavior):
+    """Simulated door-lock actuator: tracks the lock state and reports door
+    sensor events back to the kernel when poked by the test driver."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.locked = False
+
+    def on_message(self, port, msg, payload):
+        if msg == "DoorsCmd":
+            self.locked = payload[0].s == "lock"
+
+
+class RadioUnit(ScriptedBehavior):
+    """Simulated radio head unit: remembers the last volume command."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.volume_history = []
+
+    def on_message(self, port, msg, payload):
+        if msg == "VolumeCmd":
+            self.volume_history.append(payload[0].s)
+
+
+class CruiseUnit(ScriptedBehavior):
+    """Simulated cruise-control unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.engaged = False
+
+    def on_message(self, port, msg, payload):
+        if msg == "CruiseOn":
+            self.engaged = True
+        elif msg == "CruiseOff":
+            self.engaged = False
+
+
+def register_components(world: World) -> None:
+    """Install the simulated car components for the declared executables."""
+    world.register_executable("engine.c", ScriptedBehavior)
+    world.register_executable("brakes.c", ScriptedBehavior)
+    world.register_executable("airbag.c", AirbagUnit)
+    world.register_executable("doors.c", DoorController)
+    world.register_executable("radio.c", RadioUnit)
+    world.register_executable("cruise.c", CruiseUnit)

@@ -1,0 +1,160 @@
+"""The SSH server benchmark (paper sections 2 and 6.1, Figures 2/3).
+
+A privilege-separated SSH daemon in the style of Provos et al.: the
+untrusted ``Connection`` component parses raw network traffic, the
+``Password`` component alone reads the system password database, and the
+``Terminal`` component alone creates PTYs.  The verified kernel mediates:
+a connection may obtain a logged-in terminal only after the password
+component vouches for the user, and at most three authentication attempts
+are ever forwarded.
+
+Figure 6's five ssh properties:
+
+1. ``AttemptEnablesNext`` — each login attempt enables the next one
+   (a second forwarded attempt presupposes a first),
+2. ``FirstAttemptOnce`` — the first attempt to login disables itself,
+3. ``SecondAttemptOnce`` — the second attempt to login disables itself,
+4. ``ThirdAttemptFinal`` — the third attempt disables all attempts,
+5. ``AuthBeforeTerm`` — successful login enables pseudo-terminal creation.
+
+Attempt counting uses a kernel counter threaded into the forwarded
+``CheckAuth`` message, so the trace itself records which attempt each
+forward was — that is what makes the counting properties expressible as
+trace patterns.
+"""
+
+from __future__ import annotations
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+
+SOURCE = '''
+program ssh {
+  components {
+    Connection "client.py" {}
+    Password "user-auth.c" {}
+    Terminal "pty-alloc.c" {}
+  }
+  messages {
+    ReqAuth(string, string);          // user wants to log in with password
+    CheckAuth(string, string, num);   // kernel forwards attempt #n
+    Auth(string);                     // password component vouches for user
+    ReqTerm(string);                  // client asks for a terminal
+    CreatePty(string);                // kernel asks terminal component
+    Pty(string, fdesc);               // terminal created, fd attached
+    GrantPty(string, fdesc);          // kernel hands the pty to the client
+  }
+  init {
+    authorized = ("", false);
+    attempts = 0;
+    C <- spawn Connection();
+    P <- spawn Password();
+    T <- spawn Terminal();
+  }
+  handlers {
+    Connection => ReqAuth(user, pass) {
+      if (attempts <= 2) {
+        send(P, CheckAuth(user, pass, attempts + 1));
+        attempts = attempts + 1;
+      }
+    }
+    Password => Auth(user) {
+      authorized = (user, true);
+    }
+    Connection => ReqTerm(user) {
+      if ((user, true) == authorized) {
+        send(T, CreatePty(user));
+      }
+    }
+    Terminal => Pty(user, t) {
+      if ((user, true) == authorized) {
+        send(C, GrantPty(user, t));
+      }
+    }
+  }
+  properties {
+    AttemptEnablesNext:
+      [Send(Password(), CheckAuth(_, _, 1))]
+        Enables [Send(Password(), CheckAuth(_, _, 2))];
+    FirstAttemptOnce:
+      [Send(Password(), CheckAuth(_, _, 1))]
+        Disables [Send(Password(), CheckAuth(_, _, 1))];
+    SecondAttemptOnce:
+      [Send(Password(), CheckAuth(_, _, 2))]
+        Disables [Send(Password(), CheckAuth(_, _, 2))];
+    ThirdAttemptFinal:
+      [Send(Password(), CheckAuth(_, _, 3))]
+        Disables [Send(Password(), CheckAuth(_, _, n))];
+    AuthBeforeTerm:
+      [Recv(Password(), Auth(u))] Enables [Send(Terminal(), CreatePty(u))];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified SSH kernel."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+#: The simulated system password database.
+PASSWORD_DB = {
+    "alice": "correct horse battery staple",
+    "bob": "hunter2",
+}
+
+
+class PasswordChecker(ScriptedBehavior):
+    """Simulated privilege-separated password checker: consults the
+    password database and vouches (``Auth``) only on a correct password."""
+
+    def on_message(self, port, msg, payload):
+        if msg != "CheckAuth":
+            return
+        user, password = payload[0].s, payload[1].s
+        if PASSWORD_DB.get(user) == password:
+            port.emit("Auth", user)
+
+
+class TerminalAllocator(ScriptedBehavior):
+    """Simulated PTY allocator: answers every ``CreatePty`` with a fresh
+    pseudo-terminal descriptor."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_pty = 100
+
+    def on_message(self, port, msg, payload):
+        if msg != "CreatePty":
+            return
+        from ..lang.values import VFd
+
+        fd = self._next_pty
+        self._next_pty += 1
+        port.emit("Pty", payload[0].s, VFd(fd))
+
+
+class SshClient(ScriptedBehavior):
+    """The untrusted network-facing component: records what the kernel
+    grants it; the test driver injects its network traffic via the port."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.granted = []
+
+    def on_message(self, port, msg, payload):
+        if msg == "GrantPty":
+            self.granted.append((payload[0].s, payload[1]))
+
+
+def register_components(world: World) -> None:
+    """Install the simulated SSH components."""
+    world.register_executable("user-auth.c", PasswordChecker)
+    world.register_executable("pty-alloc.c", TerminalAllocator)
+    world.register_executable("client.py", SshClient)

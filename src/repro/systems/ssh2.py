@@ -1,0 +1,126 @@
+"""The ``ssh2`` benchmark variant (paper Figure 6).
+
+"The ssh2 variant uses a separate component to count authentication
+attempts": instead of a kernel counter, a dedicated privilege-separated
+``Counter`` component approves (or silently drops) each attempt, and the
+kernel forwards an attempt to the password checker only upon the counter's
+approval.
+
+Figure 6's two ssh2 properties:
+
+1. ``AuthBeforeTerm`` — successful login enables pseudo-terminal creation
+   (same policy as ssh, re-proved on the new architecture),
+2. ``AttemptsApprovedByCounter`` — login attempts approved by counter
+   component: the kernel never consults the password checker without a
+   matching counter approval.
+"""
+
+from __future__ import annotations
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+from .ssh import PASSWORD_DB, SshClient, TerminalAllocator
+
+SOURCE = '''
+program ssh2 {
+  components {
+    Connection "client.py" {}
+    Password "user-auth.c" {}
+    Terminal "pty-alloc.c" {}
+    Counter "attempt-counter.c" {}
+  }
+  messages {
+    ReqAuth(string, string);
+    CountReq(string, string);     // ask the counter to approve an attempt
+    CountOk(string, string);      // counter approved
+    CheckAuth(string, string);    // kernel consults the password checker
+    Auth(string);
+    ReqTerm(string);
+    CreatePty(string);
+    Pty(string, fdesc);
+    GrantPty(string, fdesc);
+  }
+  init {
+    authorized = ("", false);
+    C <- spawn Connection();
+    P <- spawn Password();
+    T <- spawn Terminal();
+    CT <- spawn Counter();
+  }
+  handlers {
+    Connection => ReqAuth(user, pass) {
+      send(CT, CountReq(user, pass));
+    }
+    Counter => CountOk(user, pass) {
+      send(P, CheckAuth(user, pass));
+    }
+    Password => Auth(user) {
+      authorized = (user, true);
+    }
+    Connection => ReqTerm(user) {
+      if ((user, true) == authorized) {
+        send(T, CreatePty(user));
+      }
+    }
+    Terminal => Pty(user, t) {
+      if ((user, true) == authorized) {
+        send(C, GrantPty(user, t));
+      }
+    }
+  }
+  properties {
+    AuthBeforeTerm:
+      [Recv(Password(), Auth(u))] Enables [Send(Terminal(), CreatePty(u))];
+    AttemptsApprovedByCounter:
+      [Recv(Counter(), CountOk(u, p))]
+        Enables [Send(Password(), CheckAuth(u, p))];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified ssh2 kernel."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+class AttemptCounter(ScriptedBehavior):
+    """The privilege-separated attempt counter: approves at most three
+    attempts, then goes silent (dropping further requests)."""
+
+    def __init__(self, limit: int = 3) -> None:
+        super().__init__()
+        self.limit = limit
+        self.seen = 0
+
+    def on_message(self, port, msg, payload):
+        if msg != "CountReq":
+            return
+        if self.seen < self.limit:
+            self.seen += 1
+            port.emit("CountOk", payload[0].s, payload[1].s)
+
+
+class PasswordChecker2(ScriptedBehavior):
+    """Password checker speaking the ssh2 protocol (no attempt number)."""
+
+    def on_message(self, port, msg, payload):
+        if msg != "CheckAuth":
+            return
+        user, password = payload[0].s, payload[1].s
+        if PASSWORD_DB.get(user) == password:
+            port.emit("Auth", user)
+
+
+def register_components(world: World) -> None:
+    """Install the simulated ssh2 components."""
+    world.register_executable("user-auth.c", PasswordChecker2)
+    world.register_executable("pty-alloc.c", TerminalAllocator)
+    world.register_executable("client.py", SshClient)
+    world.register_executable("attempt-counter.c", AttemptCounter)

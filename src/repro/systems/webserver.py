@@ -1,0 +1,179 @@
+"""The web-server benchmark (paper section 6.1).
+
+"Our web server implements a simple file server with authentication.  It
+comprises four components: one listens on the network, one performs access
+control checks, one accesses the filesystem, and one handles
+successfully-connected clients."  The kernel spawns one ``Client``
+component per authenticated user, consults the access controller before
+touching the disk, and routes file data back to the requesting client.
+
+Figure 6's six webserver properties:
+
+1. ``ClientOnlyAfterLogin`` — a client is only spawned on successful login,
+2. ``ClientsNeverDuplicated`` — clients are never duplicated,
+3. ``FilesOnlyAfterLogin`` — files can only be requested after login
+   (proved by chaining through the requesting client's own spawn),
+4. ``FilesOnlyAfterAuthorization`` — files are only requested after
+   authorization,
+5. ``FileOnlyWhereDiskIndicates`` — the kernel only sends a file where the
+   disk indicates,
+6. ``AuthForwardedToDisk`` — authorized requests are forwarded to disk.
+
+This is also the benchmark of the paper's section 6.3 war story: it was
+kept untouched while the automation was developed, and first contact
+revealed one tactic bug and *two false properties* — a scenario the test
+suite re-enacts with deliberately broken variants.
+"""
+
+from __future__ import annotations
+
+from ..frontend import parse_program
+from ..props.spec import SpecifiedProgram
+from ..runtime.components import ScriptedBehavior
+from ..runtime.world import World
+
+SOURCE = '''
+program webserver {
+  components {
+    Listener "listener.py" {}
+    AccessControl "access-control.py" {}
+    Disk "disk.py" {}
+    Client "client-handler.py" { user: string }
+  }
+  messages {
+    ConnReq(string, string);        // user, password from the network
+    LoginQuery(string, string);     // kernel consults access control
+    LoginOk(string);                // access control: user authenticated
+    FileReq(string);                // a client asks for a path
+    AuthQuery(string, string);      // kernel asks: may user read path?
+    AuthOk(string, string);         // access control approves (user, path)
+    DiskRead(string, string);       // kernel asks disk for (user, path)
+    FileData(string, string, fdesc);// disk answers with a descriptor
+    FileResp(string, fdesc);        // kernel delivers (path, fd) to client
+  }
+  init {
+    L <- spawn Listener();
+    AC <- spawn AccessControl();
+    D <- spawn Disk();
+  }
+  handlers {
+    Listener => ConnReq(user, pass) {
+      send(AC, LoginQuery(user, pass));
+    }
+    AccessControl => LoginOk(user) {
+      lookup c : Client(c.user == user) {
+        skip;                        // this user already has a handler
+      } else {
+        nc <- spawn Client(user);
+      }
+    }
+    Client => FileReq(path) {
+      send(AC, AuthQuery(sender.user, path));
+    }
+    AccessControl => AuthOk(user, path) {
+      send(D, DiskRead(user, path));
+    }
+    Disk => FileData(user, path, f) {
+      lookup c : Client(c.user == user) {
+        send(c, FileResp(path, f));
+      }
+    }
+  }
+  properties {
+    ClientOnlyAfterLogin:
+      [Recv(AccessControl(), LoginOk(u))] Enables [Spawn(Client(u))];
+    ClientsNeverDuplicated:
+      [Spawn(Client(u))] Disables [Spawn(Client(u))];
+    FilesOnlyAfterLogin:
+      [Recv(AccessControl(), LoginOk(u))]
+        Enables [Send(AccessControl(), AuthQuery(u, _))];
+    FilesOnlyAfterAuthorization:
+      [Recv(AccessControl(), AuthOk(u, p))]
+        Enables [Send(Disk(), DiskRead(u, p))];
+    FileOnlyWhereDiskIndicates:
+      [Recv(Disk(), FileData(u, p, f))]
+        Enables [Send(Client(u), FileResp(p, f))];
+    AuthForwardedToDisk:
+      [Recv(AccessControl(), AuthOk(u, p))]
+        Ensures [Send(Disk(), DiskRead(u, p))];
+  }
+}
+'''
+
+_CACHE: dict = {}
+
+
+def load() -> SpecifiedProgram:
+    """Parse (once) and return the specified web-server kernel."""
+    if "spec" not in _CACHE:
+        _CACHE["spec"] = parse_program(SOURCE)
+    return _CACHE["spec"]
+
+
+#: The simulated credential store and per-user access-control lists.
+CREDENTIALS = {
+    "alice": "wonderland",
+    "bob": "builder",
+}
+ACCESS_LISTS = {
+    "alice": ("/reports/q1.txt", "/shared/readme.md"),
+    "bob": ("/shared/readme.md",),
+}
+FILESYSTEM = {
+    "/reports/q1.txt": "Q1 figures...",
+    "/shared/readme.md": "welcome",
+}
+
+
+class AccessController(ScriptedBehavior):
+    """Simulated access-control component: checks credentials and per-user
+    ACLs, answering ``LoginOk`` / ``AuthOk`` only on success."""
+
+    def on_message(self, port, msg, payload):
+        if msg == "LoginQuery":
+            user, password = payload[0].s, payload[1].s
+            if CREDENTIALS.get(user) == password:
+                port.emit("LoginOk", user)
+        elif msg == "AuthQuery":
+            user, path = payload[0].s, payload[1].s
+            if path in ACCESS_LISTS.get(user, ()):
+                port.emit("AuthOk", user, path)
+
+
+class DiskServer(ScriptedBehavior):
+    """Simulated filesystem component: opens authorized paths and hands
+    back descriptors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_fd = 500
+
+    def on_message(self, port, msg, payload):
+        if msg != "DiskRead":
+            return
+        from ..lang.values import VFd
+
+        user, path = payload[0].s, payload[1].s
+        if path in FILESYSTEM:
+            port.emit("FileData", user, path, VFd(self._next_fd))
+            self._next_fd += 1
+
+
+class ClientHandler(ScriptedBehavior):
+    """Simulated per-user client handler: records delivered files."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.delivered = []
+
+    def on_message(self, port, msg, payload):
+        if msg == "FileResp":
+            self.delivered.append((payload[0].s, payload[1]))
+
+
+def register_components(world: World) -> None:
+    """Install the simulated web-server components."""
+    world.register_executable("listener.py", ScriptedBehavior)
+    world.register_executable("access-control.py", AccessController)
+    world.register_executable("disk.py", DiskServer)
+    world.register_executable("client-handler.py", ClientHandler)

@@ -1,0 +1,85 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.frontend.lexer import Token, tokenize
+from repro.lang import ReflexSyntaxError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("program foo sender") == [
+            ("keyword", "program"), ("ident", "foo"), ("keyword", "sender"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("0 42 007") == [
+            ("number", "0"), ("number", "42"), ("number", "007"),
+        ]
+
+    def test_underscore_is_wildcard_operator(self):
+        assert kinds("_") == [("op", "_")]
+
+    def test_underscore_prefix_is_identifier(self):
+        assert kinds("_foo") == [("ident", "_foo")]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert kinds("== = <= <- < => ++ +") == [
+            ("op", "=="), ("op", "="), ("op", "<="), ("op", "<-"),
+            ("op", "<"), ("op", "=>"), ("op", "++"), ("op", "+"),
+        ]
+
+    def test_booleans_and_logic(self):
+        assert kinds("&& || ! !=") == [
+            ("op", "&&"), ("op", "||"), ("op", "!"), ("op", "!="),
+        ]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ReflexSyntaxError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_hash_comments(self):
+        assert kinds("a # rest of line\nb") == [
+            ("ident", "a"), ("ident", "b"),
+        ]
+
+    def test_slash_slash_comments(self):
+        assert kinds("a // note\nb") == [("ident", "a"), ("ident", "b")]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds('"hello"') == [("string", "hello")]
+
+    def test_escapes(self):
+        assert kinds(r'"a\"b\\c\nd\te"') == [("string", 'a"b\\c\nd\te')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ReflexSyntaxError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(ReflexSyntaxError, match="unterminated"):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ReflexSyntaxError, match="unknown escape"):
+            tokenize(r'"\q"')

@@ -1,0 +1,238 @@
+"""Unit tests for the concrete-syntax parser."""
+
+import pytest
+
+from repro.frontend import parse_expr, parse_program
+from repro.lang import ReflexSyntaxError, ValidationError, ast
+from repro.lang.values import VBool, VNum, VStr
+from repro.props import NonInterference, PVar, PWild, TraceProperty
+
+MINI = '''
+program mini {
+  components { A "a.py" {} }
+  messages { M(string); }
+  init { X <- spawn A(); }
+  handlers {
+    A => M(x) { send(X, M(x)); }
+  }
+}
+'''
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expr('"s"') == ast.Lit(VStr("s"))
+        assert parse_expr("42") == ast.Lit(VNum(42))
+        assert parse_expr("true") == ast.Lit(VBool(True))
+        assert parse_expr("false") == ast.Lit(VBool(False))
+
+    def test_tuple_vs_grouping(self):
+        assert parse_expr("(1)") == ast.Lit(VNum(1))
+        parsed = parse_expr("(1, 2)")
+        assert isinstance(parsed, ast.TupleExpr)
+        assert len(parsed.elems) == 2
+
+    def test_precedence_and_over_or(self):
+        e = parse_expr("a || b && c")
+        assert isinstance(e, ast.BinOp) and e.op == "or"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "and"
+
+    def test_comparison_binds_tighter_than_and(self):
+        e = parse_expr('a == "x" && b != "y"')
+        assert e.op == "and"
+        assert e.left.op == "eq"
+        assert e.right.op == "ne"
+
+    def test_addition_and_concat(self):
+        assert parse_expr("n + 1").op == "add"
+        assert parse_expr('s ++ "!"').op == "concat"
+
+    def test_projection_and_config_field(self):
+        assert parse_expr("pair.0") == ast.Proj(ast.Name("pair"), 0)
+        assert parse_expr("sender.domain") == ast.Field(ast.Sender(),
+                                                        "domain")
+
+    def test_chained_postfix(self):
+        e = parse_expr("x.0.1")
+        assert e == ast.Proj(ast.Proj(ast.Name("x"), 0), 1)
+
+    def test_not(self):
+        e = parse_expr("!(a == b)")
+        assert isinstance(e, ast.Not)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReflexSyntaxError):
+            parse_expr("a +")
+
+
+class TestProgramStructure:
+    def test_mini_program(self):
+        spec = parse_program(MINI)
+        assert spec.name == "mini"
+        assert len(spec.program.handlers) == 1
+        assert spec.program.handlers[0].params == ("x",)
+
+    def test_component_with_config(self):
+        spec = parse_program('''
+            program p {
+              components { Tab "t.py" { domain: string, id: num } }
+              messages { Go(string); }
+              init { n = 0; }
+            }
+        ''')
+        decl = spec.info.comp_table["Tab"]
+        assert [f.name for f in decl.config] == ["domain", "id"]
+
+    def test_tuple_types_in_messages(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" {} }
+              messages { M((string, bool)); }
+              init { X <- spawn A(); }
+            }
+        ''')
+        from repro.lang import BOOL, STR, tuple_of
+
+        assert spec.info.msg_table["M"].payload == (tuple_of(STR, BOOL),)
+
+    def test_if_else_and_lookup_else(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" {} }
+              messages { M(string); }
+              init { X <- spawn A(); flag = false; }
+              handlers {
+                A => M(x) {
+                  if (flag == true) { send(X, M(x)); } else { skip; }
+                  lookup c : A(true) { send(c, M(x)); } else { skip; }
+                }
+              }
+            }
+        ''')
+        body = spec.program.handlers[0].body
+        assert isinstance(body, ast.Seq)
+        assert isinstance(body.cmds[0], ast.If)
+        assert isinstance(body.cmds[1], ast.LookupCmd)
+
+    def test_call_binding(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" {} }
+              messages { M(string); }
+              init { X <- spawn A(); }
+              handlers {
+                A => M(x) {
+                  r <- call f(x, "const");
+                  send(X, M(r));
+                }
+              }
+            }
+        ''')
+        body = spec.program.handlers[0].body
+        assert isinstance(body.cmds[0], ast.CallCmd)
+        assert body.cmds[0].func == "f"
+
+    def test_unbound_spawn_statement(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" {} }
+              messages { M(string); }
+              init { X <- spawn A(); }
+              handlers {
+                A => M(x) { spawn A(); }
+              }
+            }
+        ''')
+        cmd = spec.program.handlers[0].body
+        assert isinstance(cmd, ast.SpawnCmd) and cmd.bind is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ReflexSyntaxError, match="expected"):
+            parse_program(MINI.replace("send(X, M(x));", "send(X, M(x))"))
+
+    def test_type_errors_surface_at_parse_time(self):
+        with pytest.raises(ValidationError):
+            parse_program(MINI.replace("send(X, M(x))", "send(X, M(42))"))
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ReflexSyntaxError):
+            parse_program(MINI + "extra")
+
+
+class TestProperties:
+    def test_trace_property(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" {} }
+              messages { M(string); }
+              init { X <- spawn A(); }
+              handlers { A => M(x) { send(X, M(x)); } }
+              properties {
+                Echoed: [Recv(A(), M(u))] Ensures [Send(A(), M(u))];
+              }
+            }
+        ''')
+        prop = spec.property_named("Echoed")
+        assert isinstance(prop, TraceProperty)
+        assert prop.primitive == "Ensures"
+        assert prop.a.msg.payload == (PVar("u"),)
+
+    def test_wildcards_and_literals_in_patterns(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" { k: string } }
+              messages { M(string, num); }
+              init { n = 0; }
+              properties {
+                P: [Recv(A(*), M(_, 3))] Disables [Recv(A("x"), M(u, _))];
+              }
+            }
+        ''')
+        prop = spec.property_named("P")
+        assert prop.a.comp.config is None  # the (*) form
+        assert prop.a.msg.payload[0] == PWild()
+        assert prop.b.comp.config[0].value == VStr("x")
+
+    def test_noninterference_property(self):
+        spec = parse_program('''
+            program p {
+              components { A "a.py" { d: string } }
+              messages { M(string); }
+              init { n = 0; }
+              properties {
+                NI: NoInterference forall d high [A(d)] highvars [n];
+              }
+            }
+        ''')
+        prop = spec.property_named("NI")
+        assert isinstance(prop, NonInterference)
+        assert prop.params == ("d",)
+        assert prop.high_vars == frozenset({"n"})
+
+    def test_property_against_unknown_message(self):
+        with pytest.raises(ValidationError, match="undeclared message"):
+            parse_program('''
+                program p {
+                  components { A "a.py" {} }
+                  messages { M(string); }
+                  init { X <- spawn A(); }
+                  properties {
+                    P: [Recv(A(), Nope(u))] Enables [Recv(A(), M(u))];
+                  }
+                }
+            ''')
+
+    def test_unsatisfiable_variable_scoping_rejected(self):
+        # Positive-requirement property whose required pattern binds a
+        # variable the trigger does not: rejected at validation.
+        with pytest.raises(ValidationError, match="unsatisfiable"):
+            parse_program('''
+                program p {
+                  components { A "a.py" {} }
+                  messages { M(string); N(string); }
+                  init { X <- spawn A(); }
+                  properties {
+                    P: [Recv(A(), M(v))] Enables [Recv(A(), N(u))];
+                  }
+                }
+            ''')

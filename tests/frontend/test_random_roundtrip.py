@@ -1,0 +1,30 @@
+"""Round-trip the randomly generated kernels from the differential suite
+through the pretty-printer and parser — a much wilder corpus than the
+hand-written benchmarks."""
+
+import pytest
+
+from repro.frontend import parse_program, pretty
+from repro.props import specify
+from tests.integration.test_prover_differential import (
+    generate_program,
+    generate_properties,
+)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_program_round_trips(seed):
+    info = generate_program(seed).build_validated()
+    props = []
+    for prop in generate_properties(seed):
+        try:
+            specify(info, prop)
+        except Exception:
+            continue
+        props.append(prop)
+    spec = specify(info, *props)
+    printed = pretty(spec)
+    reparsed = parse_program(printed)
+    assert reparsed.program == spec.program
+    assert reparsed.properties == spec.properties
+    assert pretty(reparsed) == printed

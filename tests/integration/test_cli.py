@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.systems import car, ssh
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "car.rfx"
+    path.write_text(car.SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def broken_kernel_file(tmp_path):
+    from repro.harness.utility import buggy_car_source
+
+    path = tmp_path / "buggy.rfx"
+    path.write_text(buggy_car_source()[0])
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_kernel(self, kernel_file, capsys):
+        assert main(["check", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "6 component types" in out
+        assert "8 properties" in out
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.rfx"
+        path.write_text("program { oops")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_type_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.rfx"
+        path.write_text(ssh.SOURCE.replace(
+            "send(P, CheckAuth(user, pass, attempts + 1));",
+            "send(P, CheckAuth(user, pass, pass));",
+        ))
+        assert main(["check", str(path)]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.rfx"]) == 2
+
+
+class TestVerify:
+    def test_all_properties(self, kernel_file, capsys):
+        assert main(["verify", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 properties proved" in out
+
+    def test_single_property(self, kernel_file, capsys):
+        assert main(["verify", kernel_file, "-p", "NoLockAfterCrash"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 properties proved" in out
+
+    def test_failure_exit_code(self, broken_kernel_file, capsys):
+        assert main(["verify", broken_kernel_file]) == 1
+        out = capsys.readouterr().out
+        assert "7/8 properties proved" in out
+
+    def test_counterexample_flag(self, broken_kernel_file, capsys):
+        assert main(["verify", broken_kernel_file, "-c"]) == 1
+        out = capsys.readouterr().out
+        assert "candidate counterexample" in out
+
+    def test_no_skip_flag(self, kernel_file):
+        assert main(["verify", kernel_file, "--no-skip"]) == 0
+
+
+class TestFmt:
+    def test_stdout(self, kernel_file, capsys):
+        assert main(["fmt", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("program car {")
+
+    def test_in_place_is_idempotent_and_reverifiable(self, kernel_file,
+                                                     capsys):
+        assert main(["fmt", kernel_file, "-i"]) == 0
+        first = open(kernel_file).read()
+        assert main(["fmt", kernel_file, "-i"]) == 0
+        assert open(kernel_file).read() == first
+        assert main(["verify", kernel_file]) == 0
+
+
+class TestBench:
+    def test_requires_selection(self, capsys):
+        assert main(["bench"]) == 2
+
+    def test_table1(self, capsys):
+        assert main(["bench", "--table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""The shipped examples must run clean: they are executable
+documentation and double as end-to-end smoke tests."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the paper reproduction ships >=3 examples"

@@ -1,0 +1,102 @@
+"""Tests for the mutation-testing harness (and the claims it supports)."""
+
+import pytest
+
+from repro.harness import mutation
+from repro.systems import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def car_outcomes():
+    return mutation.score_mutants(mutation.mutants_of("car"))
+
+
+@pytest.fixture(scope="module")
+def ssh_outcomes():
+    return mutation.score_mutants(mutation.mutants_of("ssh"))
+
+
+class TestMutantGeneration:
+    def test_mutants_validate(self):
+        for mutant in mutation.mutants_of("ssh"):
+            assert mutant.spec.program != BENCHMARKS["ssh"].load().program
+
+    def test_every_operator_produces_mutants_somewhere(self):
+        operators = set()
+        for benchmark in BENCHMARKS:
+            for mutant in mutation.mutants_of(benchmark):
+                operators.add(mutant.operator)
+        assert operators == set(mutation.OPERATORS)
+
+    def test_labels_are_unique(self):
+        labels = [m.label for m in mutation.mutants_of("browser")]
+        assert len(labels) == len(set(labels))
+
+
+class TestSecurityMutationsAreKilled:
+    def by_label(self, outcomes):
+        return {o.mutant_label: o for o in outcomes}
+
+    def test_car_crash_latch_is_protected(self, car_outcomes):
+        outcomes = self.by_label(car_outcomes)
+        killed = outcomes["car:Engine=>Crash drop-assign#0"]
+        assert killed.killed
+        assert "NoLockAfterCrash" in killed.failing_properties
+
+    def test_car_lock_guard_is_protected(self, car_outcomes):
+        outcomes = self.by_label(car_outcomes)
+        assert outcomes["car:Radio=>LockReq drop-guard#0"].killed
+        assert outcomes["car:Radio=>LockReq negate-guard#0"].killed
+
+    def test_ssh_terminal_guard_is_protected(self, ssh_outcomes):
+        outcomes = self.by_label(ssh_outcomes)
+        dropped = outcomes["ssh:Connection=>ReqTerm drop-guard#0"]
+        assert dropped.killed
+        assert "AuthBeforeTerm" in dropped.failing_properties
+
+    def test_ssh_attempt_counter_is_protected(self, ssh_outcomes):
+        outcomes = self.by_label(ssh_outcomes)
+        # Dropping the counter increment permits unbounded attempt #1
+        dropped = outcomes["ssh:Connection=>ReqAuth drop-assign#0"]
+        assert dropped.killed
+        assert "FirstAttemptOnce" in dropped.failing_properties
+
+    def test_guard_operators_kill_meaningfully(self, car_outcomes,
+                                               ssh_outcomes):
+        """Across car+ssh, guard/assign mutations are killed at a solid
+        rate (7/15 at the time of writing; survivors are guards on
+        convenience behavior no property mentions)."""
+        guardish = [
+            o for o in car_outcomes + ssh_outcomes
+            if o.operator in ("drop-guard", "negate-guard", "drop-assign")
+        ]
+        killed = sum(1 for o in guardish if o.killed)
+        assert killed / len(guardish) >= 0.45
+
+
+class TestSurvivorsAreExplainable:
+    def test_dropped_convenience_send_survives(self, car_outcomes):
+        """Removing the radio-volume convenience message violates nothing:
+        no property mentions it — a survivor, and correctly so."""
+        outcomes = {o.mutant_label: o for o in car_outcomes}
+        survivor = outcomes["car:Engine=>Accelerating drop-send#0"]
+        assert not survivor.killed
+
+    def test_drop_send_survivors_are_liveness_shaped(self, ssh_outcomes):
+        """Safety-heavy suites cannot see removed behavior unless an
+        Ensures/ImmAfter property demands it; the kills among drop-send
+        mutants come precisely from those."""
+        for outcome in ssh_outcomes:
+            if outcome.operator == "drop-send" and outcome.killed:
+                spec = BENCHMARKS["ssh"].load()
+                for name in outcome.failing_properties:
+                    prop = spec.property_named(name)
+                    assert prop.primitive in ("Ensures", "ImmAfter")
+
+
+class TestRendering:
+    def test_render_contains_rates(self, car_outcomes):
+        text = mutation.render_mutation(car_outcomes)
+        assert "TOTAL" in text
+        assert "%" in text
+        assert "survivors" in text

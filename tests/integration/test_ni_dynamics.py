@@ -1,0 +1,127 @@
+"""Dynamic non-interference testing (section 4.2's relational definition,
+run on concrete paired executions)."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.harness import ni_testing
+from repro.harness.utility import buggy_browser_source
+from repro.lang.values import VFd
+from repro.systems import browser, browser2, car
+
+
+class TestVerifiedKernelsAreNonInterfering:
+    def test_browser_domains(self):
+        spec = browser.load()
+        ni = spec.property_named("DomainsNoInterfere")
+        shared = [
+            (0, "ReqTab", ("mail.example",)),
+            (0, "ReqTab", ("shop.example",)),
+            (1, "ReqSocket", ("mail.example",)),  # the mail (high) tab
+        ]
+        low_a = [(3, "ReqSocket", ("shop.example",))]
+        low_b = [
+            (3, "ReqSocket", ("cdn.example",)),
+            (3, "ReqCookieChannel", ()),
+            (3, "ReqSocket", ("shop.example",)),
+        ]
+        run = ni_testing.paired_run(
+            spec, browser.register_components, ni, {"d": "mail.example"},
+            shared, low_a, low_b,
+        )
+        assert run.high_inputs_agree
+        assert run.high_outputs_agree
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_browser2_routed_cookies(self, seed):
+        spec = browser2.load()
+        ni = spec.property_named("DomainsNoInterfere")
+        shared = [
+            (0, "ReqTab", ("mail.example",)),
+            (0, "ReqTab", ("shop.example",)),
+            (1, "WriteCookie", ("secret=1",)),
+            (1, "ReadCookie", ()),
+        ]
+        low_a = [(2, "WriteCookie", ("low=1",))]
+        low_b = [(2, "ReadCookie", ()), (2, "WriteCookie", ("low=2",))]
+        run = ni_testing.paired_run(
+            spec, browser2.register_components, ni, {"d": "mail.example"},
+            shared, low_a, low_b, seed=seed,
+        )
+        assert run.high_inputs_agree
+        assert run.high_outputs_agree
+
+    def test_browser3_registration_flow(self):
+        from repro.systems import browser3
+
+        spec = browser3.load()
+        ni = spec.property_named("DomainsNoInterfere")
+        # browser3 tabs register on start; spawn order: UI, mail tab,
+        # mail cookieproc, shop tab, shop cookieproc
+        shared = [
+            (0, "ReqTab", ("mail.example",)),
+            (0, "ReqTab", ("shop.example",)),
+            (1, "WriteCookie", ("secret",)),
+            (1, "ReadCookie", ()),
+        ]
+        low_a = [(3, "WriteCookie", ("low",))]
+        low_b = [(3, "ReadCookie", ()), (3, "ReqSocket", ("shop.example",))]
+        run = ni_testing.paired_run(
+            spec, browser3.register_components, ni, {"d": "mail.example"},
+            shared, low_a, low_b,
+        )
+        assert run.high_inputs_agree
+        assert run.high_outputs_agree
+
+    def test_car_engine_isolated(self):
+        spec = car.load()
+        ni = spec.property_named("NoInterfereEngine")
+        # component order: E B A D R CC; engine is high (index 0)
+        shared = [(0, "Crash", ())]
+        low_a = [(4, "LockReq", ())]
+        low_b = [(3, "DoorsState", ("open",)), (4, "LockReq", ())]
+        run = ni_testing.paired_run(
+            spec, car.register_components, ni, {}, shared, low_a, low_b,
+        )
+        assert run.high_inputs_agree
+        assert run.high_outputs_agree
+
+
+class TestBuggyKernelInterferes:
+    def test_concrete_interference_witness(self):
+        source, _ = buggy_browser_source()
+        spec = parse_program(source)
+        ni = spec.property_named("DomainsNoInterfere")
+        base = [
+            (0, "ReqTab", ("mail.example",)),
+            (0, "ReqTab", ("shop.example",)),
+        ]
+        # Execution B additionally has the low (shop) cookie process claim
+        # a channel for the mail tab's id — the buggy kernel routes it.
+        inject = [(4, "Channel", (0, VFd(999)))]
+        first = ni_testing.drive(spec, browser.register_components, base)
+        second = ni_testing.drive(spec, browser.register_components,
+                                  base + inject)
+        is_high = ni_testing.concrete_labeling(ni, {"d": "mail.example"})
+        assert ni_testing.input_projection(first.trace, is_high) == \
+            ni_testing.input_projection(second.trace, is_high)
+        out1 = ni_testing.output_projection(first.trace, is_high)
+        out2 = ni_testing.output_projection(second.trace, is_high)
+        assert out1 != out2, "interference must be dynamically visible"
+        leaked = [line for line in out2 if line not in out1]
+        assert any("CookieChannel" in line for line in leaked)
+
+
+class TestProjections:
+    def test_projection_separates_in_and_out(self):
+        spec = car.load()
+        ni = spec.property_named("NoInterfereEngine")
+        state = ni_testing.drive(spec, car.register_components,
+                                 [(0, "Crash", ())])
+        is_high = ni_testing.concrete_labeling(ni, {})
+        full = ni_testing.high_projection(state.trace, is_high)
+        ins = ni_testing.input_projection(state.trace, is_high)
+        outs = ni_testing.output_projection(state.trace, is_high)
+        assert set(ins) | set(outs) == set(full)
+        assert all(line.startswith("in ") for line in ins)
+        assert ins  # the crash was a high input

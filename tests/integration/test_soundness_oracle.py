@@ -1,0 +1,42 @@
+"""Figure 1's "sats" arrow: randomized differential soundness testing.
+
+Every trace produced by the interpreter must be accepted by the
+behavioral abstraction, and every *proved* property must hold on it.
+This is the trust anchor of the whole reproduction — failures here mean
+the prover's verdicts say nothing about real runs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness.soundness import check_session, fuzz_session
+from repro.systems import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+@pytest.mark.parametrize("seed", range(5))
+class TestFixedSeeds:
+    def test_fuzzed_run_is_sound(self, bench_name, seed):
+        session = fuzz_session(bench_name, seed, events=30)
+        verdict = check_session(session, bench_name, seed)
+        assert verdict.accepted_by_abstraction, verdict.rejection_reason
+        assert not verdict.violated_properties, verdict.violated_properties
+
+    def test_trace_is_nontrivial(self, bench_name, seed):
+        session = fuzz_session(bench_name, seed, events=30)
+        # the fuzzer must actually exercise the kernel, not just Init
+        assert len(session.state.trace) > 10
+
+
+class TestHypothesisSeeds:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=100, max_value=10_000),
+           bench=st.sampled_from(sorted(BENCHMARKS)))
+    def test_random_sessions_are_sound(self, seed, bench):
+        session = fuzz_session(bench, seed, events=25)
+        verdict = check_session(session, bench, seed)
+        assert verdict.sound, (
+            verdict.rejection_reason or verdict.violated_properties
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the fluent builder API."""
+
+import pytest
+
+from repro.lang import BOOL, NUM, STR, ValidationError, ast
+from repro.lang.builder import (
+    ProgramBuilder,
+    add,
+    assign,
+    band,
+    block,
+    bnot,
+    bor,
+    call,
+    cfg,
+    concat,
+    eq,
+    ite,
+    le,
+    lit,
+    lookup,
+    lt,
+    name,
+    ne,
+    nop,
+    proj,
+    send,
+    sender,
+    spawn,
+    tup,
+)
+from repro.lang.values import VBool, VNum, VStr
+
+
+class TestExpressionHelpers:
+    def test_literal_coercion_everywhere(self):
+        e = eq("left", 3)
+        assert e.left == ast.Lit(VStr("left"))
+        assert e.right == ast.Lit(VNum(3))
+
+    def test_bool_literals(self):
+        assert lit(True).value == VBool(True)
+        assert lit((1, "a")).value.elems == (VNum(1), VStr("a"))
+
+    def test_operator_constructors(self):
+        assert ne(name("a"), "b").op == "ne"
+        assert add(name("n"), 1).op == "add"
+        assert lt(1, 2).op == "lt"
+        assert le(1, 2).op == "le"
+        assert band(lit(True), lit(False)).op == "and"
+        assert bor(lit(True), lit(False)).op == "or"
+        assert concat("a", "b").op == "concat"
+        assert isinstance(bnot(lit(True)), ast.Not)
+
+    def test_structured_expressions(self):
+        t = tup("u", True)
+        assert isinstance(t, ast.TupleExpr)
+        p = proj(name("pair"), 1)
+        assert p.index == 1
+        f = cfg(sender(), "domain")
+        assert isinstance(f.comp, ast.Sender)
+
+
+class TestCommandHelpers:
+    def test_block_flattens(self):
+        cmd = block(assign("a", 1), block(assign("b", 2), nop()),
+                    nop())
+        assert isinstance(cmd, ast.Seq)
+        assert len(cmd.cmds) == 2
+
+    def test_send_and_spawn_shapes(self):
+        s = send(name("X"), "M", "payload", 3)
+        assert s.msg == "M" and len(s.args) == 2
+        sp = spawn("bound", "Cell", "key")
+        assert sp.bind == "bound"
+        assert spawn(None, "Cell", "key").bind is None
+
+    def test_call_and_lookup(self):
+        c = call("r", "f", "arg")
+        assert c.bind == "r" and c.func == "f"
+        lk = lookup("c", "Cell", lit(True), nop())
+        assert isinstance(lk.missing, ast.Nop)
+
+    def test_ite_default_else(self):
+        cmd = ite(lit(True), assign("a", 1))
+        assert isinstance(cmd.otherwise, ast.Nop)
+
+
+class TestBuilderFlow:
+    def test_fluent_chaining(self):
+        info = (
+            ProgramBuilder("chained")
+            .component("A", "a.py")
+            .message("M", STR)
+            .init(spawn("X", "A"))
+            .handler("A", "M", ["x"], send(name("X"), "M", name("x")))
+            .build_validated()
+        )
+        assert info.program.name == "chained"
+
+    def test_config_keyword_declaration_order(self):
+        b = ProgramBuilder("cfg")
+        b.component("Tab", "t.py", domain=STR, ident=NUM, pinned=BOOL)
+        decl = b.build().component("Tab")
+        assert [f.name for f in decl.config] == ["domain", "ident",
+                                                 "pinned"]
+
+    def test_build_is_repeatable(self):
+        b = ProgramBuilder("x")
+        b.component("A", "a.py")
+        b.init(spawn("X", "A"))
+        assert b.build() == b.build()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValidationError):
+            ProgramBuilder("empty").build()

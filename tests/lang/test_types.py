@@ -1,0 +1,102 @@
+"""Unit tests for the type universe."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.lang.errors import ValidationError
+
+
+class TestBaseTypes:
+    def test_singletons_are_equal_to_fresh_instances(self):
+        assert ty.STR == ty.StrType()
+        assert ty.NUM == ty.NumType()
+        assert ty.BOOL == ty.BoolType()
+        assert ty.FD == ty.FdType()
+
+    def test_distinct_base_types_differ(self):
+        kinds = [ty.STR, ty.NUM, ty.BOOL, ty.FD]
+        for i, a in enumerate(kinds):
+            for b in kinds[i + 1:]:
+                assert a != b
+
+    def test_str_rendering(self):
+        assert str(ty.STR) == "string"
+        assert str(ty.NUM) == "num"
+        assert str(ty.BOOL) == "bool"
+        assert str(ty.FD) == "fdesc"
+
+
+class TestTupleTypes:
+    def test_structural_equality(self):
+        assert ty.tuple_of(ty.STR, ty.BOOL) == ty.tuple_of(ty.STR, ty.BOOL)
+        assert ty.tuple_of(ty.STR, ty.BOOL) != ty.tuple_of(ty.BOOL, ty.STR)
+
+    def test_nested_tuples(self):
+        t = ty.tuple_of(ty.STR, ty.tuple_of(ty.NUM, ty.BOOL))
+        assert str(t) == "(string, (num, bool))"
+
+    def test_tuple_types_are_hashable(self):
+        assert {ty.tuple_of(ty.STR): 1}[ty.tuple_of(ty.STR)] == 1
+
+
+class TestComponentDecl:
+    def make(self):
+        return ty.ComponentDecl(
+            "Tab", "tab.py",
+            (ty.ConfigField("domain", ty.STR), ty.ConfigField("id", ty.NUM)),
+        )
+
+    def test_config_index(self):
+        decl = self.make()
+        assert decl.config_index("domain") == 0
+        assert decl.config_index("id") == 1
+
+    def test_config_index_missing_field(self):
+        with pytest.raises(KeyError):
+            self.make().config_index("nope")
+
+    def test_config_type(self):
+        decl = self.make()
+        assert decl.config_type("domain") == ty.STR
+        assert decl.config_type("id") == ty.NUM
+
+    def test_reference_type(self):
+        assert self.make().type == ty.CompType("Tab")
+
+    def test_comp_types_are_nominal(self):
+        assert ty.CompType("Tab") != ty.CompType("CookieProc")
+
+
+class TestMessageDecl:
+    def test_arity(self):
+        assert ty.MessageDecl("Auth", (ty.STR,)).arity == 1
+        assert ty.MessageDecl("Crash", ()).arity == 0
+
+    def test_rendering(self):
+        decl = ty.MessageDecl("ReqAuth", (ty.STR, ty.STR))
+        assert str(decl) == "ReqAuth(string, string)"
+
+
+class TestIsBase:
+    def test_base_types_are_base(self):
+        for t in (ty.STR, ty.NUM, ty.BOOL, ty.FD):
+            assert ty.is_base(t)
+
+    def test_tuples_of_base_are_base(self):
+        assert ty.is_base(ty.tuple_of(ty.STR, ty.BOOL))
+
+    def test_component_references_are_not_base(self):
+        assert not ty.is_base(ty.CompType("Tab"))
+        assert not ty.is_base(ty.tuple_of(ty.STR, ty.CompType("Tab")))
+
+
+class TestDeclTable:
+    def test_builds_table(self):
+        decls = [ty.MessageDecl("A", ()), ty.MessageDecl("B", (ty.STR,))]
+        table = ty.make_decl_table(decls, "message")
+        assert set(table) == {"A", "B"}
+
+    def test_rejects_duplicates(self):
+        decls = [ty.MessageDecl("A", ()), ty.MessageDecl("A", (ty.STR,))]
+        with pytest.raises(ValidationError, match="duplicate"):
+            ty.make_decl_table(decls, "message")

@@ -1,0 +1,103 @@
+"""Unit and property tests for runtime values."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import types as ty
+from repro.lang import values as v
+from repro.lang.errors import RuntimeFault
+
+#: Strategy for plain Python objects liftable into REFLEX values.
+plain_values = st.recursive(
+    st.one_of(
+        st.text(max_size=8),
+        st.integers(min_value=0, max_value=1_000),
+        st.booleans(),
+    ),
+    lambda inner: st.tuples(inner, inner),
+    max_leaves=6,
+)
+
+
+class TestConstruction:
+    def test_vbool_interning(self):
+        assert v.vbool(True) is v.TRUE
+        assert v.vbool(False) is v.FALSE
+
+    def test_vtuple(self):
+        t = v.vtuple(v.vstr("a"), v.vnum(1))
+        assert t.elems == (v.VStr("a"), v.VNum(1))
+
+    def test_from_python_bool_before_int(self):
+        # bool is an int subclass; True must become VBool, not VNum.
+        assert v.from_python(True) == v.VBool(True)
+        assert v.from_python(1) == v.VNum(1)
+
+    def test_from_python_rejects_junk(self):
+        with pytest.raises(RuntimeFault):
+            v.from_python(object())
+
+
+class TestTypeOf:
+    def test_base(self):
+        assert v.type_of(v.vstr("x")) == ty.STR
+        assert v.type_of(v.vnum(3)) == ty.NUM
+        assert v.type_of(v.vbool(True)) == ty.BOOL
+        assert v.type_of(v.VFd(5)) == ty.FD
+
+    def test_tuple(self):
+        val = v.vtuple(v.vstr("u"), v.vbool(True))
+        assert v.type_of(val) == ty.tuple_of(ty.STR, ty.BOOL)
+
+    def test_component(self):
+        comp = v.ComponentInstance(0, "Tab", (v.vstr("d"),), 3)
+        assert v.type_of(v.VComp(comp)) == ty.CompType("Tab")
+
+
+class TestDefaults:
+    def test_defaults_are_well_typed(self):
+        for t in (ty.STR, ty.NUM, ty.BOOL, ty.FD,
+                  ty.tuple_of(ty.STR, ty.BOOL)):
+            assert v.type_of(v.default_value(t)) == t
+
+    def test_component_types_have_no_default(self):
+        with pytest.raises(RuntimeFault):
+            v.default_value(ty.CompType("Tab"))
+
+
+class TestRoundTrip:
+    @given(plain_values)
+    def test_python_round_trip(self, obj):
+        assert v.as_python(v.from_python(obj)) == obj
+
+    @given(plain_values)
+    def test_lifted_values_are_hashable(self, obj):
+        value = v.from_python(obj)
+        assert hash(value) == hash(v.from_python(obj))
+
+    @given(plain_values, plain_values)
+    def test_equality_matches_python_equality(self, a, b):
+        def typed_shape(x):
+            if isinstance(x, tuple):
+                return tuple(typed_shape(e) for e in x)
+            return type(x).__name__
+
+        if typed_shape(a) == typed_shape(b):
+            assert (v.from_python(a) == v.from_python(b)) == (a == b)
+        else:
+            # REFLEX equality is typed: True != 1 even though Python says
+            # otherwise.  Cross-type values are never equal.
+            assert v.from_python(a) != v.from_python(b)
+
+
+class TestComponentInstance:
+    def test_identity_is_structural(self):
+        a = v.ComponentInstance(0, "Tab", (v.vstr("d"),), 3)
+        b = v.ComponentInstance(0, "Tab", (v.vstr("d"),), 3)
+        assert a == b
+        assert v.VComp(a) == v.VComp(b)
+
+    def test_rendering_mentions_type_and_id(self):
+        comp = v.ComponentInstance(7, "Tab", (v.vstr("d"),), 3)
+        assert "Tab#7" in str(comp)

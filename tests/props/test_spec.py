@@ -1,0 +1,119 @@
+"""Tests for property declarations and program specification."""
+
+import pytest
+
+from repro.lang import ValidationError
+from repro.props import (
+    NonInterference,
+    TraceProperty,
+    comp_pat,
+    msg_pat,
+    recv_pat,
+    send_pat,
+    specify,
+)
+
+
+def auth_prop():
+    return TraceProperty(
+        "AuthBeforeTerm", "Enables",
+        recv_pat(comp_pat("Password"), msg_pat("Auth", "?u")),
+        send_pat(comp_pat("Terminal"), msg_pat("ReqTerm", "?u")),
+    )
+
+
+class TestSpecify:
+    def test_bundles_and_validates(self, ssh_info):
+        spec = specify(ssh_info, auth_prop())
+        assert spec.name == "ssh_fig3"
+        assert len(spec.trace_properties()) == 1
+        assert spec.ni_properties() == ()
+
+    def test_property_named(self, ssh_info):
+        spec = specify(ssh_info, auth_prop())
+        assert spec.property_named("AuthBeforeTerm").primitive == "Enables"
+        with pytest.raises(KeyError):
+            spec.property_named("nope")
+
+    def test_duplicate_names_rejected(self, ssh_info):
+        with pytest.raises(ValidationError, match="duplicate property"):
+            specify(ssh_info, auth_prop(), auth_prop())
+
+    def test_unknown_component_in_pattern(self, ssh_info):
+        bad = TraceProperty(
+            "Bad", "Enables",
+            recv_pat(comp_pat("Ghost"), msg_pat("Auth", "?u")),
+            send_pat(comp_pat("Terminal"), msg_pat("ReqTerm", "?u")),
+        )
+        with pytest.raises(ValidationError, match="undeclared component"):
+            specify(ssh_info, bad)
+
+    def test_message_arity_in_pattern(self, ssh_info):
+        bad = TraceProperty(
+            "Bad", "Enables",
+            recv_pat(comp_pat("Password"), msg_pat("Auth", "?u", "?extra")),
+            send_pat(comp_pat("Terminal"), msg_pat("ReqTerm", "?u")),
+        )
+        with pytest.raises(ValidationError, match="payload fields"):
+            specify(ssh_info, bad)
+
+    def test_component_config_arity_in_pattern(self, registry_info):
+        bad = TraceProperty(
+            "Bad", "Disables",
+            recv_pat(comp_pat("Cell"), msg_pat("Pong", "?v")),
+            recv_pat(comp_pat("Cell"), msg_pat("Pong", "?v")),
+        )
+        # Cell declares one config field; the empty-config pattern has 0.
+        with pytest.raises(ValidationError, match="config fields"):
+            specify(registry_info, bad)
+
+
+class TestNonInterferenceSpec:
+    def test_valid_ni(self, registry_info):
+        ni = NonInterference(
+            "NI", high_patterns=(comp_pat("Cell", "?k"),),
+            high_vars=frozenset(), params=("k",),
+        )
+        spec = specify(registry_info, ni)
+        assert spec.ni_properties() == (ni,)
+
+    def test_empty_labeling_rejected(self, registry_info):
+        ni = NonInterference("NI", high_patterns=())
+        with pytest.raises(ValidationError, match="empty"):
+            specify(registry_info, ni)
+
+    def test_undeclared_parameter_rejected(self, registry_info):
+        ni = NonInterference(
+            "NI", high_patterns=(comp_pat("Cell", "?k"),), params=(),
+        )
+        with pytest.raises(ValidationError, match="parameter"):
+            specify(registry_info, ni)
+
+    def test_unknown_high_var_rejected(self, registry_info):
+        ni = NonInterference(
+            "NI", high_patterns=(comp_pat("Front"),),
+            high_vars=frozenset({"ghost"}),
+        )
+        with pytest.raises(ValidationError, match="not a global"):
+            specify(registry_info, ni)
+
+    def test_rendering(self):
+        ni = NonInterference(
+            "NI", high_patterns=(comp_pat("Cell", "?k"),),
+            high_vars=frozenset({"n"}), params=("k",),
+        )
+        rendered = str(ni)
+        assert "forall k" in rendered and "Cell(k)" in rendered
+
+
+class TestTracePropertyHelpers:
+    def test_holds_on_delegates_to_oracle(self, ssh_info):
+        from repro.runtime.trace import Trace
+
+        prop = auth_prop()
+        assert prop.holds_on(Trace())
+        assert prop.violations_on(Trace()) == []
+
+    def test_str_rendering(self):
+        rendered = str(auth_prop())
+        assert "Enables" in rendered and "AuthBeforeTerm" in rendered

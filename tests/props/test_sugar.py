@@ -1,0 +1,88 @@
+"""Tests for the derived property forms (§6.1's future syntax,
+implemented as pure desugaring)."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.props import comp_pat, msg_pat, recv_pat, send_pat, specify
+from repro.props.patterns import PWild
+from repro.props.sugar import (
+    at_most,
+    at_most_once,
+    counted_field,
+    exactly_follows,
+)
+from repro.prover import Verifier
+from repro.systems import ssh
+
+
+def attempt_family():
+    return counted_field(
+        lambda k: send_pat(comp_pat("Password"),
+                           msg_pat("CheckAuth", "_", "_", k))
+    )
+
+
+class TestDesugaring:
+    def test_at_most_once_is_self_disables(self):
+        pattern = send_pat(comp_pat("Password"), msg_pat("Auth", "?u"))
+        prop = at_most_once("OneAuth", pattern)
+        assert prop.primitive == "Disables"
+        assert prop.a == prop.b == pattern
+
+    def test_at_most_structure(self):
+        props = at_most("login", attempt_family(), 3)
+        names = [p.name for p in props]
+        assert names == [
+            "login_occurrence1_once",
+            "login_occurrence2_once",
+            "login_occurrence3_once",
+            "login_2_needs_1",
+            "login_3_needs_2",
+            "login_3_is_final",
+        ]
+        final = props[-1]
+        assert final.primitive == "Disables"
+        assert final.b.msg.payload[2] == PWild()
+
+    def test_at_most_requires_positive_limit(self):
+        with pytest.raises(ValueError):
+            at_most("x", attempt_family(), 0)
+
+    def test_exactly_follows_pair(self):
+        req = recv_pat(comp_pat("Password"), msg_pat("Auth", "?u"))
+        resp = send_pat(comp_pat("Terminal"), msg_pat("CreatePty", "?u"))
+        only_after, answered = exactly_follows("pty", req, resp)
+        assert only_after.primitive == "Enables"
+        assert answered.primitive == "Ensures"
+
+
+class TestSugarProvesOnSsh:
+    def test_at_most_three_attempts_all_prove(self):
+        info = ssh.load().info
+        spec = specify(info, *at_most("login", attempt_family(), 3))
+        report = Verifier(spec).verify_all()
+        assert report.all_proved, str(report)
+
+    def test_at_most_two_is_false_on_ssh(self):
+        """The kernel allows three attempts, so 'at most 2' must fail —
+        sugar does not weaken the semantics."""
+        info = ssh.load().info
+        spec = specify(info, *at_most("tight", attempt_family(), 2))
+        report = Verifier(spec).verify_all()
+        assert not report.result_named("tight_2_is_final").proved
+
+
+class TestConcreteSyntaxSugar:
+    def test_atmostonce_parses_and_proves(self):
+        source = ssh.SOURCE.replace(
+            "properties {",
+            "properties {\n"
+            "    OnlyOneFirstAttempt:\n"
+            "      AtMostOnce [Send(Password(), CheckAuth(_, _, 1))];",
+        )
+        spec = parse_program(source)
+        prop = spec.property_named("OnlyOneFirstAttempt")
+        assert prop.primitive == "Disables"
+        result = Verifier(spec).prove_property(prop)
+        assert result.proved

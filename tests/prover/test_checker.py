@@ -1,0 +1,174 @@
+"""Tests for the independent proof checker: valid derivations pass,
+tampered or incomplete ones are rejected.
+
+This is the reproduction's analog of Coq's kernel rejecting terms from a
+buggy tactic: the checker must not trust the search.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.lang import ProofCheckFailure
+from repro.props import (
+    TraceProperty, comp_pat, msg_pat, recv_pat, send_pat, specify,
+)
+from repro.prover import Verifier
+from repro.prover.checker import check_trace_proof, trace_proof_complaints
+from repro.prover.derivation import (
+    EarlierWitness,
+    HistoryInvariant,
+    ImmWitness,
+    OccurrenceProof,
+    PathProof,
+    SkippedExchange,
+    Vacuous,
+)
+
+
+def auth_prop():
+    return TraceProperty(
+        "AuthBeforeTerm", "Enables",
+        recv_pat(comp_pat("Password"), msg_pat("Auth", "?u")),
+        send_pat(comp_pat("Terminal"), msg_pat("ReqTerm", "?u")),
+    )
+
+
+@pytest.fixture
+def proved(ssh_info):
+    prop = auth_prop()
+    verifier = Verifier(specify(ssh_info, prop))
+    result = verifier.prove_property(prop)
+    assert result.proved
+    return verifier.generic_step(), result.proof
+
+
+class TestAcceptance:
+    def test_valid_proof_checks(self, proved):
+        step, proof = proved
+        check_trace_proof(step, proof)  # must not raise
+        assert trace_proof_complaints(step, proof) == []
+
+
+class TestTampering:
+    def find_path_proof_with_occurrence(self, proof):
+        for i, sp in enumerate(proof.steps):
+            if isinstance(sp, PathProof) and sp.occurrence_proofs:
+                return i, sp
+        raise AssertionError("no occurrence-bearing path proof")
+
+    def test_dropped_occurrence_rejected(self, proved):
+        step, proof = proved
+        i, path_proof = self.find_path_proof_with_occurrence(proof)
+        gutted = replace(path_proof, occurrence_proofs=())
+        tampered = replace(
+            proof, steps=proof.steps[:i] + (gutted,) + proof.steps[i + 1:]
+        )
+        with pytest.raises(ProofCheckFailure, match="no justification"):
+            check_trace_proof(step, tampered)
+
+    def test_bogus_vacuous_claim_rejected(self, proved):
+        step, proof = proved
+        i, path_proof = self.find_path_proof_with_occurrence(proof)
+        lied = replace(path_proof, occurrence_proofs=tuple(
+            OccurrenceProof(op.occurrence, Vacuous("nothing to see"))
+            for op in path_proof.occurrence_proofs
+        ))
+        tampered = replace(
+            proof, steps=proof.steps[:i] + (lied,) + proof.steps[i + 1:]
+        )
+        with pytest.raises(ProofCheckFailure, match="vacuous"):
+            check_trace_proof(step, tampered)
+
+    def test_wrong_witness_index_rejected(self, proved):
+        step, proof = proved
+        i, path_proof = self.find_path_proof_with_occurrence(proof)
+        lied = replace(path_proof, occurrence_proofs=tuple(
+            OccurrenceProof(op.occurrence, EarlierWitness(0))
+            for op in path_proof.occurrence_proofs
+        ))
+        tampered = replace(
+            proof, steps=proof.steps[:i] + (lied,) + proof.steps[i + 1:]
+        )
+        with pytest.raises(ProofCheckFailure):
+            check_trace_proof(step, tampered)
+
+    def test_missing_path_case_rejected(self, proved):
+        step, proof = proved
+        i, _ = self.find_path_proof_with_occurrence(proof)
+        tampered = replace(
+            proof, steps=proof.steps[:i] + proof.steps[i + 1:]
+        )
+        with pytest.raises(ProofCheckFailure, match="missing case"):
+            check_trace_proof(step, tampered)
+
+    def test_illegitimate_skip_rejected(self, proved):
+        step, proof = proved
+        # Replace every detailed case of one exchange with a skip claim
+        # for an exchange that is NOT statically silent.
+        i, path_proof = self.find_path_proof_with_occurrence(proof)
+        key = path_proof.exchange_key
+        steps = tuple(
+            s for s in proof.steps
+            if not (isinstance(s, PathProof) and s.exchange_key == key)
+        ) + (SkippedExchange(key, "trust me"),)
+        tampered = replace(proof, steps=steps)
+        with pytest.raises(ProofCheckFailure, match="skip"):
+            check_trace_proof(step, tampered)
+
+    def test_scheme_mismatch_rejected(self, proved):
+        step, proof = proved
+        from repro.prover.obligations import Scheme
+
+        tampered = replace(
+            proof,
+            scheme=Scheme(proof.scheme.required, proof.scheme.trigger,
+                          "after"),
+        )
+        with pytest.raises(ProofCheckFailure, match="scheme"):
+            check_trace_proof(step, tampered)
+
+    def test_invariant_instantiation_lie_rejected(self, proved):
+        step, proof = proved
+        i, path_proof = self.find_path_proof_with_occurrence(proof)
+        new_ops = []
+        lied = False
+        for op in path_proof.occurrence_proofs:
+            j = op.justification
+            if isinstance(j, HistoryInvariant) and j.instantiation:
+                from repro.symbolic.expr import sstr
+
+                wrong = tuple(
+                    (param, sstr("hijacked")) for param, _ in j.instantiation
+                )
+                new_ops.append(OccurrenceProof(
+                    op.occurrence, replace(j, instantiation=wrong)
+                ))
+                lied = True
+            else:
+                new_ops.append(op)
+        assert lied, "expected a HistoryInvariant justification to attack"
+        tampered = replace(
+            proof,
+            steps=proof.steps[:i]
+            + (replace(path_proof, occurrence_proofs=tuple(new_ops)),)
+            + proof.steps[i + 1:],
+        )
+        with pytest.raises(ProofCheckFailure):
+            check_trace_proof(step, tampered)
+
+
+class TestEngineIntegration:
+    def test_engine_checks_by_default(self, ssh_info):
+        prop = auth_prop()
+        result = Verifier(specify(ssh_info, prop)).prove_property(prop)
+        assert result.checked
+
+    def test_checking_can_be_disabled(self, ssh_info):
+        from repro.prover import ProverOptions
+
+        prop = auth_prop()
+        result = Verifier(
+            specify(ssh_info, prop), ProverOptions(check_proofs=False)
+        ).prove_property(prop)
+        assert result.proved and not result.checked

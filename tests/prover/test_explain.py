@@ -1,0 +1,112 @@
+"""Tests for the proof explainer."""
+
+import pytest
+
+from repro.prover import Verifier
+from repro.prover.explain import (
+    explain_ni_proof,
+    explain_report,
+    explain_result,
+    explain_trace_proof,
+)
+from repro.systems import BENCHMARKS, car, ssh, webserver
+
+
+@pytest.fixture(scope="module")
+def ssh_report():
+    return Verifier(ssh.load()).verify_all()
+
+
+class TestTraceExplanations:
+    def test_invariant_narrated(self, ssh_report):
+        text = explain_trace_proof(
+            ssh_report.result_named("AuthBeforeTerm").proof
+        )
+        assert "inductive invariant" in text
+        assert "secondary induction" in text
+        assert "authorized" in text
+
+    def test_skips_summarized_not_enumerated_forever(self, ssh_report):
+        text = explain_trace_proof(
+            ssh_report.result_named("AuthBeforeTerm").proof
+        )
+        assert "discharged syntactically" in text
+        assert "and" in text and "more" in text  # the list is truncated
+
+    def test_counting_story(self, ssh_report):
+        text = explain_trace_proof(
+            ssh_report.result_named("ThirdAttemptFinal").proof
+        )
+        assert "contains no action matching" in text
+
+    def test_bounded_bridge_story(self):
+        report = Verifier(BENCHMARKS["browser"].load()).verify_all()
+        text = explain_trace_proof(
+            report.result_named("UniqueTabIds").proof
+        )
+        assert "monotone counter" in text
+
+    def test_sender_chain_story(self):
+        report = Verifier(webserver.load()).verify_all()
+        text = explain_trace_proof(
+            report.result_named("FilesOnlyAfterLogin").proof
+        )
+        assert "sender's own creation" in text
+        assert "Enables" in text
+
+    def test_found_and_missing_bridges(self):
+        report = Verifier(BENCHMARKS["browser"].load()).verify_all()
+        connected = explain_trace_proof(
+            report.result_named("TabsConnectedToCookieProc").proof
+        )
+        assert "found by lookup" in connected
+        unique = explain_trace_proof(
+            report.result_named("UniqueCookieProcs").proof
+        )
+        assert "lookup observed no matching component" in unique
+
+
+class TestNIExplanations:
+    def test_ni_story(self):
+        report = Verifier(car.load()).verify_all()
+        text = explain_ni_proof(
+            report.result_named("NoInterfereEngine").proof
+        )
+        assert "NIlo" in text and "NIhi" in text
+        assert "deterministic" in text
+
+    def test_parameterized_ni_story(self):
+        report = Verifier(BENCHMARKS["browser"].load()).verify_all()
+        text = explain_ni_proof(
+            report.result_named("DomainsNoInterfere").proof
+        )
+        assert "for every d" in text
+        assert "high-only" in text
+
+
+class TestResultAndReport:
+    def test_failed_result_explained_with_counterexample(self):
+        from repro.frontend import parse_program
+        from repro.harness.utility import buggy_ssh_source
+
+        spec = parse_program(buggy_ssh_source()[0])
+        result = Verifier(spec).prove_property(
+            spec.property_named("AuthBeforeTerm")
+        )
+        text = explain_result(result)
+        assert "NOT PROVED" in text
+        assert "candidate counterexample" in text
+
+    def test_report_covers_every_property(self, ssh_report):
+        text = explain_report(ssh_report)
+        for result in ssh_report.results:
+            assert result.property.name in text
+
+    def test_cli_explain_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ssh.rfx"
+        path.write_text(ssh.SOURCE)
+        assert main(["verify", str(path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "inductive invariant" in out

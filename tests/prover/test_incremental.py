@@ -1,0 +1,110 @@
+"""Tests for incremental re-verification (§6.4 future work, implemented).
+
+Soundness requirement: reuse must never launder a stale proof — a reused
+derivation has been re-validated by the trusted checker against the *new*
+program's abstraction.
+"""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.prover import ProverOptions
+from repro.prover.incremental import IncrementalVerifier
+from repro.systems import browser, car
+
+
+class TestCaching:
+    def test_first_round_searches_everything(self):
+        iv = IncrementalVerifier()
+        report = iv.verify(car.load())
+        assert report.all_proved
+        assert report.counts() == {"cached": 0, "revalidated": 0,
+                                   "searched": 8}
+
+    def test_identical_round_fully_cached(self):
+        iv = IncrementalVerifier()
+        iv.verify(car.load())
+        report = iv.verify(car.load())
+        assert report.all_proved
+        assert report.counts()["cached"] == 8
+        assert report.counts()["searched"] == 0
+
+
+class TestBenignEdit:
+    def edited_car(self):
+        source = car.SOURCE.replace('"crank it up"', '"a bit louder"')
+        assert source != car.SOURCE
+        return parse_program(source)
+
+    def test_untouched_proofs_revalidate_without_search(self):
+        iv = IncrementalVerifier()
+        iv.verify(car.load())
+        report = iv.verify(self.edited_car())
+        assert report.all_proved
+        counts = report.counts()
+        # The edit touches only the Engine=>Accelerating handler; most
+        # derivations never looked at it.
+        assert counts["revalidated"] >= 5
+        assert counts["cached"] == 0
+        by_name = {e.result.property.name: e.how for e in report.entries}
+        assert by_name["NoLockAfterCrash"] == "revalidated"
+        # NI is re-checked, never revalidated-from-cache on edits:
+        assert by_name["NoInterfereEngine"] == "searched"
+
+    def test_revalidated_results_are_checked(self):
+        iv = IncrementalVerifier()
+        iv.verify(car.load())
+        report = iv.verify(self.edited_car())
+        for entry in report.entries:
+            if entry.how == "revalidated":
+                assert entry.result.checked
+
+
+class TestBreakingEdit:
+    def test_broken_property_fails_after_edit(self):
+        from repro.harness.utility import buggy_car_source
+
+        iv = IncrementalVerifier()
+        first = iv.verify(car.load())
+        assert first.all_proved
+        source, expected_failures = buggy_car_source()
+        report = iv.verify(parse_program(source))
+        assert not report.all_proved
+        by_name = {e.result.property.name: e for e in report.entries}
+        for name in expected_failures:
+            assert not by_name[name].proved
+            assert by_name[name].how == "searched"
+
+    def test_fix_after_break_recovers(self):
+        from repro.harness.utility import buggy_car_source
+
+        iv = IncrementalVerifier()
+        iv.verify(car.load())
+        iv.verify(parse_program(buggy_car_source()[0]))
+        report = iv.verify(car.load())  # the fix restores the original
+        assert report.all_proved
+
+    def test_property_statement_change_triggers_search(self):
+        from repro.props.spec import specify
+
+        iv = IncrementalVerifier()
+        spec = car.load()
+        iv.verify(spec)
+        # same program, one property renamed: that one is fresh work
+        renamed = [
+            p if p.name != "NoLockAfterCrash" else
+            type(p)(p.name, p.primitive, p.b, p.a)  # also flipped: false!
+            for p in spec.properties
+        ]
+        report = iv.verify(specify(spec.info, *renamed))
+        by_name = {e.result.property.name: e for e in report.entries}
+        assert by_name["NoLockAfterCrash"].how == "searched"
+        assert not by_name["NoLockAfterCrash"].proved
+
+
+class TestRendering:
+    def test_report_str(self):
+        iv = IncrementalVerifier(ProverOptions())
+        report = iv.verify(car.load())
+        text = str(report)
+        assert "searched" in text and "round 1" in text

@@ -1,0 +1,168 @@
+"""Tests for online trace monitoring.
+
+The key law: with a boundary after every action, the monitor's verdict
+equals the offline oracle evaluated on *every prefix* (the reachable-state
+reading).  Hypothesis drives that comparison on random traces.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import ValidationError
+from repro.lang.values import ComponentInstance, vnum
+from repro.props import (
+    NonInterference, TraceProperty, comp_pat, holds, msg_pat, recv_pat,
+    send_pat,
+)
+from repro.runtime.actions import ARecv, ASend
+from repro.runtime.monitor import MonitoredInterpreter, TraceMonitor
+from repro.runtime.trace import Trace
+
+A = ComponentInstance(0, "A", (), 3)
+B = ComponentInstance(1, "B", (), 4)
+
+action_strategy = st.builds(
+    lambda cls, comp, msg, payload: cls(comp, msg, (vnum(payload),)),
+    st.sampled_from([ASend, ARecv]),
+    st.sampled_from([A, B]),
+    st.sampled_from(["M", "N"]),
+    st.integers(min_value=0, max_value=1),
+)
+
+PROPERTIES = [
+    TraceProperty("enables", "Enables",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("disables", "Disables",
+                  send_pat(comp_pat("B"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("ensures", "Ensures",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("immafter", "ImmAfter",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("immbefore", "ImmBefore",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+]
+
+
+def offline_every_prefix(prop, actions) -> bool:
+    """Reference semantics: the property holds at every boundary state
+    (here: after every action)."""
+    return all(
+        holds(prop.primitive, prop.a, prop.b, Trace(actions[:i]))
+        for i in range(len(actions) + 1)
+    )
+
+
+class TestAgainstOfflinePrefixes:
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.name)
+    @given(actions=st.lists(action_strategy, max_size=10))
+    def test_monitor_equals_prefix_oracle(self, prop, actions):
+        monitor = TraceMonitor([prop])
+        for action in actions:
+            monitor.observe(action)
+            monitor.boundary()  # every action ends an exchange here
+        assert monitor.ok == offline_every_prefix(prop, actions)
+
+    @given(actions=st.lists(action_strategy, max_size=10))
+    def test_monitor_with_final_boundary_matches_final_oracle(self,
+                                                              actions):
+        """With a single final boundary, prefix-closed primitives agree
+        with the plain final-trace oracle."""
+        for prop in PROPERTIES:
+            if prop.primitive in ("Ensures", "ImmAfter"):
+                continue  # not prefix-closed; judged per boundary
+            monitor = TraceMonitor([prop])
+            for action in actions:
+                monitor.observe(action)
+            monitor.boundary()
+            assert monitor.ok == holds(prop.primitive, prop.a, prop.b,
+                                       Trace(actions))
+
+
+class TestBoundarySemantics:
+    def recv(self, n):
+        return ARecv(A, "M", (vnum(n),))
+
+    def send(self, n):
+        return ASend(B, "M", (vnum(n),))
+
+    def test_ensures_discharged_within_exchange_is_fine(self):
+        prop = PROPERTIES[2]
+        monitor = TraceMonitor([prop])
+        monitor.observe(self.recv(1))
+        monitor.observe(self.send(1))
+        monitor.boundary()
+        assert monitor.ok
+
+    def test_ensures_discharged_across_boundary_is_flagged(self):
+        """The stronger reachable-state reading: an obligation left open
+        at a boundary violates, even if a later exchange discharges it —
+        exactly why the prover requires same-handler discharge."""
+        prop = PROPERTIES[2]
+        monitor = TraceMonitor([prop])
+        monitor.observe(self.recv(1))
+        monitor.boundary()          # <- a reachable state with A un-answered
+        monitor.observe(self.send(1))
+        monitor.boundary()
+        assert not monitor.ok
+        # ... while the final-trace oracle is satisfied:
+        assert holds(prop.primitive, prop.a, prop.b,
+                     Trace([self.recv(1), self.send(1)]))
+
+    def test_violations_carry_positions_and_bindings(self):
+        prop = PROPERTIES[0]  # enables
+        monitor = TraceMonitor([prop])
+        monitor.observe(self.send(1))  # unsolicited response
+        monitor.boundary()
+        assert len(monitor.violations) == 1
+        violation = monitor.violations[0]
+        assert violation.position == 0
+        assert dict(violation.binding)["x"] == vnum(1)
+        assert "enables" in str(violation)
+
+    def test_rejects_noninterference_properties(self):
+        ni = NonInterference("ni", high_patterns=(comp_pat("A"),))
+        with pytest.raises(ValidationError):
+            TraceMonitor([ni])
+
+
+class TestMonitoredInterpreter:
+    def test_verified_kernel_runs_clean(self):
+        from repro.runtime import World
+        from repro.systems import ssh
+
+        spec = ssh.load()
+        world = World(seed=5)
+        ssh.register_components(world)
+        monitored = MonitoredInterpreter(spec, world)
+        state = monitored.run_init()
+        conn = state.comps[0]
+        world.stimulate(conn, "ReqAuth", "alice", ssh.PASSWORD_DB["alice"])
+        monitored.run(state)
+        world.stimulate(conn, "ReqTerm", "alice")
+        monitored.run(state)
+        assert monitored.monitor.ok
+
+    def test_buggy_kernel_is_caught_online(self):
+        from repro.frontend import parse_program
+        from repro.harness.utility import buggy_ssh_source
+        from repro.runtime import World
+        from repro.systems import ssh
+
+        spec = parse_program(buggy_ssh_source()[0])
+        world = World(seed=5)
+        ssh.register_components(world)
+        monitored = MonitoredInterpreter(spec, world)
+        state = monitored.run_init()
+        conn = state.comps[0]
+        world.stimulate(conn, "ReqAuth", "alice", ssh.PASSWORD_DB["alice"])
+        monitored.run(state)
+        world.stimulate(conn, "ReqTerm", "mallory")
+        monitored.run(state)
+        names = {v.property_name for v in monitored.monitor.violations}
+        assert "AuthBeforeTerm" in names

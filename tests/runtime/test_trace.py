@@ -1,0 +1,92 @@
+"""Unit and property tests for traces."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.values import ComponentInstance, vstr
+from repro.runtime.actions import ARecv, ASelect, ASend, ASpawn, kind
+from repro.runtime.trace import Trace
+
+COMP = ComponentInstance(0, "A", (), 3)
+
+
+def mk_actions(n):
+    return [ASend(COMP, "M", (vstr(str(i)),)) for i in range(n)]
+
+
+class TestViews:
+    def test_chronological_and_newest_first_are_reverses(self):
+        actions = mk_actions(5)
+        trace = Trace(actions)
+        assert list(trace.chronological()) == actions
+        assert list(trace.newest_first()) == list(reversed(actions))
+
+    def test_from_newest_first(self):
+        actions = mk_actions(3)
+        trace = Trace.from_newest_first(list(reversed(actions)))
+        assert trace.chronological() == tuple(actions)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_round_trip_between_views(self, n):
+        trace = Trace(mk_actions(n))
+        again = Trace.from_newest_first(trace.newest_first())
+        assert again == trace
+
+
+class TestMutation:
+    def test_push_appends_newest(self):
+        trace = Trace()
+        a, b = mk_actions(2)
+        trace.push(a)
+        trace.push(b)
+        assert trace.newest_first()[0] == b
+
+    def test_snapshot_is_independent(self):
+        trace = Trace(mk_actions(2))
+        snap = trace.snapshot()
+        trace.push(mk_actions(3)[2])
+        assert len(snap) == 2
+        assert len(trace) == 3
+
+    def test_extension_check(self):
+        trace = Trace(mk_actions(2))
+        snap = trace.snapshot()
+        trace.push(ASpawn(COMP))
+        assert trace.is_extension_of(snap)
+        assert not snap.is_extension_of(trace)
+
+    def test_non_extension_detected(self):
+        a = Trace(mk_actions(2))
+        b = Trace(list(reversed(mk_actions(2))))
+        assert not a.is_extension_of(b) or a == b
+
+
+class TestQueries:
+    def test_filter_and_positions(self):
+        actions = [
+            ASelect(COMP),
+            ARecv(COMP, "M", ()),
+            ASend(COMP, "M", ()),
+            ASend(COMP, "N", ()),
+        ]
+        trace = Trace(actions)
+        sends = trace.filter(lambda a: isinstance(a, ASend))
+        assert len(sends) == 2
+        assert trace.positions(lambda a: isinstance(a, ASend)) == (2, 3)
+
+    def test_indexing_is_chronological(self):
+        actions = mk_actions(3)
+        trace = Trace(actions)
+        assert trace[0] == actions[0]
+        assert trace[-1] == actions[-1]
+
+    def test_kind_tags(self):
+        assert kind(ASelect(COMP)) == "Select"
+        assert kind(ARecv(COMP, "M", ())) == "Recv"
+        assert kind(ASend(COMP, "M", ())) == "Send"
+        assert kind(ASpawn(COMP)) == "Spawn"
+
+    def test_str_renders_every_action(self):
+        trace = Trace(mk_actions(4))
+        assert str(trace).count("Send") == 4
+        assert str(Trace()) == "<empty trace>"

@@ -1,0 +1,155 @@
+"""Unit tests for the effect world."""
+
+import pytest
+
+from repro.lang import ComponentDecl, ConfigField, STR, WorldError
+from repro.lang.values import vstr
+from repro.runtime.components import (
+    EchoBehavior,
+    InertBehavior,
+    RecordingBehavior,
+    ScriptedBehavior,
+)
+from repro.runtime.world import World, make_call_table
+
+DECL = ComponentDecl("A", "a.py", ())
+TAB = ComponentDecl("Tab", "tab.py", (ConfigField("domain", STR),))
+
+
+class TestSpawn:
+    def test_spawn_assigns_unique_idents_and_fds(self):
+        world = World()
+        a = world.spawn(DECL, ())
+        b = world.spawn(DECL, ())
+        assert a.ident != b.ident
+        assert a.fd != b.fd
+        assert a.fd >= 3  # stdio descriptors are never reused
+
+    def test_config_recorded(self):
+        world = World()
+        comp = world.spawn(TAB, (vstr("mail"),))
+        assert comp.config == (vstr("mail"),)
+
+    def test_unknown_executable_gets_inert_behavior(self):
+        world = World()
+        comp = world.spawn(DECL, ())
+        assert isinstance(world.behavior_of(comp), InertBehavior)
+
+    def test_behavior_factory_runs_per_instance(self):
+        world = World()
+        world.register_executable("a.py", RecordingBehavior)
+        a = world.spawn(DECL, ())
+        b = world.spawn(DECL, ())
+        assert world.behavior_of(a) is not world.behavior_of(b)
+
+    def test_startup_hook_runs(self):
+        world = World()
+        world.register_executable(
+            "a.py",
+            lambda: ScriptedBehavior(startup=lambda port: port.emit("Hi")),
+        )
+        comp = world.spawn(DECL, ())
+        assert world.ready_components() == [comp]
+
+
+class TestMessaging:
+    def test_send_reaches_behavior(self):
+        world = World()
+        world.register_executable("a.py", RecordingBehavior)
+        comp = world.spawn(DECL, ())
+        world.send(comp, "M", (vstr("x"),))
+        assert world.behavior_of(comp).received == [("M", (vstr("x"),))]
+
+    def test_send_to_unknown_component_fails(self):
+        world = World()
+        ghost = World().spawn(DECL, ())
+        with pytest.raises(WorldError):
+            world.send(ghost, "M", ())
+
+    def test_echo_round_trip(self):
+        world = World()
+        world.register_executable("a.py", EchoBehavior)
+        comp = world.spawn(DECL, ())
+        world.send(comp, "M", (vstr("x"),))
+        assert world.recv(comp) == ("M", (vstr("x"),))
+
+    def test_recv_from_idle_component_fails(self):
+        world = World()
+        comp = world.spawn(DECL, ())
+        with pytest.raises(WorldError):
+            world.recv(comp)
+
+    def test_stimulate_lifts_payloads(self):
+        world = World()
+        comp = world.spawn(DECL, ())
+        world.stimulate(comp, "M", "text", 3, True)
+        msg, payload = world.recv(comp)
+        assert msg == "M"
+        assert [type(p).__name__ for p in payload] == [
+            "VStr", "VNum", "VBool",
+        ]
+
+
+class TestSelect:
+    def test_idle_world_selects_none(self):
+        world = World()
+        world.spawn(DECL, ())
+        assert world.select() is None
+        assert world.idle()
+
+    def test_fifo_serves_oldest_queue_first(self):
+        world = World(select_policy="fifo")
+        a = world.spawn(DECL, ())
+        b = world.spawn(DECL, ())
+        world.stimulate(b, "M")
+        world.stimulate(a, "M")
+        assert world.select() == b  # b's queue became non-empty first
+
+    def test_fifo_requeues_after_drain(self):
+        world = World(select_policy="fifo")
+        a = world.spawn(DECL, ())
+        b = world.spawn(DECL, ())
+        world.stimulate(a, "M")
+        world.stimulate(b, "M")
+        world.recv(world.select())  # drains a
+        assert world.select() == b
+
+    def test_random_policy_is_seed_deterministic(self):
+        def run(seed):
+            world = World(seed=seed, select_policy="random")
+            comps = [world.spawn(DECL, ()) for _ in range(4)]
+            for c in comps:
+                world.stimulate(c, "M")
+            order = []
+            while not world.idle():
+                chosen = world.select()
+                world.recv(chosen)
+                order.append(chosen.ident)
+            return order
+
+        assert run(5) == run(5)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(WorldError, match="policy"):
+            World(select_policy="quantum")
+
+
+class TestCalls:
+    def test_registered_call(self):
+        world = World()
+        world.register_call("hash", lambda args, rng: "#".join(args))
+        result = world.call("hash", (vstr("a"), vstr("b")))
+        assert result == vstr("a#b")
+
+    def test_unregistered_call_is_seed_deterministic(self):
+        a = World(seed=9).call("mystery", (vstr("x"),))
+        b = World(seed=9).call("mystery", (vstr("x"),))
+        assert a == b
+        assert a.s.startswith("mystery:")
+
+    def test_make_call_table(self):
+        table = make_call_table(up=lambda s: s.upper())
+        world = World()
+        for fname, fn in table.items():
+            world.register_call(fname, fn)
+        assert world.call("up", (vstr("abc"),)) == vstr("ABC")

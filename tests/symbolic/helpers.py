@@ -1,0 +1,112 @@
+"""Test helpers: a brute-force model evaluator for symbolic terms.
+
+The solver's contract is *soundness*: when it says "inconsistent" or
+"entailed", that must really hold in every model.  These helpers provide
+the ground truth for small models: enumerate valuations of a term's free
+variables over small domains and evaluate terms concretely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List
+
+from repro.lang import types as ty
+from repro.lang.values import VBool, VNum, VStr, VTuple, Value
+from repro.symbolic.expr import (
+    SComp, SConst, SOp, SProj, STuple, SVar, Term, free_vars,
+)
+
+#: Small per-type domains; naturals only (NUM is ℕ in this DSL).
+DOMAINS = {
+    ty.STR: [VStr(""), VStr("a"), VStr("b")],
+    ty.NUM: [VNum(0), VNum(1), VNum(2), VNum(3)],
+    ty.BOOL: [VBool(False), VBool(True)],
+}
+
+Valuation = Dict[SVar, Value]
+
+
+def domain_of(t: ty.Type) -> List[Value]:
+    if isinstance(t, ty.TupleType):
+        parts = [domain_of(e) for e in t.elems]
+        return [VTuple(combo) for combo in itertools.product(*parts)]
+    return DOMAINS[t]
+
+
+def valuations(term_or_terms) -> Iterator[Valuation]:
+    """All assignments of the free variables over the small domains."""
+    if isinstance(term_or_terms, (list, tuple)):
+        variables = set()
+        for t in term_or_terms:
+            variables |= free_vars(t)
+    else:
+        variables = set(free_vars(term_or_terms))
+    variables = sorted(variables, key=lambda v: v.name)
+    domains = [domain_of(v.type) for v in variables]
+    for combo in itertools.product(*domains):
+        yield dict(zip(variables, combo))
+
+
+def eval_term(t: Term, valuation: Valuation) -> Value:
+    """Concrete evaluation under a valuation (components compare by
+    label — adequate because the tests only use component-free terms or
+    identical component terms)."""
+    if isinstance(t, SConst):
+        return t.value
+    if isinstance(t, SVar):
+        return valuation[t]
+    if isinstance(t, STuple):
+        return VTuple(tuple(eval_term(e, valuation) for e in t.elems))
+    if isinstance(t, SProj):
+        base = eval_term(t.base, valuation)
+        return base.elems[t.index]
+    if isinstance(t, SComp):
+        return VStr(f"<comp {t.label}>")
+    if isinstance(t, SOp):
+        return _eval_op(t, valuation)
+    raise TypeError(f"cannot evaluate {t!r}")
+
+
+def _eval_op(t: SOp, valuation: Valuation) -> Value:
+    args = [eval_term(a, valuation) for a in t.args]
+    if t.op == "eq":
+        return VBool(args[0] == args[1])
+    if t.op == "not":
+        return VBool(not args[0].b)
+    if t.op == "and":
+        return VBool(all(a.b for a in args))
+    if t.op == "or":
+        return VBool(any(a.b for a in args))
+    if t.op == "add":
+        return VNum(args[0].n + args[1].n)
+    if t.op == "sub":
+        return VNum(args[0].n - args[1].n)
+    if t.op == "lt":
+        return VBool(args[0].n < args[1].n)
+    if t.op == "le":
+        return VBool(args[0].n <= args[1].n)
+    if t.op == "concat":
+        return VStr(args[0].s + args[1].s)
+    raise TypeError(f"cannot evaluate operator {t.op}")
+
+
+def cube_satisfiable(literals) -> bool:
+    """Brute force: does some small-domain valuation satisfy all
+    literals?"""
+    for valuation in valuations(list(literals)):
+        if all(eval_term(lit, valuation) == VBool(True)
+               for lit in literals):
+            return True
+    return False
+
+
+def cube_forces(literals, conclusion: Term) -> bool:
+    """Brute force: does every satisfying valuation make the conclusion
+    true?"""
+    for valuation in valuations(list(literals) + [conclusion]):
+        if all(eval_term(lit, valuation) == VBool(True)
+               for lit in literals):
+            if eval_term(conclusion, valuation) != VBool(True):
+                return False
+    return True

@@ -1,0 +1,60 @@
+"""Solver behavior on the string fragment: what is decided, what is
+conservatively left open (documenting the theory boundary)."""
+
+from repro.lang import types as ty
+from repro.symbolic.expr import SOp, SVar, seq_, snot, sstr
+from repro.symbolic.simplify import simplify
+from repro.symbolic.solver import Facts
+
+SX = SVar("sx", ty.STR, "state")
+SY = SVar("sy", ty.STR, "payload")
+
+
+class TestConcat:
+    def test_constant_concat_folds(self):
+        assert simplify(SOp("concat", (sstr("foo"), sstr("bar")))) == \
+            sstr("foobar")
+
+    def test_empty_string_unit(self):
+        assert simplify(SOp("concat", (sstr(""), SX))) == SX
+
+    def test_congruence_via_equality(self):
+        # sx == "a"  ⟹  sx ++ "b" == "ab" is NOT derived (concat is an
+        # uninterpreted operator beyond constant folding) — the solver
+        # must stay agnostic, not wrong.
+        facts = Facts()
+        facts.assert_term(seq_(SX, sstr("a")))
+        concat = SOp("concat", (SX, sstr("b")))
+        assert not facts.implies(seq_(concat, sstr("ab")))  # incomplete
+        assert not facts.implies(snot(seq_(concat, sstr("ab"))))  # but
+        # never claims the false direction either
+
+    def test_syntactic_concat_equality(self):
+        facts = Facts()
+        facts.assert_term(seq_(SX, SY))
+        a = simplify(SOp("concat", (SX, sstr("!"))))
+        # identical terms are equal regardless of theory
+        assert facts.implies(seq_(a, a))
+
+
+class TestStringEqualities:
+    def test_chained_disequalities(self):
+        facts = Facts()
+        facts.assert_term(snot(seq_(SX, sstr("a"))))
+        facts.assert_term(snot(seq_(SX, sstr("b"))))
+        assert not facts.inconsistent()  # plenty of other strings exist
+        facts.assert_term(seq_(SX, sstr("a")))
+        assert facts.inconsistent()
+
+    def test_variable_chains(self):
+        z = SVar("sz", ty.STR, "config")
+        facts = Facts()
+        facts.assert_term(seq_(SX, SY))
+        facts.assert_term(seq_(SY, z))
+        facts.assert_term(snot(seq_(SX, z)))
+        assert facts.inconsistent()
+
+    def test_empty_string_is_a_value_like_any_other(self):
+        facts = Facts()
+        facts.assert_term(seq_(SX, sstr("")))
+        assert facts.implies(snot(seq_(SX, sstr("nonempty"))))
