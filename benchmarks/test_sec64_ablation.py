@@ -6,6 +6,8 @@ combined table with speedups is written to
 ``benchmarks/results/sec64_ablation.txt``.
 """
 
+import os
+
 import pytest
 
 from repro.harness import ablation
@@ -36,3 +38,26 @@ def test_ablation_table(benchmark, record_table):
     total_none = sum(r.seconds["none"] for r in rows)
     assert total_none > total_full
     record_table("sec64_ablation", ablation.render_ablation(rows))
+
+
+def test_runtime_pipeline_table(benchmark, record_table):
+    rows = benchmark.pedantic(
+        ablation.run_runtime_ablation,
+        kwargs={"jobs": 4, "repeats": 2}, rounds=1, iterations=1,
+    )
+    assert len(rows) == 7
+    # Verdicts and checked derivation keys must be bitwise-identical
+    # across cold, warm-store, and parallel runs on every benchmark.
+    assert all(r.invariant for r in rows)
+    # A warm proof store must beat the cold serial run overall.
+    total_cold = sum(r.serial_cold for r in rows)
+    total_warm = sum(r.warm_store for r in rows)
+    assert total_warm < total_cold
+    # Parallel verification only wins with real cores to fan out to;
+    # single-CPU containers pay pure process overhead, so gate on the
+    # scheduler's affinity mask.
+    if len(os.sched_getaffinity(0)) > 1:
+        total_parallel = sum(r.parallel for r in rows)
+        assert total_parallel < total_cold
+    record_table("runtime_pipeline",
+                 ablation.render_runtime_ablation(rows))

@@ -4,6 +4,8 @@ The pushbutton workflow of the paper as a tool::
 
     python -m repro verify kernel.rfx          # prove every property
     python -m repro verify kernel.rfx -p Name  # one property
+    python -m repro verify car --jobs 4        # builtin kernel, parallel
+    python -m repro verify car --profile --json  # spans + counters, JSON
     python -m repro check kernel.rfx           # parse + validate only
     python -m repro fmt kernel.rfx             # canonical formatting
     python -m repro bench --figure6            # regenerate Figure 6
@@ -17,15 +19,29 @@ the automation (re-run on every modification, section 6.3/6.4).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
+import time
 from typing import List, Optional
 
+from . import obs
 from .frontend import parse_program, pretty
 from .lang.errors import ReflexError
-from .prover import ProverOptions, Verifier
+from .prover import ProverOptions, VerificationReport, Verifier
 
 
 def _load(path: str):
+    """Parse a kernel file; a bare builtin benchmark name (``car``,
+    ``browser``, ...) loads the corresponding builtin system."""
+    if not os.path.exists(path) and os.sep not in path \
+            and not path.endswith(".rfx"):
+        from .systems import BENCHMARKS
+
+        module = BENCHMARKS.get(path)
+        if module is not None:
+            return module.load()
     with open(path, "r", encoding="utf-8") as handle:
         return parse_program(handle.read())
 
@@ -59,16 +75,41 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     options = ProverOptions(
         syntactic_skip=not args.no_skip,
         check_proofs=not args.no_check,
+        proof_store=args.store,
     )
     verifier = Verifier(spec, options)
-    if args.property:
-        results = [verifier.prove_property(
-            spec.property_named(args.property)
-        )]
-    else:
-        results = verifier.verify_all().results
+    telemetry = obs.Telemetry() if args.profile else None
+    scope = obs.use(telemetry) if telemetry is not None \
+        else contextlib.nullcontext()
+    with scope:
+        if args.property:
+            try:
+                prop = spec.property_named(args.property)
+            except KeyError:
+                available = ", ".join(
+                    sorted(p.name for p in spec.properties)
+                ) or "(none)"
+                print(
+                    f"error: no property {args.property!r} in "
+                    f"{spec.name}; available: {available}",
+                    file=sys.stderr,
+                )
+                return 2
+            start = time.perf_counter()
+            report = VerificationReport(spec.name, [
+                verifier.prove_property(prop)
+            ])
+            report.wall_seconds = time.perf_counter() - start
+        else:
+            report = verifier.verify_all(jobs=args.jobs)
+    if args.json:
+        payload = report.to_dict()
+        if telemetry is not None:
+            payload["telemetry"] = telemetry.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0 if report.all_proved else 1
     failed = 0
-    for result in results:
+    for result in report.results:
         if args.explain:
             from .prover.explain import explain_result
 
@@ -82,8 +123,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             failed += 1
             if result.counterexample is not None and args.counterexample:
                 print(result.counterexample)
-    total = len(results)
+    total = len(report.results)
     print(f"{total - failed}/{total} properties proved")
+    if telemetry is not None:
+        print(telemetry.render())
     return 0 if failed == 0 else 1
 
 
@@ -97,7 +140,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(mutation.render_mutation(mutation.run_mutation()))
         ran = True
     if args.figure6 or args.all:
-        print(figure6.render_figure6(figure6.run_figure6()))
+        if args.profile:
+            rows, profiles = figure6.run_figure6_profiled()
+            print(figure6.render_figure6(rows))
+            print(figure6.render_profiles(profiles))
+        else:
+            print(figure6.render_figure6(figure6.run_figure6()))
         ran = True
     if args.table1 or args.all:
         print(table1.render_table1(table1.run_table1()))
@@ -107,6 +155,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ran = True
     if args.ablation or args.all:
         print(ablation.render_ablation(ablation.run_ablation()))
+        ran = True
+    if args.runtime or args.all:
+        print(ablation.render_runtime_ablation(
+            ablation.run_runtime_ablation()))
         ran = True
     if args.effort or args.all:
         print(effort.render_effort(effort.run_effort()))
@@ -139,7 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.set_defaults(func=_cmd_fmt)
 
     verify = sub.add_parser("verify", help="prove a kernel's properties")
-    verify.add_argument("file")
+    verify.add_argument("file",
+                        help="a kernel file or builtin benchmark name")
     verify.add_argument("-p", "--property", help="verify one property")
     verify.add_argument("--no-check", action="store_true",
                         help="skip re-validation of derivations")
@@ -149,13 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print candidate counterexamples on failure")
     verify.add_argument("-e", "--explain", action="store_true",
                         help="narrate each proof (or failure) in prose")
+    verify.add_argument("-j", "--jobs", type=int, default=1,
+                        help="verify properties across N worker processes")
+    verify.add_argument("--profile", action="store_true",
+                        help="collect and report spans and counters")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the report (and profile) as JSON")
+    verify.add_argument("--store", metavar="DIR",
+                        help="persistent proof store directory")
     verify.set_defaults(func=_cmd_verify)
 
     bench = sub.add_parser("bench",
                            help="regenerate the paper's tables/figures")
-    for flag in ("figure6", "table1", "utility", "ablation", "effort",
-                 "soundness", "mutation", "all"):
+    for flag in ("figure6", "table1", "utility", "ablation", "runtime",
+                 "effort", "soundness", "mutation", "all"):
         bench.add_argument(f"--{flag}", action="store_true")
+    bench.add_argument("--profile", action="store_true",
+                       help="add per-benchmark pipeline breakdowns")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

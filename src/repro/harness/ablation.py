@@ -21,10 +21,12 @@ handlers (the browser variants), as in the paper.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..prover import ProverOptions, Verifier
 from ..systems import BENCHMARKS
@@ -135,8 +137,109 @@ def render_ablation(rows: List[AblationRow]) -> str:
     return "\n".join(out)
 
 
+@dataclass
+class RuntimeRow:
+    """Pipeline-runtime measurements for one benchmark: a serial cold
+    run, a warm run against a populated proof store, and a parallel run,
+    plus whether every configuration agreed bit-for-bit."""
+
+    benchmark: str
+    serial_cold: float
+    warm_store: float
+    parallel: float
+    jobs: int
+    #: True when statuses and checked derivation keys are identical
+    #: across the cold, warm, and parallel runs
+    invariant: bool
+
+    def warm_speedup(self) -> float:
+        """How much faster the warm-store run is than the cold one."""
+        return self.serial_cold / self.warm_store \
+            if self.warm_store > 0 else float("inf")
+
+
+def _report_signature(report) -> List:
+    """The invariance signature of a report: per-property status,
+    checked flag, and derivation key, in specification order."""
+    return [(r.property.name, r.status, r.checked, r.derivation_key())
+            for r in report.results]
+
+
+def run_runtime_ablation(jobs: int = 4, repeats: int = 2,
+                         store_root: Optional[str] = None
+                         ) -> List[RuntimeRow]:
+    """Measure the pipeline's runtime levers per benchmark: cold serial
+    verification, warm verification against the proof store the cold run
+    populated, and parallel verification, asserting along the way that
+    the verdicts and checked derivation keys never change."""
+    root = store_root or tempfile.mkdtemp(prefix="repro-proofstore-")
+    rows: List[RuntimeRow] = []
+    try:
+        for name, module in BENCHMARKS.items():
+            spec = module.load()
+            store_dir = f"{root}/{name}"
+            shutil.rmtree(store_dir, ignore_errors=True)
+            stored = ProverOptions(proof_store=store_dir)
+
+            cold_report = Verifier(spec, stored).verify_all()
+            cold = cold_report.wall_seconds
+            signature = _report_signature(cold_report)
+
+            warm = float("inf")
+            invariant = True
+            for _ in range(repeats):
+                warm_report = Verifier(spec, stored).verify_all()
+                warm = min(warm, warm_report.wall_seconds)
+                invariant &= _report_signature(warm_report) == signature
+
+            par_report = Verifier(spec, ProverOptions()) \
+                .verify_all(jobs=jobs)
+            invariant &= _report_signature(par_report) == signature
+
+            rows.append(RuntimeRow(
+                benchmark=name,
+                serial_cold=cold,
+                warm_store=warm,
+                parallel=par_report.wall_seconds,
+                jobs=jobs,
+                invariant=invariant,
+            ))
+    finally:
+        if store_root is None:
+            shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+def render_runtime_ablation(rows: List[RuntimeRow]) -> str:
+    """Render the runtime table with its invariance verdict."""
+    jobs = rows[0].jobs if rows else 0
+    out = [
+        "Pipeline runtime — proof store and parallel verification "
+        "(seconds per benchmark, all properties)",
+        f"{'benchmark':10s} {'cold':>10s} {'warm':>10s} "
+        f"{f'jobs={jobs}':>10s} {'warm-speedup':>13s}",
+    ]
+    for row in rows:
+        out.append(
+            f"{row.benchmark:10s} {row.serial_cold:10.4f} "
+            f"{row.warm_store:10.4f} {row.parallel:10.4f} "
+            f"{row.warm_speedup():12.1f}x"
+        )
+    total_cold = sum(r.serial_cold for r in rows)
+    total_warm = sum(r.warm_store for r in rows)
+    ok = all(r.invariant for r in rows)
+    out.append(
+        f"[shape] verdicts and derivation keys identical across cold, "
+        f"warm, and parallel runs: {'PASS' if ok else 'FAIL'}; "
+        f"warm store {total_cold / total_warm:.1f}x faster overall"
+        if total_warm > 0 else "[shape] no timings collected"
+    )
+    return "\n".join(out)
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
     print(render_ablation(run_ablation()))
+    print(render_runtime_ablation(run_runtime_ablation()))
 
 
 if __name__ == "__main__":  # pragma: no cover

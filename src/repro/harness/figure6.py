@@ -17,10 +17,10 @@ targets are the *shape* claims of section 6.2/6.4:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..props.spec import NonInterference
 from ..prover import ProverOptions, Verifier
 from ..systems import BENCHMARKS
@@ -124,12 +124,40 @@ class Figure6Row:
     is_noninterference: bool
 
 
-def run_figure6(options: Optional[ProverOptions] = None) -> List[Figure6Row]:
-    """Verify every Figure 6 property; returns one row per paper row."""
+@dataclass
+class BenchmarkProfile:
+    """Per-benchmark telemetry: counters plus per-stage seconds."""
+
+    benchmark: str
+    counters: Dict[str, int] = field(default_factory=dict)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def skip_rate(self) -> float:
+        """Fraction of trace-tactic exchanges discharged syntactically."""
+        skipped = self.counters.get("tactic.exchange.skipped", 0)
+        expanded = self.counters.get("tactic.exchange.expanded", 0)
+        total = skipped + expanded
+        return skipped / total if total else 0.0
+
+
+def run_figure6_profiled(
+    options: Optional[ProverOptions] = None,
+    jobs: Optional[int] = None,
+) -> Tuple[List[Figure6Row], List[BenchmarkProfile]]:
+    """Verify every Figure 6 property under a telemetry sink per
+    benchmark; returns the paper rows plus per-benchmark per-stage
+    breakdowns."""
     rows: List[Figure6Row] = []
+    profiles: List[BenchmarkProfile] = []
     reports: Dict[str, object] = {}
     for name, module in BENCHMARKS.items():
-        reports[name] = Verifier(module.load(), options).verify_all()
+        with obs.use(obs.Telemetry()) as telemetry:
+            reports[name] = Verifier(
+                module.load(), options
+            ).verify_all(jobs=jobs)
+        profiles.append(BenchmarkProfile(
+            name, dict(telemetry.counters), telemetry.stage_seconds()
+        ))
     for benchmark, prop_name, description, paper_seconds in PAPER_FIGURE6:
         result = reports[benchmark].result_named(prop_name)
         rows.append(Figure6Row(
@@ -141,7 +169,35 @@ def run_figure6(options: Optional[ProverOptions] = None) -> List[Figure6Row]:
             proved=result.proved,
             is_noninterference=isinstance(result.property, NonInterference),
         ))
+    return rows, profiles
+
+
+def run_figure6(options: Optional[ProverOptions] = None) -> List[Figure6Row]:
+    """Verify every Figure 6 property; returns one row per paper row."""
+    rows, _ = run_figure6_profiled(options)
     return rows
+
+
+def render_profiles(profiles: List[BenchmarkProfile]) -> str:
+    """Render the per-benchmark pipeline breakdown: plan/search/check
+    seconds, solver calls, seval paths, and the syntactic-skip rate."""
+    out = [
+        "Figure 6 — per-benchmark pipeline breakdown",
+        f"{'benchmark':10s} {'plan(s)':>9s} {'search(s)':>10s} "
+        f"{'check(s)':>9s} {'implies':>9s} {'paths':>7s} {'skip%':>6s}",
+    ]
+    for profile in profiles:
+        stages = profile.stage_seconds
+        out.append(
+            f"{profile.benchmark:10s} "
+            f"{stages.get('plan', 0.0):9.4f} "
+            f"{stages.get('search', 0.0):10.4f} "
+            f"{stages.get('check', 0.0):9.4f} "
+            f"{profile.counters.get('solver.implies', 0):9d} "
+            f"{profile.counters.get('seval.paths', 0):7d} "
+            f"{profile.skip_rate() * 100:5.1f}%"
+        )
+    return "\n".join(out)
 
 
 def render_figure6(rows: List[Figure6Row]) -> str:

@@ -1,0 +1,31 @@
+"""Observability for the prover stack: counters and span timings.
+
+The prover, tactics, solver and symbolic evaluator report events here —
+solver entailment calls, enumerated symbolic paths, proof-store hits and
+misses, syntactic-skip rates — and the engine wraps each pipeline stage
+(plan / search / check) in a timed span.  Everything is a no-op unless a
+:class:`Telemetry` sink is installed with :func:`use`, so the default
+verification path pays only a module-global ``None`` check per event.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.use(obs.Telemetry()) as telemetry:
+        verifier.verify_all()
+    print(telemetry.render())
+
+Worker processes install their own sink and ship ``counters``/``spans``
+back to the parent, which folds them in with :meth:`Telemetry.merge`.
+"""
+
+from .telemetry import Span, Telemetry, active, incr, span, use
+
+__all__ = [
+    "Span",
+    "Telemetry",
+    "active",
+    "incr",
+    "span",
+    "use",
+]

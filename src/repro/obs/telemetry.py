@@ -1,0 +1,146 @@
+"""The telemetry sink: named counters plus a flat list of timed spans.
+
+Design constraints, in order:
+
+* **cheap when off** — the hot call sites (``Facts.implies`` runs tens of
+  thousands of times per benchmark) go through :func:`incr`, which is a
+  single module-global read and a ``None`` check when no sink is
+  installed;
+* **process-portable** — a worker process installs its own sink, runs a
+  task, and returns ``(counters, spans)`` for the parent to
+  :meth:`Telemetry.merge`; spans are plain frozen dataclasses so they
+  pickle;
+* **structured output** — :meth:`Telemetry.to_dict` is what
+  ``python -m repro verify --profile --json`` embeds, and
+  :meth:`Telemetry.render` is the human-readable block.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed region: a name, elapsed seconds, sorted attributes."""
+
+    name: str
+    seconds: float
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the span."""
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "attrs": dict(self.attrs),
+        }
+
+
+class Telemetry:
+    """A sink accumulating counters and spans for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.spans: List[Span] = []
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, span_: Span) -> None:
+        """Append one finished span."""
+        self.spans.append(span_)
+
+    def merge(self, counters: Dict[str, int],
+              spans: Iterable[Span]) -> None:
+        """Fold a worker's counters and spans into this sink."""
+        for name, amount in counters.items():
+            self.incr(name, amount)
+        self.spans.extend(spans)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total seconds per span name (e.g. plan / search / check)."""
+        out: Dict[str, float] = {}
+        for span_ in self.spans:
+            out[span_.name] = out.get(span_.name, 0.0) + span_.seconds
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: counters, per-stage totals, and raw spans."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "stage_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stage_seconds().items())
+            },
+            "spans": [span_.to_dict() for span_ in self.spans],
+        }
+
+    def render(self) -> str:
+        """Human-readable profile block (counters + stage totals)."""
+        lines = ["profile:"]
+        stages = self.stage_seconds()
+        if stages:
+            lines.append("  stage seconds:")
+            for name, seconds in sorted(stages.items()):
+                lines.append(f"    {name:24s} {seconds:10.4f}")
+        if self.counters:
+            lines.append("  counters:")
+            for name, amount in sorted(self.counters.items()):
+                lines.append(f"    {name:32s} {amount:10d}")
+        if len(lines) == 1:
+            lines.append("  (no events recorded)")
+        return "\n".join(lines)
+
+
+#: The installed sink (one per process; workers install their own).
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The currently installed sink, or ``None``."""
+    return _ACTIVE
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Count an event on the active sink; no-op when none is installed."""
+    sink = _ACTIVE
+    if sink is not None:
+        sink.counters[name] = sink.counters.get(name, 0) + amount
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Time the enclosed block as a span on the active sink.
+
+    When no sink is installed the block runs untimed at no cost.
+    """
+    sink = _ACTIVE
+    if sink is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink.record(Span(
+            name,
+            time.perf_counter() - start,
+            tuple(sorted((key, str(value)) for key, value in attrs.items())),
+        ))
+
+
+@contextmanager
+def use(sink: Telemetry) -> Iterator[Telemetry]:
+    """Install ``sink`` for the duration of the block (re-entrant)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = sink
+    try:
+        yield sink
+    finally:
+        _ACTIVE = previous

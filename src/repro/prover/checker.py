@@ -12,6 +12,10 @@ search:
   invariant use re-checks against the solver, including the full secondary
   induction of every invariant proof.
 
+For non-interference records (where search and check coincide by
+construction) the validation pass re-derives the base condition and the
+*coverage* of the recorded verdicts — see :func:`ni_proof_complaints`.
+
 The trusted base of the reproduction is therefore: the symbolic evaluator
 (shared between search and checker — the analog of Coq's evaluation rules),
 the solver, the matcher, and this module.  The search — the analog of the
@@ -20,16 +24,17 @@ paper's 1,768 lines of Ltac — is untrusted.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List
 
-from ..lang.errors import ProofCheckFailure
-from ..props.spec import TraceProperty
+from ..lang.errors import ProofCheckFailure, ProofSearchFailure
 from ..symbolic.behabs import GenericStep
 from .derivation import (
     PathProof,
     SkippedExchange,
     TracePropertyProof,
 )
+from .ni import NIProof, build_labeling, check_ni_base, feasible_ni_triples
 from .obligations import exchange_statically_silent, occurrences, scheme_of
 from .trace_tactics import OccurrenceContext, validate_justification
 
@@ -111,6 +116,77 @@ def trace_proof_complaints(step: GenericStep,
                 ctx, path_proof.occurrence_proofs,
                 f"{ex.ctype}=>{ex.msg} path {path_index}",
             ))
+    return complaints
+
+
+def check_ni_proof(step: GenericStep, proof: NIProof) -> None:
+    """Raise :class:`ProofCheckFailure` unless the NI record is valid."""
+    complaints = ni_proof_complaints(step, proof)
+    if complaints:
+        raise ProofCheckFailure(
+            f"NI record for {proof.prop.name} rejected: "
+            + "; ".join(complaints)
+        )
+
+
+def ni_proof_complaints(step: GenericStep, proof: NIProof) -> List[str]:
+    """All reasons the NI record fails to validate (empty = valid).
+
+    For non-interference the conditions are established *directly* during
+    search — "proof" and "check" coincide (module docstring of
+    :mod:`repro.prover.ni`) — so re-running the search as a validation
+    pass would buy no independence at twice the cost.  What an
+    independent pass *can* establish cheaply is **coverage**: the base
+    condition is re-derived outright (it is a syntactic scan of the Init
+    state), and the record must carry exactly one verdict for every
+    feasible ``(exchange, path, sender-label case)`` triple of the
+    current abstraction, in the canonical order — no triple silently
+    dropped, no verdict for a case that does not exist.  This is the
+    pipeline's check stage for NI obligations, including ones loaded
+    from the persistent proof store.
+    """
+    complaints: List[str] = []
+    labeling = build_labeling(step, proof.prop)
+
+    # Base condition: cheap enough to re-establish in full.
+    try:
+        expected_base = tuple(check_ni_base(step, labeling))
+    except ProofSearchFailure as failure:
+        return [f"base condition fails: {failure}"]
+    if expected_base != proof.base_notes:
+        complaints.append(
+            "recorded base notes differ from the Init determinism check"
+        )
+
+    # Coverage: the exact feasible triples, in the canonical order.
+    expected: List[tuple] = []
+    for ex in step.exchanges:
+        expected.extend(feasible_ni_triples(labeling, ex))
+    recorded = [
+        (v.exchange_key, v.path_index, v.case) for v in proof.verdicts
+    ]
+    if expected != recorded:
+        expected_counts = Counter(expected)
+        recorded_counts = Counter(recorded)
+        for triple, count in expected_counts.items():
+            if recorded_counts.get(triple, 0) < count:
+                (ctype, msg), path_index, case = triple
+                complaints.append(
+                    f"missing NI verdict for {ctype}=>{msg} "
+                    f"path {path_index} ({case} sender)"
+                )
+        for triple, count in recorded_counts.items():
+            if expected_counts.get(triple, 0) < count:
+                (ctype, msg), path_index, case = triple
+                complaints.append(
+                    f"NI verdict for {ctype}=>{msg} path {path_index} "
+                    f"({case} sender) does not correspond to a feasible "
+                    f"case"
+                )
+        if not complaints:
+            complaints.append(
+                "NI verdicts recorded out of canonical order"
+            )
     return complaints
 
 

@@ -7,6 +7,22 @@ or *rejected* with a diagnostic explaining which obligation got stuck —
 the paper's section 6.3 recounts how exactly these diagnostics exposed two
 false web-server policies.
 
+Verification runs as a staged pipeline (see :mod:`repro.prover.pipeline`):
+
+* **plan** — enumerate the property's obligations, each with a stable
+  content-addressed key;
+* **search** — discharge each obligation (consulting the persistent
+  :mod:`proof store <repro.prover.proofstore>` first when one is
+  configured), emitting a derivation;
+* **check** — validate the assembled derivation through the independent
+  :mod:`checker <repro.prover.checker>`.
+
+``verify_all(jobs=N)`` fans properties — and, independently, the NI
+obligations within a property — across a process pool (see
+:mod:`repro.prover.parallel`); each worker memoizes the symbolic
+:class:`GenericStep` once.  Every stage reports counters and spans to
+:mod:`repro.obs` when a telemetry sink is installed.
+
 The engine also hosts the optimizations of paper section 6.4, each behind a
 :class:`ProverOptions` switch so that the ablation benchmark can measure
 their effect:
@@ -23,12 +39,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..lang.errors import ProofCheckFailure, ProofError, ProofSearchFailure
-from ..props.spec import NonInterference, Property, SpecifiedProgram, TraceProperty
+from .. import obs
+from ..lang.errors import ProofCheckFailure, ProofSearchFailure
+from ..props.spec import (
+    NonInterference,
+    Property,
+    SpecifiedProgram,
+    TraceProperty,
+)
 from ..symbolic.behabs import GenericStep, generic_step
-from .checker import check_trace_proof
+from .checker import (
+    check_ni_proof,
+    check_trace_proof,
+    ni_proof_complaints,
+    trace_proof_complaints,
+)
 from .derivation import (
     BoundedProof,
     BoundedSpec,
@@ -37,18 +64,38 @@ from .derivation import (
     TracePropertyProof,
 )
 from .invariants import prove_bounded, prove_invariant
-from .ni import NIProof, prove_noninterference
+from .ni import (
+    Labeling,
+    NIProof,
+    PathVerdict,
+    build_labeling,
+    check_ni_base,
+    check_ni_exchange,
+)
+from .pipeline import Obligation, plan_property
+from .proofstore import (
+    ProofStore,
+    StoreEntry,
+    derivation_key,
+    digest,
+    obligation_key,
+)
 from .trace_tactics import TacticContext, prove_trace_property
 
 
 @dataclass
 class ProverOptions:
-    """Switches for the section-6.4 optimizations plus proof checking."""
+    """Switches for the section-6.4 optimizations plus proof checking.
+
+    ``proof_store`` names a directory for the persistent content-addressed
+    proof cache; ``None`` (the default) disables it.
+    """
 
     syntactic_skip: bool = True
     memoize_step: bool = True
     cache_subproofs: bool = True
     check_proofs: bool = True
+    proof_store: Optional[str] = None
 
 
 @dataclass
@@ -65,10 +112,36 @@ class PropertyResult:
     #: (see :mod:`repro.prover.counterexample`), when the model finder
     #: succeeds
     counterexample: Optional[object] = None
+    #: where the derivation came from: "searched", "store" (every
+    #: obligation served by the persistent proof store), or
+    #: "revalidated" (incremental reuse)
+    source: str = "searched"
 
     @property
     def proved(self) -> bool:
         return self.status == "proved"
+
+    def derivation_key(self) -> Optional[str]:
+        """Content address of the derivation (``None`` for failures).
+
+        Identical across serial/parallel and cold/warm-store runs — the
+        differential tests assert exactly that.
+        """
+        if self.proof is None:
+            return None
+        return derivation_key(self.proof)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the result."""
+        return {
+            "property": self.property.name,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "checked": self.checked,
+            "source": self.source,
+            "derivation_key": self.derivation_key(),
+            "error": self.error,
+        }
 
     def __str__(self) -> str:
         mark = "✓" if self.proved else "✗"
@@ -78,10 +151,16 @@ class PropertyResult:
 
 @dataclass
 class VerificationReport:
-    """Results for every property of one program."""
+    """Results for every property of one program.
+
+    ``total_seconds`` sums the per-property (CPU-side) times;
+    ``wall_seconds`` is the report-level elapsed time.  The two diverge
+    under ``verify_all(jobs=N)``.
+    """
 
     program_name: str
     results: List[PropertyResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
 
     @property
     def all_proved(self) -> bool:
@@ -92,10 +171,27 @@ class VerificationReport:
         return sum(r.seconds for r in self.results)
 
     def result_named(self, name: str) -> PropertyResult:
+        """The result for property ``name``; raises :class:`KeyError`
+        naming the available properties otherwise."""
         for r in self.results:
             if r.property.name == name:
                 return r
-        raise KeyError(name)
+        available = ", ".join(
+            sorted(r.property.name for r in self.results)
+        ) or "(none)"
+        raise KeyError(
+            f"no result for property {name!r}; available: {available}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the report."""
+        return {
+            "program": self.program_name,
+            "all_proved": self.all_proved,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "results": [r.to_dict() for r in self.results],
+        }
 
     def __str__(self) -> str:
         lines = [f"verification report for {self.program_name}:"]
@@ -118,6 +214,12 @@ class Verifier:
         self._step_cache: Optional[GenericStep] = None
         self._invariant_cache: Dict[InvariantSpec, InvariantProof] = {}
         self._bounded_cache: Dict[BoundedSpec, BoundedProof] = {}
+        self._labeling_cache: Dict[str, Labeling] = {}
+        self._program_digest: Optional[str] = None
+        self._store: Optional[ProofStore] = (
+            ProofStore(self.options.proof_store)
+            if self.options.proof_store else None
+        )
 
     # -- building blocks -------------------------------------------------------
 
@@ -125,15 +227,25 @@ class Verifier:
         """The symbolic inductive step (memoized per section 6.4)."""
         if self.options.memoize_step:
             if self._step_cache is None:
-                self._step_cache = generic_step(self.spec.info)
+                with obs.span("step.build", program=self.spec.name):
+                    self._step_cache = generic_step(self.spec.info)
             return self._step_cache
         return generic_step(self.spec.info)
+
+    def program_digest(self) -> str:
+        """Content digest of the program AST (computed once, shared by
+        every obligation key)."""
+        if self._program_digest is None:
+            self._program_digest = digest(self.spec.program)
+        return self._program_digest
 
     def _invariant_prover(self, spec: InvariantSpec) -> InvariantProof:
         if self.options.cache_subproofs:
             cached = self._invariant_cache.get(spec)
             if cached is not None:
+                obs.incr("subproof.invariant.hit")
                 return cached
+        obs.incr("subproof.invariant.miss")
         proof = prove_invariant(
             self.generic_step(), spec,
             syntactic_skip=self.options.syntactic_skip,
@@ -146,7 +258,9 @@ class Verifier:
         if self.options.cache_subproofs:
             cached = self._bounded_cache.get(spec)
             if cached is not None:
+                obs.incr("subproof.bounded.hit")
                 return cached
+        obs.incr("subproof.bounded.miss")
         proof = prove_bounded(self.generic_step(), spec)
         if self.options.cache_subproofs:
             self._bounded_cache[spec] = proof
@@ -160,26 +274,140 @@ class Verifier:
             syntactic_skip=self.options.syntactic_skip,
         )
 
+    # -- pipeline: plan --------------------------------------------------------
+
+    def plan(self, prop: Property) -> Tuple[Obligation, ...]:
+        """Pipeline stage one: the obligations of ``prop``, each with its
+        content-addressed key."""
+        return plan_property(
+            self.spec.program, prop, self.options, self.program_digest()
+        )
+
+    def ni_labeling(self, prop: NonInterference) -> Labeling:
+        """The (memoized) executable labeling θc/θv for ``prop``."""
+        cached = self._labeling_cache.get(prop.name)
+        if cached is None:
+            cached = build_labeling(self.generic_step(), prop)
+            self._labeling_cache[prop.name] = cached
+        return cached
+
+    # -- pipeline: search ------------------------------------------------------
+
+    def ni_part(self, prop: NonInterference,
+                part: Optional[Tuple[str, str]]
+                ) -> Tuple[object, bool]:
+        """Discharge one NI obligation (the base condition when ``part``
+        is ``None``, one exchange otherwise), consulting the proof store
+        first.  Returns ``(payload, from_store)``; raises
+        :class:`ProofSearchFailure` on violation."""
+        key = obligation_key(
+            self.program_digest(), prop, self.options, part
+        )
+        kind = "ni-base" if part is None else "ni-exchange"
+        if self._store is not None:
+            entry = self._store.get(key)
+            if (entry is not None and entry.kind == kind
+                    and entry.checked):
+                return entry.payload, True
+        labeling = self.ni_labeling(prop)
+        step = self.generic_step()
+        where = "base" if part is None else f"{part[0]}=>{part[1]}"
+        with obs.span("search", property=prop.name, part=where):
+            if part is None:
+                payload: object = tuple(check_ni_base(step, labeling))
+            else:
+                payload = tuple(check_ni_exchange(
+                    step, labeling, step.exchange(*part)
+                ))
+        if self._store is not None:
+            # NI search *is* the check (see repro.prover.ni), so the
+            # entry records checker approval in-band.
+            self._store.put(StoreEntry(key, kind, payload, checked=True))
+        return payload, False
+
+    # -- pipeline: check -------------------------------------------------------
+
+    def check_trace_derivation(self,
+                               proof: TracePropertyProof) -> List[str]:
+        """Pipeline check stage for a trace derivation: replay it through
+        the independent checker against the current abstraction."""
+        return trace_proof_complaints(self.generic_step(), proof)
+
+    def check_ni_derivation(self, proof: NIProof) -> List[str]:
+        """Pipeline check stage for an NI record: re-derive the base
+        condition and validate verdict coverage."""
+        return ni_proof_complaints(self.generic_step(), proof)
+
     # -- per-property verification ----------------------------------------------
+
+    def _prove_trace(self, prop: TraceProperty
+                     ) -> Tuple[TracePropertyProof, bool, str]:
+        """Plan, search (store first) and check one trace property."""
+        with obs.span("plan", property=prop.name):
+            (ob,) = self.plan(prop)
+        if self._store is not None:
+            entry = self._store.get(ob.key)
+            if (entry is not None and entry.kind == "trace"
+                    and isinstance(entry.payload, TracePropertyProof)
+                    and entry.payload.property == prop):
+                proof = entry.payload
+                if self.options.check_proofs:
+                    with obs.span("check", property=prop.name):
+                        complaints = self.check_trace_derivation(proof)
+                    if not complaints:
+                        return proof, True, "store"
+                    obs.incr("store.invalid")
+                elif entry.checked:
+                    # Checker approval recorded in-band at store time.
+                    return proof, False, "store"
+        with obs.span("search", property=prop.name):
+            proof = prove_trace_property(self._tactic_context(), prop)
+        checked = False
+        if self.options.check_proofs:
+            with obs.span("check", property=prop.name):
+                check_trace_proof(self.generic_step(), proof)
+            checked = True
+        if self._store is not None:
+            self._store.put(StoreEntry(ob.key, "trace", proof, checked))
+        return proof, checked, "searched"
+
+    def _prove_ni(self, prop: NonInterference
+                  ) -> Tuple[NIProof, bool, str]:
+        """Plan, search (store first) and check one NI property.
+
+        The check stage validates the *recorded* conditions (base
+        re-derivation + verdict coverage) through the checker rather than
+        re-running the whole NI search, halving the cost of the slowest
+        property class.
+        """
+        with obs.span("plan", property=prop.name):
+            obligations = self.plan(prop)
+        all_from_store = True
+        base_notes: Tuple[str, ...] = ()
+        verdicts: List[PathVerdict] = []
+        for ob in obligations:
+            payload, from_store = self.ni_part(prop, ob.part)
+            all_from_store = all_from_store and from_store
+            if ob.part is None:
+                base_notes = tuple(payload)
+            else:
+                verdicts.extend(payload)
+        proof = NIProof(prop, base_notes, tuple(verdicts))
+        checked = False
+        if self.options.check_proofs:
+            with obs.span("check", property=prop.name):
+                check_ni_proof(self.generic_step(), proof)
+            checked = True
+        return proof, checked, "store" if all_from_store else "searched"
 
     def prove_property(self, prop: Property) -> PropertyResult:
         """Prove (and check) one property, timing the whole pipeline."""
         start = time.perf_counter()
         try:
             if isinstance(prop, TraceProperty):
-                proof = prove_trace_property(self._tactic_context(), prop)
-                checked = False
-                if self.options.check_proofs:
-                    check_trace_proof(self.generic_step(), proof)
-                    checked = True
+                proof, checked, source = self._prove_trace(prop)
             elif isinstance(prop, NonInterference):
-                proof = prove_noninterference(self.generic_step(), prop)
-                checked = False
-                if self.options.check_proofs:
-                    # The NI conditions are checked directly (search and
-                    # check coincide); re-run them as the validation pass.
-                    prove_noninterference(self.generic_step(), prop)
-                    checked = True
+                proof, checked, source = self._prove_ni(prop)
             else:
                 raise ProofSearchFailure(f"unknown property form {prop!r}")
         except ProofSearchFailure as failure:
@@ -203,20 +431,36 @@ class Verifier:
             seconds=time.perf_counter() - start,
             proof=proof,
             checked=checked,
+            source=source,
         )
 
-    def verify_all(self) -> VerificationReport:
-        """Verify every property of the program."""
+    def verify_all(self, jobs: Optional[int] = None) -> VerificationReport:
+        """Verify every property of the program.
+
+        With ``jobs > 1`` the properties (and the NI obligations within
+        them) fan out across a process pool; verdicts, derivations and
+        checker approvals are identical to the serial run.
+        """
+        start = time.perf_counter()
         report = VerificationReport(self.spec.name)
-        for prop in self.spec.properties:
-            report.results.append(self.prove_property(prop))
+        if jobs is not None and jobs > 1 and self.spec.properties:
+            from .parallel import verify_parallel
+
+            report.results.extend(
+                verify_parallel(self.spec, self.options, jobs)
+            )
+        else:
+            for prop in self.spec.properties:
+                report.results.append(self.prove_property(prop))
+        report.wall_seconds = time.perf_counter() - start
         return report
 
 
 def verify(spec: SpecifiedProgram,
-           options: Optional[ProverOptions] = None) -> VerificationReport:
+           options: Optional[ProverOptions] = None,
+           jobs: Optional[int] = None) -> VerificationReport:
     """One-shot convenience: verify all properties of ``spec``."""
-    return Verifier(spec, options).verify_all()
+    return Verifier(spec, options).verify_all(jobs=jobs)
 
 
 def prove(spec: SpecifiedProgram, property_name: str,

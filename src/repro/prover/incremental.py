@@ -19,6 +19,12 @@ the old derivation against the *new* program's abstraction.  The search
 is skipped, never the check.  Non-interference results are re-checked
 directly (for NI, checking *is* the proof), so NI reuse only applies to
 byte-identical programs.
+
+Revalidation is exactly the pipeline's *check* stage
+(:meth:`repro.prover.engine.Verifier.check_trace_derivation`); when the
+options carry a ``proof_store`` the engine additionally consults the
+persistent cache, so incremental rounds reuse checked subproofs across
+processes too.
 """
 
 from __future__ import annotations
@@ -27,9 +33,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..lang.errors import ProofCheckFailure
-from ..props.spec import NonInterference, Property, SpecifiedProgram, TraceProperty
-from .checker import trace_proof_complaints
+from .. import obs
+from ..props.spec import Property, SpecifiedProgram, TraceProperty
 from .derivation import TracePropertyProof
 from .engine import PropertyResult, ProverOptions, Verifier
 
@@ -138,17 +143,20 @@ class IncrementalVerifier:
     def _try_revalidate(self, verifier: Verifier, prop: TraceProperty,
                         old_result: PropertyResult
                         ) -> Optional[PropertyResult]:
-        """Replay the old derivation through the checker against the new
-        abstraction; None when it no longer validates."""
+        """Replay the old derivation through the pipeline's check stage
+        against the new abstraction; None when it no longer validates."""
         start = time.perf_counter()
-        step = verifier.generic_step()
-        complaints = trace_proof_complaints(step, old_result.proof)
+        with obs.span("check", property=prop.name, reuse="incremental"):
+            complaints = verifier.check_trace_derivation(old_result.proof)
         if complaints:
+            obs.incr("incremental.revalidation.rejected")
             return None
+        obs.incr("incremental.revalidated")
         return PropertyResult(
             property=prop,
             status="proved",
             seconds=time.perf_counter() - start,
             proof=old_result.proof,
             checked=True,
+            source="revalidated",
         )

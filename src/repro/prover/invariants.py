@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..lang import ast
 from ..lang.errors import ProofSearchFailure
 from ..props.patterns import ActionPattern
@@ -243,9 +244,11 @@ def prove_invariant(step: GenericStep, spec: InvariantSpec,
             step, spec, ex, guard_globals
         )
         if skip:
+            obs.incr("invariant.exchange.skipped")
             cases.append((ex.key, -1, CaseSyntacticSkip()))
             continue
         for path_index, path in enumerate(ex.paths):
+            obs.incr("invariant.case")
             case = _prove_case(step, spec, ex, path)
             if case is None:
                 raise ProofSearchFailure(

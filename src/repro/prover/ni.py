@@ -43,8 +43,9 @@ induction at its root.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from .. import obs
 from ..lang import types as ty
 from ..lang.errors import ProofSearchFailure, ValidationError
 from ..props.spec import NonInterference
@@ -156,16 +157,23 @@ class NIProof:
 def prove_noninterference(step: GenericStep,
                           prop: NonInterference) -> NIProof:
     """Check NIlo/NIhi for every exchange path; raise
-    :class:`ProofSearchFailure` on the first violation."""
+    :class:`ProofSearchFailure` on the first violation.
+
+    This is the serial composition of the pipeline's NI obligations: the
+    base condition (:func:`check_ni_base`) followed by every exchange
+    (:func:`check_ni_exchange`) in program order.  The engine and the
+    parallel driver call the pieces directly so each obligation can be
+    cached and fanned out on its own.
+    """
     labeling = build_labeling(step, prop)
-    base_notes = _check_base(step, labeling)
+    base_notes = check_ni_base(step, labeling)
     verdicts: List[PathVerdict] = []
     for ex in step.exchanges:
-        verdicts.extend(_check_exchange(step, labeling, ex))
+        verdicts.extend(check_ni_exchange(step, labeling, ex))
     return NIProof(prop, tuple(base_notes), tuple(verdicts))
 
 
-def _check_base(step: GenericStep, labeling: Labeling) -> List[str]:
+def check_ni_base(step: GenericStep, labeling: Labeling) -> List[str]:
     """Init must determine high variables and high spawns."""
     notes: List[str] = []
     init_env = step.init.env_dict()
@@ -193,28 +201,64 @@ def _check_base(step: GenericStep, labeling: Labeling) -> List[str]:
     return notes
 
 
-def _check_exchange(step: GenericStep, labeling: Labeling,
-                    ex: Exchange) -> List[PathVerdict]:
-    verdicts: List[PathVerdict] = []
+def ni_case_cubes(labeling: Labeling,
+                  ex: Exchange) -> List[Tuple[str, Tuple[Term, ...]]]:
+    """The sender-label case split of one exchange: ``(case, cube)``
+    pairs, low cases first, in the canonical order shared by the search
+    (:func:`check_ni_exchange`) and the coverage validation
+    (:func:`repro.prover.checker.ni_proof_complaints`)."""
     high_cond = labeling.high_condition(ex.sender)
     low_cond = simplify(snot(high_cond))
+    cases: List[Tuple[str, Tuple[Term, ...]]] = []
     for case, condition in (("low", low_cond), ("high", high_cond)):
         for cube in dnf(condition):
-            for path_index, path in enumerate(ex.paths):
-                facts = Facts()
-                for literal in path.cond:
-                    facts.assert_term(literal)
-                for literal in cube:
-                    facts.assert_term(literal)
-                if facts.inconsistent():
-                    continue
-                if case == "low":
-                    notes = _check_nilo(step, labeling, ex, path, facts)
-                else:
-                    notes = _check_nihi(step, labeling, ex, path, facts)
-                verdicts.append(PathVerdict(
-                    ex.key, path_index, case, tuple(notes)
-                ))
+            cases.append((case, cube))
+    return cases
+
+
+def feasible_ni_triples(labeling: Labeling,
+                        ex: Exchange) -> List[Tuple[Tuple[str, str],
+                                                    int, str]]:
+    """Every ``(exchange key, path index, case)`` triple of ``ex`` whose
+    path condition is consistent with its sender-label cube — exactly the
+    triples :func:`check_ni_exchange` emits verdicts for, in the same
+    order."""
+    triples: List[Tuple[Tuple[str, str], int, str]] = []
+    for case, cube in ni_case_cubes(labeling, ex):
+        for path_index, path in enumerate(ex.paths):
+            facts = Facts()
+            for literal in path.cond:
+                facts.assert_term(literal)
+            for literal in cube:
+                facts.assert_term(literal)
+            if facts.inconsistent():
+                continue
+            triples.append((ex.key, path_index, case))
+    return triples
+
+
+def check_ni_exchange(step: GenericStep, labeling: Labeling,
+                      ex: Exchange) -> List[PathVerdict]:
+    """Check NIlo/NIhi on every feasible path case of one exchange — the
+    pipeline's per-exchange NI obligation."""
+    verdicts: List[PathVerdict] = []
+    for case, cube in ni_case_cubes(labeling, ex):
+        for path_index, path in enumerate(ex.paths):
+            facts = Facts()
+            for literal in path.cond:
+                facts.assert_term(literal)
+            for literal in cube:
+                facts.assert_term(literal)
+            if facts.inconsistent():
+                continue
+            obs.incr("ni.path_case")
+            if case == "low":
+                notes = _check_nilo(step, labeling, ex, path, facts)
+            else:
+                notes = _check_nihi(step, labeling, ex, path, facts)
+            verdicts.append(PathVerdict(
+                ex.key, path_index, case, tuple(notes)
+            ))
     return verdicts
 
 

@@ -1,0 +1,244 @@
+"""Process-pool fan-out for ``Verifier.verify_all(jobs=N)``.
+
+Task granularity follows the pipeline's obligations: each trace property
+is one task; each NI property fans out into its base obligation plus one
+task per exchange, assembled (in canonical exchange order) by the parent
+and validated by a final coverage-check task.  Every worker hosts one
+:class:`~repro.prover.engine.Verifier` built in the pool initializer, so
+the symbolic :class:`~repro.symbolic.behabs.GenericStep` is computed
+once per worker and shared by all tasks that land there; a configured
+proof store is likewise shared (its writes are atomic).
+
+Determinism: each task computes exactly what the serial engine computes
+for the same obligation, and the parent reassembles NI verdicts in the
+serial order, so verdicts, derivations and derivation keys are identical
+to a serial run — asserted by the differential tests.
+
+Each task runs under its own telemetry sink; the resulting counters and
+spans travel back with the task result and are merged into the parent's
+active sink.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..lang.errors import ProofSearchFailure
+from ..props.spec import NonInterference, SpecifiedProgram
+from .ni import NIProof, PathVerdict
+
+#: The worker-global verifier, built once per process by :func:`_init_worker`.
+_WORKER = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's Verifier from the pickled
+    ``(spec, options)`` pair."""
+    global _WORKER
+    from .engine import Verifier
+
+    spec, options = pickle.loads(payload)
+    _WORKER = Verifier(spec, options)
+
+
+def _execute(task: tuple) -> tuple:
+    """Run one task against the worker-global verifier."""
+    kind = task[0]
+    if kind == "prop":
+        index = task[1]
+        return ("result", _WORKER.prove_property(
+            _WORKER.spec.properties[index]
+        ))
+    if kind == "ni-part":
+        index, part = task[1], task[2]
+        prop = _WORKER.spec.properties[index]
+        start = time.perf_counter()
+        try:
+            payload, from_store = _WORKER.ni_part(prop, part)
+        except ProofSearchFailure as failure:
+            return ("fail", str(failure), time.perf_counter() - start)
+        return ("ok", payload, from_store, time.perf_counter() - start)
+    if kind == "ni-check":
+        index, proof = task[1], task[2]
+        start = time.perf_counter()
+        complaints = tuple(_WORKER.check_ni_derivation(proof))
+        return ("checked", complaints, time.perf_counter() - start)
+    raise ValueError(f"unknown task {task!r}")
+
+
+def _run_task(task: tuple) -> tuple:
+    """Task entry point: execute under a private telemetry sink and ship
+    the counters/spans back for the parent to merge."""
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry):
+        outcome = _execute(task)
+    return task, outcome, telemetry.counters, telemetry.spans
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap start-up, shares the already-parsed
+    modules); fall back to the platform default where unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class _NIAssembly:
+    """Parent-side state for one NI property's fanned-out obligations."""
+
+    def __init__(self, index: int,
+                 parts: Sequence[Optional[Tuple[str, str]]]) -> None:
+        self.index = index
+        self.parts = list(parts)
+        self.payloads: Dict[Optional[Tuple[str, str]], tuple] = {}
+        self.failures: Dict[Optional[Tuple[str, str]], str] = {}
+        self.from_store = True
+        self.seconds = 0.0
+
+    def complete(self) -> bool:
+        """Have all fanned-out obligations reported back?"""
+        return (len(self.payloads) + len(self.failures)
+                == len(self.parts))
+
+    def first_error(self) -> Optional[str]:
+        """The first failure in canonical part order (matches the error
+        the serial engine would raise), or ``None``."""
+        for part in self.parts:
+            if part in self.failures:
+                return self.failures[part]
+        return None
+
+    def assemble(self, prop: NonInterference) -> NIProof:
+        """Rebuild the NI record in serial (canonical) order."""
+        base_notes = tuple(self.payloads[None])
+        verdicts: List[PathVerdict] = []
+        for part in self.parts:
+            if part is None:
+                continue
+            verdicts.extend(self.payloads[part])
+        return NIProof(prop, base_notes, tuple(verdicts))
+
+
+def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
+    """Verify every property of ``spec`` across a pool of ``jobs``
+    workers; returns per-property results in specification order."""
+    from .engine import PropertyResult
+
+    exchange_parts = list(spec.program.exchange_keys())
+    tasks: List[tuple] = []
+    assemblies: Dict[int, _NIAssembly] = {}
+    for index, prop in enumerate(spec.properties):
+        if isinstance(prop, NonInterference):
+            parts: List[Optional[Tuple[str, str]]] = [None]
+            parts.extend(exchange_parts)
+            assemblies[index] = _NIAssembly(index, parts)
+            tasks.extend(("ni-part", index, part) for part in parts)
+        else:
+            tasks.append(("prop", index))
+
+    telemetry = obs.active()
+    results: Dict[int, PropertyResult] = {}
+    payload = pickle.dumps((spec, options))
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        pending = {pool.submit(_run_task, task) for task in tasks}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task, outcome, counters, spans = future.result()
+                if telemetry is not None:
+                    telemetry.merge(counters, spans)
+                kind = task[0]
+                if kind == "prop":
+                    results[task[1]] = outcome[1]
+                elif kind == "ni-part":
+                    index, part = task[1], task[2]
+                    assembly = assemblies[index]
+                    if outcome[0] == "fail":
+                        assembly.failures[part] = outcome[1]
+                        assembly.seconds += outcome[2]
+                    else:
+                        assembly.payloads[part] = outcome[1]
+                        assembly.from_store = (
+                            assembly.from_store and outcome[2]
+                        )
+                        assembly.seconds += outcome[3]
+                    if assembly.complete():
+                        finished = _finish_ni(
+                            spec, options, assembly, pool, pending
+                        )
+                        if finished is not None:
+                            results[index] = finished
+                elif kind == "ni-check":
+                    index = task[1]
+                    results[index] = _finalize_checked_ni(
+                        spec, assemblies[index], task[2], outcome
+                    )
+    return [results[index] for index in range(len(spec.properties))]
+
+
+def _finish_ni(spec, options, assembly: _NIAssembly, pool, pending):
+    """All obligations of one NI property are in: either produce the
+    failed result, finalize unchecked, or submit the coverage-check
+    task (returning ``None`` until it lands)."""
+    from .engine import PropertyResult
+
+    prop = spec.properties[assembly.index]
+    error = assembly.first_error()
+    if error is not None:
+        return PropertyResult(
+            property=prop,
+            status="failed",
+            seconds=assembly.seconds,
+            error=error,
+        )
+    proof = assembly.assemble(prop)
+    if not options.check_proofs:
+        return PropertyResult(
+            property=prop,
+            status="proved",
+            seconds=assembly.seconds,
+            proof=proof,
+            checked=False,
+            source="store" if assembly.from_store else "searched",
+        )
+    pending.add(pool.submit(
+        _run_task, ("ni-check", assembly.index, proof)
+    ))
+    return None
+
+
+def _finalize_checked_ni(spec, assembly: _NIAssembly, proof: NIProof,
+                         outcome: tuple):
+    """Turn the coverage-check outcome into the property's result."""
+    from .engine import PropertyResult
+
+    prop = spec.properties[assembly.index]
+    complaints, seconds = outcome[1], outcome[2]
+    total = assembly.seconds + seconds
+    if complaints:
+        return PropertyResult(
+            property=prop,
+            status="failed",
+            seconds=total,
+            error="proof checker rejected the derivation: "
+                  + "; ".join(complaints),
+        )
+    return PropertyResult(
+        property=prop,
+        status="proved",
+        seconds=total,
+        proof=proof,
+        checked=True,
+        source="store" if assembly.from_store else "searched",
+    )

@@ -1,0 +1,87 @@
+"""The staged obligation pipeline: plan → search → check.
+
+Verifying a property decomposes into three stages, each observable and
+separately cacheable:
+
+* **plan** — enumerate the property's :class:`Obligation` list against
+  the program.  Planning is *syntactic*: a trace property is one
+  obligation; an NI property is a base obligation plus one obligation per
+  ``(component type, message)`` exchange of the kernel (read off
+  ``Program.exchange_keys()`` — no symbolic step needed), which is what
+  lets the parallel driver fan NI work out before any worker has built
+  the :class:`~repro.symbolic.behabs.GenericStep`.
+* **search** — discharge one obligation, emitting a derivation fragment
+  (a :class:`~repro.prover.derivation.TracePropertyProof`, the NI base
+  notes, or one exchange's :class:`~repro.prover.ni.PathVerdict` group).
+* **check** — validate the assembled derivation through
+  :mod:`repro.prover.checker`, independently of how it was found.
+
+Every obligation carries a stable content-addressed ``key`` (program AST
++ property + derivation-relevant options + part, see
+:mod:`repro.prover.proofstore`), which is the identity under which the
+persistent proof store files its result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..lang.errors import ProofSearchFailure
+from ..props.spec import NonInterference, Property, TraceProperty
+from .proofstore import digest, obligation_key
+
+#: Obligation kinds, in the order they are planned.
+TRACE = "trace"
+NI_BASE = "ni-base"
+NI_EXCHANGE = "ni-exchange"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One independently dischargeable unit of proof work.
+
+    ``part`` is ``None`` for whole-property obligations (a trace property,
+    the NI base condition) and an exchange key ``(ctype, msg)`` for one
+    NI exchange.  ``key`` is the obligation's content address.
+    """
+
+    kind: str  # TRACE | NI_BASE | NI_EXCHANGE
+    property_name: str
+    key: str
+    part: Optional[Tuple[str, str]] = None
+
+    def __str__(self) -> str:
+        where = f" {self.part[0]}=>{self.part[1]}" if self.part else ""
+        return f"{self.kind}:{self.property_name}{where} [{self.key[:12]}]"
+
+
+def plan_property(program: object, prop: Property, options: object,
+                  program_digest: Optional[str] = None
+                  ) -> Tuple[Obligation, ...]:
+    """Enumerate the obligations of ``prop`` against ``program``.
+
+    ``program_digest`` (the :func:`repro.prover.proofstore.digest` of the
+    program AST) may be passed in to avoid re-fingerprinting the program
+    for every property; it is computed on demand otherwise.
+    """
+    if program_digest is None:
+        program_digest = digest(program)
+    if isinstance(prop, TraceProperty):
+        return (Obligation(
+            TRACE, prop.name,
+            obligation_key(program_digest, prop, options, None),
+        ),)
+    if isinstance(prop, NonInterference):
+        planned = [Obligation(
+            NI_BASE, prop.name,
+            obligation_key(program_digest, prop, options, None),
+        )]
+        for part in program.exchange_keys():
+            planned.append(Obligation(
+                NI_EXCHANGE, prop.name,
+                obligation_key(program_digest, prop, options, part),
+                part,
+            ))
+        return tuple(planned)
+    raise ProofSearchFailure(f"unknown property form {prop!r}")

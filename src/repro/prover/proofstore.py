@@ -1,0 +1,224 @@
+"""Persistent, content-addressed storage of checked derivations.
+
+Every proof obligation of the pipeline carries a stable key: the SHA-256
+of a canonical rendering of (program AST, property, derivation-relevant
+:class:`~repro.prover.engine.ProverOptions`, obligation part).  The store
+is a directory of pickled :class:`StoreEntry` files, one per key, so
+repeated ``verify``/``bench`` runs — and the incremental harness — reuse
+checked subproofs across processes.
+
+Canonicalization matters: ``repr`` of a ``frozenset`` (e.g. an NI
+property's ``high_vars``) depends on ``PYTHONHASHSEED``, so
+:func:`fingerprint` renders sets and dict keys in sorted order.  Two
+processes therefore always agree on the key of the same obligation.
+
+Trust story (see DESIGN.md): the store is *outside* the trusted base.
+Trace derivations loaded from the store are replayed through the
+independent checker against the current abstraction before they are
+accepted; NI records (whose search *is* the check) carry the checker
+approval in-band (``StoreEntry.checked``) and are re-validated for
+coverage by :func:`repro.prover.checker.ni_proof_complaints`.  A corrupt
+or truncated entry is treated as a miss and re-proved, never trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from .. import obs
+
+#: Bump to invalidate every stored entry on a format change.
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprints
+# ---------------------------------------------------------------------------
+
+
+def fingerprint(value: object) -> str:
+    """A canonical, process-stable rendering of a value tree.
+
+    Dataclasses render as ``Name(field=...)`` over their declared fields;
+    dict items and set/frozenset members are emitted in sorted order so
+    the result never depends on ``PYTHONHASHSEED`` or insertion order.
+    """
+    parts: List[str] = []
+    _render(value, parts.append)
+    return "".join(parts)
+
+
+def _render(value: object, emit: Callable[[str], None]) -> None:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        emit(type(value).__name__)
+        emit("(")
+        for field_ in dataclasses.fields(value):
+            emit(field_.name)
+            emit("=")
+            _render(getattr(value, field_.name), emit)
+            emit(",")
+        emit(")")
+    elif isinstance(value, dict):
+        emit("{")
+        for key in sorted(value, key=fingerprint):
+            _render(key, emit)
+            emit(":")
+            _render(value[key], emit)
+            emit(",")
+        emit("}")
+    elif isinstance(value, (set, frozenset)):
+        emit("{")
+        for item in sorted(fingerprint(member) for member in value):
+            emit(item)
+            emit(",")
+        emit("}")
+    elif isinstance(value, tuple):
+        emit("(")
+        for item in value:
+            _render(item, emit)
+            emit(",")
+        emit(")")
+    elif isinstance(value, list):
+        emit("[")
+        for item in value:
+            _render(item, emit)
+            emit(",")
+        emit("]")
+    else:
+        emit(repr(value))
+
+
+def digest(value: object) -> str:
+    """SHA-256 hex digest of :func:`fingerprint` of ``value``."""
+    return hashlib.sha256(fingerprint(value).encode("utf-8")).hexdigest()
+
+
+def obligation_key(program_digest: str, prop: object, options: object,
+                   part: Optional[Tuple[str, str]] = None) -> str:
+    """The content address of one proof obligation.
+
+    ``program_digest`` is :func:`digest` of the program AST (computed
+    once per program and shared by every obligation); ``part`` names a
+    sub-obligation within the property — ``None`` for a whole trace
+    property or the NI base condition, an exchange key ``(ctype, msg)``
+    for one NI exchange.  Only the derivation-relevant options
+    (``syntactic_skip``, which changes the shape of the emitted proof)
+    participate.
+    """
+    material = "\x1f".join([
+        f"reflex-obligation-v{FORMAT_VERSION}",
+        program_digest,
+        fingerprint(prop),
+        f"syntactic_skip={getattr(options, 'syntactic_skip', True)}",
+        f"part={part!r}",
+    ])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def derivation_key(proof: object) -> str:
+    """The content address of a derivation (any proof object).
+
+    Bitwise-identical derivations — across serial/parallel and cold/warm
+    runs — have identical keys; the differential tests assert exactly
+    that.
+    """
+    return digest(proof)
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One stored derivation: the keyed payload plus in-band approval.
+
+    ``checked`` records whether the independent checker approved the
+    payload when it was produced; loaders that skip re-validation (e.g.
+    ``check_proofs=False``) only accept approved entries.
+    """
+
+    key: str
+    kind: str  # "trace" | "ni-base" | "ni-exchange"
+    payload: object
+    checked: bool
+
+
+class ProofStore:
+    """A directory of pickled :class:`StoreEntry` files, one per key.
+
+    Corruption tolerant: an unreadable, truncated or mismatched entry is
+    counted (``store.corrupt``), unlinked best-effort, and reported as a
+    miss — the obligation is simply re-proved.  Writes are atomic
+    (temp file + ``os.replace``) so concurrent workers never observe a
+    partial entry.
+    """
+
+    def __init__(self, root: object) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """The file backing ``key``."""
+        return self.root / f"{key}.proof"
+
+    def get(self, key: str) -> Optional[StoreEntry]:
+        """Load the entry for ``key``; ``None`` on miss or corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            obs.incr("store.miss")
+            return None
+        try:
+            entry = pickle.loads(raw)
+            if not isinstance(entry, StoreEntry) or entry.key != key:
+                raise ValueError("store entry does not match its key")
+        except Exception:
+            obs.incr("store.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        obs.incr("store.hit")
+        return entry
+
+    def put(self, entry: StoreEntry) -> None:
+        """Atomically persist ``entry`` (best effort: a full disk or
+        permission error never fails the proof that produced it)."""
+        try:
+            handle, tmp = tempfile.mkstemp(
+                dir=str(self.root), suffix=".tmp"
+            )
+        except OSError:
+            return
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(entry, stream)
+            os.replace(tmp, self.path_for(entry.key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        obs.incr("store.put")
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        for path in self.root.glob("*.proof"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.proof"))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..lang.errors import ProofSearchFailure
 from ..props.patterns import SpawnPat
 from ..props.spec import TraceProperty
@@ -157,11 +158,14 @@ def prove_trace_property(
         if tc.syntactic_skip and exchange_statically_silent(
             [scheme.trigger], ex.ctype, ex.msg, body
         ):
+            obs.incr("tactic.exchange.skipped")
             steps.append(SkippedExchange(
                 ex.key, "trigger cannot match anything this exchange emits"
             ))
             continue
+        obs.incr("tactic.exchange.expanded")
         for path_index, path in enumerate(ex.paths):
+            obs.incr("tactic.path")
             ctx = OccurrenceContext(
                 step=step,
                 scheme=scheme,

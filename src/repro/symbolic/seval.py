@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..lang import ast
 from ..lang import types as ty
 from ..lang.errors import SymbolicError
@@ -216,6 +217,7 @@ def sym_exec(info: ProgramInfo, body: ast.Cmd, env: Dict[str, Term],
         lookup_facts=(),
     )
     states = _exec(body, start, info, fresh)
+    obs.incr("seval.paths", len(states))
     return [
         SymPath(
             cond=s.cond,

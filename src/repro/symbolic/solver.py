@@ -31,6 +31,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..lang import types as ty
 from ..lang.values import VBool, VNum
 from .expr import S_FALSE, S_TRUE, SComp, SConst, SOp, Term, snot
@@ -323,6 +324,7 @@ class Facts:
         Decided by refutation: every cube of the DNF of ``¬t`` must be
         inconsistent with the current facts.
         """
+        obs.incr("solver.implies")
         if self.inconsistent():
             return True
         for cube in dnf(snot(simplify(t))):

@@ -1,0 +1,90 @@
+"""Tests for the telemetry sink: counters, spans, nesting, merging."""
+
+import json
+
+from repro import obs
+
+
+class TestCounters:
+    def test_incr_without_sink_is_a_noop(self):
+        assert obs.active() is None
+        obs.incr("anything")  # must not raise
+
+    def test_incr_accumulates(self):
+        with obs.use(obs.Telemetry()) as telemetry:
+            obs.incr("hits")
+            obs.incr("hits", 2)
+        assert telemetry.counters == {"hits": 3}
+
+    def test_use_restores_previous_sink(self):
+        outer = obs.Telemetry()
+        with obs.use(outer):
+            with obs.use(obs.Telemetry()) as inner:
+                obs.incr("inner.only")
+            obs.incr("outer.only")
+        assert obs.active() is None
+        assert "inner.only" not in outer.counters
+        assert inner.counters == {"inner.only": 1}
+        assert outer.counters == {"outer.only": 1}
+
+
+class TestSpans:
+    def test_span_records_name_and_attrs(self):
+        with obs.use(obs.Telemetry()) as telemetry:
+            with obs.span("search", property="P", part="base"):
+                pass
+        (span,) = telemetry.spans
+        assert span.name == "search"
+        assert dict(span.attrs) == {"property": "P", "part": "base"}
+        assert span.seconds >= 0.0
+
+    def test_span_without_sink_is_a_noop(self):
+        with obs.span("untracked"):
+            pass
+
+    def test_span_recorded_on_exception(self):
+        with obs.use(obs.Telemetry()) as telemetry:
+            try:
+                with obs.span("failing"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        assert [s.name for s in telemetry.spans] == ["failing"]
+
+    def test_stage_seconds_groups_by_name(self):
+        telemetry = obs.Telemetry()
+        telemetry.record(obs.Span("search", 1.0))
+        telemetry.record(obs.Span("search", 0.5))
+        telemetry.record(obs.Span("check", 0.25))
+        assert telemetry.stage_seconds() == {"search": 1.5, "check": 0.25}
+
+
+class TestMergeAndRender:
+    def test_merge_folds_worker_results(self):
+        parent = obs.Telemetry()
+        parent.incr("solver.implies", 2)
+        parent.merge({"solver.implies": 3, "seval.paths": 1},
+                     [obs.Span("search", 0.1)])
+        assert parent.counters == {"solver.implies": 5, "seval.paths": 1}
+        assert [s.name for s in parent.spans] == ["search"]
+
+    def test_to_dict_is_json_ready(self):
+        with obs.use(obs.Telemetry()) as telemetry:
+            obs.incr("solver.implies")
+            with obs.span("plan", property="P"):
+                pass
+        payload = json.loads(json.dumps(telemetry.to_dict()))
+        assert payload["counters"] == {"solver.implies": 1}
+        assert "plan" in payload["stage_seconds"]
+        assert payload["spans"][0]["name"] == "plan"
+
+    def test_render_mentions_counters_and_stages(self):
+        telemetry = obs.Telemetry()
+        telemetry.incr("store.hit", 4)
+        telemetry.record(obs.Span("check", 0.5))
+        rendered = telemetry.render()
+        assert "store.hit" in rendered
+        assert "check" in rendered
+
+    def test_render_empty(self):
+        assert "no events" in obs.Telemetry().render()

@@ -1,0 +1,159 @@
+"""Tests for the persistent proof store: canonical fingerprints,
+obligation-key stability (across processes and hash seeds), and
+corruption tolerance."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+from repro.prover import (
+    ProofStore,
+    ProverOptions,
+    StoreEntry,
+    Verifier,
+    fingerprint,
+    obligation_key,
+)
+from repro.prover.proofstore import digest
+from repro.systems import BENCHMARKS
+
+
+class TestFingerprint:
+    def test_dict_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_set_order_insensitive(self):
+        assert fingerprint(frozenset({"x", "y", "z"})) == \
+            fingerprint(frozenset({"z", "y", "x"}))
+
+    def test_distinguishes_values(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+        assert fingerprint((1, 2)) != fingerprint([1, 2])
+
+    def test_programs_fingerprint_distinctly(self):
+        spec = BENCHMARKS["ssh"].load()
+        other = BENCHMARKS["car"].load()
+        assert fingerprint(spec.program) == fingerprint(spec.program)
+        assert fingerprint(spec.program) != fingerprint(other.program)
+
+
+#: Run in a subprocess: print every obligation key of the browser
+#: benchmark (whose NI property carries frozensets — the PYTHONHASHSEED
+#: hazard) in plan order.
+_KEY_SCRIPT = """
+from repro.prover import ProverOptions, Verifier
+from repro.systems import BENCHMARKS
+
+spec = BENCHMARKS["browser"].load()
+verifier = Verifier(spec, ProverOptions())
+for prop in spec.properties:
+    for ob in verifier.plan(prop):
+        print(ob.key)
+"""
+
+
+def _keys_under_seed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _KEY_SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+    )
+    return proc.stdout
+
+
+class TestKeyStability:
+    def test_keys_stable_across_hash_seeds(self):
+        assert _keys_under_seed("0") == _keys_under_seed("1")
+
+    def test_key_changes_with_program(self):
+        ssh = BENCHMARKS["ssh"].load()
+        car = BENCHMARKS["car"].load()
+        prop = ssh.properties[0]
+        options = ProverOptions()
+        assert obligation_key(digest(ssh.program), prop, options) != \
+            obligation_key(digest(car.program), prop, options)
+
+    def test_key_changes_with_property(self):
+        spec = BENCHMARKS["ssh"].load()
+        options = ProverOptions()
+        pd = digest(spec.program)
+        keys = {obligation_key(pd, p, options) for p in spec.properties}
+        assert len(keys) == len(spec.properties)
+
+    def test_key_changes_with_relevant_options(self):
+        spec = BENCHMARKS["ssh"].load()
+        pd = digest(spec.program)
+        prop = spec.properties[0]
+        with_skip = obligation_key(pd, prop, ProverOptions())
+        without = obligation_key(
+            pd, prop, ProverOptions(syntactic_skip=False)
+        )
+        assert with_skip != without
+        # check_proofs does not shape the derivation: same key
+        assert with_skip == obligation_key(
+            pd, prop, ProverOptions(check_proofs=False)
+        )
+
+    def test_derivation_key_stable_across_runs(self):
+        spec = BENCHMARKS["ssh"].load()
+        first = Verifier(spec).verify_all()
+        second = Verifier(spec).verify_all()
+        assert [r.derivation_key() for r in first.results] == \
+            [r.derivation_key() for r in second.results]
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ProofStore(tmp_path)
+        entry = StoreEntry("k1", "trace", ("payload",), True)
+        store.put(entry)
+        assert store.get("k1") == entry
+        assert len(store) == 1
+        store.clear()
+        assert store.get("k1") is None
+        assert len(store) == 0
+
+    def test_miss(self, tmp_path):
+        assert ProofStore(tmp_path).get("absent") is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = ProofStore(tmp_path)
+        store.put(StoreEntry("k1", "trace", ("payload",), True))
+        path = store.path_for("k1")
+        path.write_bytes(path.read_bytes()[:5])
+        assert store.get("k1") is None
+        assert not path.exists()  # corrupt entries are unlinked
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        store = ProofStore(tmp_path)
+        store.path_for("k1").write_bytes(b"not a pickle at all")
+        assert store.get("k1") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        store = ProofStore(tmp_path)
+        wrong = StoreEntry("other-key", "trace", ("payload",), True)
+        store.path_for("k1").write_bytes(pickle.dumps(wrong))
+        assert store.get("k1") is None
+
+    def test_corrupt_store_reproved_not_crashed(self, tmp_path):
+        """A verifier pointed at a corrupted store re-proves and heals."""
+        spec = BENCHMARKS["ssh"].load()
+        options = ProverOptions(proof_store=str(tmp_path))
+        baseline = Verifier(spec, options).verify_all()
+        assert baseline.all_proved
+        store = ProofStore(tmp_path)
+        assert len(store) > 0
+        for path in sorted(tmp_path.glob("*.proof")):
+            path.write_bytes(b"\x80garbage")
+        report = Verifier(spec, options).verify_all()
+        assert report.all_proved
+        assert [r.source for r in report.results] == \
+            ["searched"] * len(report.results)
+        assert [r.derivation_key() for r in report.results] == \
+            [r.derivation_key() for r in baseline.results]
