@@ -9,6 +9,7 @@ The pushbutton workflow of the paper as a tool::
     python -m repro check kernel.rfx           # parse + validate only
     python -m repro fmt kernel.rfx             # canonical formatting
     python -m repro bench --figure6            # regenerate Figure 6
+    python -m repro chaos --kernel car         # fault-inject + monitor
 
 Exit status: 0 on success (all requested properties proved / the file is
 well-formed), 1 on verification failure, 2 on syntax or validation errors
@@ -76,6 +77,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         syntactic_skip=not args.no_skip,
         check_proofs=not args.no_check,
         proof_store=args.store,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
     )
     verifier = Verifier(spec, options)
     telemetry = obs.Telemetry() if args.profile else None
@@ -128,6 +131,44 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if telemetry is not None:
         print(telemetry.render())
     return 0 if failed == 0 else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .harness import chaos
+
+    try:
+        chaos.chaos_kernel_names(args.kernel)
+    except KeyError:
+        from .systems import BENCHMARKS
+
+        print(
+            f"error: unknown kernel {args.kernel!r}; choose one of "
+            f"{', '.join(BENCHMARKS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    telemetry = obs.Telemetry() if args.profile else None
+    scope = obs.use(telemetry) if telemetry is not None \
+        else contextlib.nullcontext()
+    with scope:
+        reports = chaos.run_chaos(
+            kernel=args.kernel,
+            schedules=args.schedules,
+            seed=args.seed,
+            rounds=args.rounds,
+            faults=args.faults,
+            max_steps=args.max_steps,
+        )
+    if args.json:
+        payload = {"reports": [r.to_dict() for r in reports]}
+        if telemetry is not None:
+            payload["telemetry"] = telemetry.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(chaos.render_chaos(reports))
+        if telemetry is not None:
+            print(telemetry.render())
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -204,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="narrate each proof (or failure) in prose")
     verify.add_argument("-j", "--jobs", type=int, default=1,
                         help="verify properties across N worker processes")
+    verify.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --jobs: wall-clock budget per "
+                             "obligation; a hung task fails instead of "
+                             "wedging the run")
+    verify.add_argument("--task-retries", type=int, default=1,
+                        help="with --jobs: retries for a timed-out or "
+                             "crashed obligation task (default 1)")
     verify.add_argument("--profile", action="store_true",
                         help="collect and report spans and counters")
     verify.add_argument("--json", action="store_true",
@@ -211,6 +260,28 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--store", metavar="DIR",
                         help="persistent proof store directory")
     verify.set_defaults(func=_cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject the kernels and check verified properties hold",
+    )
+    chaos.add_argument("--kernel", default="all",
+                       help="a builtin benchmark name, or 'all'")
+    chaos.add_argument("--schedules", type=int, default=25,
+                       help="seeded fault schedules per kernel")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; fixes every schedule and report")
+    chaos.add_argument("--rounds", type=int, default=10,
+                       help="stimulus rounds per schedule")
+    chaos.add_argument("--faults", type=int, default=6,
+                       help="injected fault events per schedule")
+    chaos.add_argument("--max-steps", type=int, default=300,
+                       help="exchange cap per stimulus round")
+    chaos.add_argument("--profile", action="store_true",
+                       help="collect and report fault-coverage counters")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the reports (and profile) as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser("bench",
                            help="regenerate the paper's tables/figures")

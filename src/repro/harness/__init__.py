@@ -11,6 +11,7 @@ Module                  Regenerates
 ``harness.soundness``   Figure 1's "sats" arrow (randomized trace oracle)
 ``harness.ni_testing``  section 4.2's relational NI definition, dynamically
 ``harness.mutation``    section 6.3 extension: mutation-testing the kernels
+``harness.chaos``       robustness: verified properties under fault injection
 =====================  =====================================================
 
 Each module is runnable (``python -m repro.harness.figure6``) and is also
@@ -19,6 +20,7 @@ driven by the ``benchmarks/`` pytest-benchmark suite.
 
 from . import (
     ablation,
+    chaos,
     effort,
     figure6,
     mutation,
@@ -30,6 +32,7 @@ from . import (
 
 __all__ = [
     "ablation",
+    "chaos",
     "effort",
     "figure6",
     "mutation",

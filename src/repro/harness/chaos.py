@@ -1,0 +1,384 @@
+"""The chaos harness: verified properties must survive component failure.
+
+The prover discharges each kernel's trace properties once and for all —
+quantified over *every* component behavior, including crashing, flooding,
+reordering and garbage (the regime the paper is designed for).  This
+harness checks that claim end to end, dynamically: for each benchmark
+kernel it sweeps ``schedules`` seeded fault schedules, drives the kernel
+with pseudo-random component traffic under a
+:class:`~repro.runtime.monitor.MonitoredInterpreter`, and asserts that
+the online monitor reports **zero violations of any prover-verified
+trace property** on every faulted execution.
+
+Each schedule composes the full fault model of
+:mod:`repro.runtime.faults` — component crashes, dropped and duplicated
+messages, delivery delays, malformed payloads — with kernel-side
+supervision (:mod:`repro.runtime.supervisor`): bounded-backoff restarts,
+quarantine, dead-lettering.  Per kernel, the harness also runs a built-in
+differential check: with an *empty* fault plan, the supervised stack must
+produce a trace identical to the plain :class:`~repro.runtime.world.World`.
+
+Everything is deterministic for a fixed seed — reports are bit-for-bit
+reproducible — and fault coverage is reported both in the rendered table
+and through the :mod:`repro.obs` telemetry layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..lang import types as ty
+from ..lang.validate import ProgramInfo
+from ..lang.values import VFd, Value
+from ..props.spec import SpecifiedProgram, TraceProperty
+from ..prover import Verifier
+from ..runtime.faults import FAULT_KINDS, FaultPlan, FaultyWorld
+from ..runtime.interpreter import Interpreter
+from ..runtime.monitor import MonitoredInterpreter
+from ..runtime.supervisor import SupervisedInterpreter, Supervisor
+from ..runtime.world import World
+
+#: String pool for generated payloads: protocol-relevant tokens the
+#: benchmark kernels branch on, plus generic noise.
+_STRING_POOL = (
+    "", "a", "lock", "unlock", "open", "closed", "grant", "deny",
+    "mail.example", "shop.example", "evil.example", "GET", "POST",
+    "/index.html", "/etc/passwd", "root", "hunter2",
+)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic stimulus generation
+# ---------------------------------------------------------------------------
+
+
+def _value_for(t: ty.Type, rng: random.Random) -> Value:
+    """A pseudo-random well-typed runtime value (naturals only for num —
+    negatives are the garble injector's job)."""
+    from ..lang.values import from_python
+
+    if isinstance(t, ty.StrType):
+        return from_python(rng.choice(_STRING_POOL))
+    if isinstance(t, ty.NumType):
+        return from_python(rng.randrange(4))
+    if isinstance(t, ty.BoolType):
+        return from_python(rng.random() < 0.5)
+    if isinstance(t, ty.FdType):
+        return VFd(100 + rng.randrange(8))
+    if isinstance(t, ty.TupleType):
+        from ..lang.values import VTuple
+
+        return VTuple(tuple(_value_for(e, rng) for e in t.elems))
+    raise ValueError(f"cannot generate a stimulus value of type {t}")
+
+
+def random_stimulus(info: ProgramInfo,
+                    rng: random.Random) -> Tuple[str, Tuple[Value, ...]]:
+    """A declared message with a well-typed pseudo-random payload."""
+    names = sorted(info.msg_table)
+    decl = info.msg_table[names[rng.randrange(len(names))]]
+    return decl.name, tuple(_value_for(t, rng) for t in decl.payload)
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelChaosReport:
+    """Fault-coverage and verdicts for one kernel's chaos sweep."""
+
+    kernel: str
+    schedules: int
+    seed: int
+    monitored: int = 0          # prover-verified trace properties
+    unproved: int = 0           # properties the prover did not discharge
+    ni_excluded: int = 0        # NI properties (not trace-monitorable)
+    exchanges: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    crashes: int = 0
+    protocol_faults: int = 0
+    restarts: int = 0
+    quarantines: int = 0
+    dead_letters: int = 0
+    dropped_sends: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    garbled: int = 0
+    suppressed_stimuli: int = 0
+    differential_ok: bool = True
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Zero violations of verified properties, and the empty-plan
+        differential held."""
+        return not self.violations and self.differential_ok
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "schedules": self.schedules,
+            "seed": self.seed,
+            "monitored_properties": self.monitored,
+            "unproved_properties": self.unproved,
+            "ni_excluded": self.ni_excluded,
+            "exchanges": self.exchanges,
+            "injected": {k: self.injected.get(k, 0) for k in FAULT_KINDS},
+            "crashes": self.crashes,
+            "protocol_faults": self.protocol_faults,
+            "restarts": self.restarts,
+            "quarantines": self.quarantines,
+            "dead_letters": self.dead_letters,
+            "dropped_sends": self.dropped_sends,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "garbled": self.garbled,
+            "suppressed_stimuli": self.suppressed_stimuli,
+            "differential_ok": self.differential_ok,
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Driving one schedule
+# ---------------------------------------------------------------------------
+
+
+def _drive_supervised(
+    spec: SpecifiedProgram,
+    register: Callable[[object], None],
+    plan: FaultPlan,
+    properties: Sequence[TraceProperty],
+    world_seed: int,
+    stimulus_seed: int,
+    rounds: int,
+    max_steps: int,
+):
+    """One monitored, supervised, fault-injected execution; returns the
+    (monitor, faulty world, supervisor, interpreter, exchanges) bundle."""
+    world = FaultyWorld(World(seed=world_seed), plan)
+    register(world)
+    supervisor = Supervisor(world)
+    interpreter = SupervisedInterpreter(spec.info, world,
+                                        supervisor=supervisor)
+    monitored = MonitoredInterpreter(spec, world, interpreter=interpreter,
+                                     properties=properties)
+    state = monitored.run_init()
+    rng = random.Random(stimulus_seed)
+    exchanges = 0
+    for _ in range(rounds):
+        live = [c for c in world.components() if world.alive(c)]
+        if not live:
+            break
+        comp = live[rng.randrange(len(live))]
+        msg, payload = random_stimulus(spec.info, rng)
+        world.stimulate(comp, msg, *payload)
+        exchanges += monitored.run(state, max_steps=max_steps)
+    return monitored, world, supervisor, interpreter, state, exchanges
+
+
+def _differential(spec: SpecifiedProgram,
+                  register: Callable[[object], None],
+                  seed: int, rounds: int, max_steps: int) -> bool:
+    """The supervised stack under an *empty* fault plan must produce the
+    same trace as the plain world under the base interpreter."""
+    def drive(world, interpreter) -> tuple:
+        register(world)
+        state = interpreter.run_init()
+        rng = random.Random(seed * 31 + 7)
+        for _ in range(rounds):
+            comps = world.components()
+            comp = comps[rng.randrange(len(comps))]
+            msg, payload = random_stimulus(spec.info, rng)
+            world.stimulate(comp, msg, *payload)
+            interpreter.run(state, max_steps=max_steps)
+        return state.trace.chronological()
+
+    plain_world = World(seed=seed)
+    plain = drive(plain_world, Interpreter(spec.info, plain_world))
+    faulty_world = FaultyWorld(World(seed=seed), FaultPlan.empty())
+    supervised = drive(
+        faulty_world,
+        SupervisedInterpreter(spec.info, faulty_world,
+                              supervisor=Supervisor(faulty_world)),
+    )
+    return plain == supervised
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+def chaos_kernel_names(kernel: str = "all") -> List[str]:
+    """Resolve ``--kernel`` to benchmark names (``all`` → the seven)."""
+    from ..systems import BENCHMARKS
+
+    if kernel == "all":
+        return list(BENCHMARKS)
+    if kernel not in BENCHMARKS:
+        raise KeyError(kernel)
+    return [kernel]
+
+
+def run_chaos(kernel: str = "all", schedules: int = 25, seed: int = 0,
+              rounds: int = 10, faults: int = 6, max_steps: int = 300,
+              ) -> List[KernelChaosReport]:
+    """Sweep seeded fault schedules over the requested kernels.
+
+    For each kernel: prove the properties, then run ``schedules``
+    fault-injected executions monitored against the proved trace
+    properties, plus one empty-plan differential run.  Deterministic for
+    a fixed ``seed``.
+    """
+    from ..systems import BENCHMARKS
+
+    names = chaos_kernel_names(kernel)
+    reports: List[KernelChaosReport] = []
+    for kernel_index, name in enumerate(names):
+        module = BENCHMARKS[name]
+        spec = module.load()
+        report = KernelChaosReport(kernel=spec.name, schedules=schedules,
+                                   seed=seed)
+        with obs.span("chaos.kernel", kernel=spec.name):
+            verification = Verifier(spec).verify_all()
+            proved: List[TraceProperty] = []
+            for result in verification.results:
+                if not isinstance(result.property, TraceProperty):
+                    report.ni_excluded += 1
+                elif result.proved:
+                    proved.append(result.property)
+                else:
+                    report.unproved += 1
+            report.monitored = len(proved)
+            report.differential_ok = _differential(
+                spec, module.register_components,
+                seed=seed * 971 + kernel_index, rounds=rounds,
+                max_steps=max_steps,
+            )
+            violations: List[str] = []
+            for schedule in range(schedules):
+                base = (seed * 1_000_003 + kernel_index * 10_007
+                        + schedule)
+                plan = FaultPlan.generate(
+                    seed=base, horizon=rounds * 4, count=faults,
+                )
+                monitored, world, supervisor, interpreter, _state, done = \
+                    _drive_supervised(
+                        spec, module.register_components, plan, proved,
+                        world_seed=base, stimulus_seed=base * 7919 + 13,
+                        rounds=rounds, max_steps=max_steps,
+                    )
+                report.exchanges += done
+                for kind_name, amount in world.stats.injected.items():
+                    report.injected[kind_name] = (
+                        report.injected.get(kind_name, 0) + amount
+                    )
+                report.crashes += supervisor.crashes
+                report.protocol_faults += interpreter.protocol_faults
+                report.restarts += supervisor.restarts_total
+                report.quarantines += len(supervisor.quarantined)
+                report.dead_letters += (len(supervisor.dead_letters)
+                                        + len(world.dead_letters))
+                report.dropped_sends += world.stats.dropped_sends
+                report.duplicated += world.stats.duplicated
+                report.delayed += world.stats.delayed
+                report.garbled += world.stats.garbled
+                report.suppressed_stimuli += (
+                    world.stats.suppressed_stimuli
+                )
+                for violation in monitored.monitor.violations:
+                    violations.append(
+                        f"schedule {schedule}: {violation}"
+                    )
+            report.violations = tuple(violations)
+        for kind_name in FAULT_KINDS:
+            obs.incr(f"chaos.injected.{kind_name}",
+                     report.injected.get(kind_name, 0))
+        obs.incr("chaos.exchanges", report.exchanges)
+        obs.incr("chaos.crashes", report.crashes)
+        obs.incr("chaos.restarts", report.restarts)
+        obs.incr("chaos.quarantines", report.quarantines)
+        obs.incr("chaos.dead_letters", report.dead_letters)
+        obs.incr("chaos.violations", len(report.violations))
+        reports.append(report)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_chaos(reports: Sequence[KernelChaosReport]) -> str:
+    """The human-readable chaos report (deterministic: no wall times)."""
+    lines: List[str] = []
+    header = (
+        f"{'kernel':<12} {'props':>5} {'exch':>6} "
+        f"{'crash':>5} {'proto':>5} {'rest':>4} {'quar':>4} "
+        f"{'dead':>4} {'drop':>4} {'dup':>4} {'garb':>4} {'verdict':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for report in reports:
+        verdict = "ok" if report.ok else "VIOLATED"
+        lines.append(
+            f"{report.kernel:<12} {report.monitored:>5} "
+            f"{report.exchanges:>6} {report.crashes:>5} "
+            f"{report.protocol_faults:>5} {report.restarts:>4} "
+            f"{report.quarantines:>4} {report.dead_letters:>4} "
+            f"{report.dropped_sends:>4} {report.duplicated:>4} "
+            f"{report.garbled:>4} {verdict:>8}"
+        )
+    lines.append("")
+    total_injected: Dict[str, int] = {}
+    for report in reports:
+        for kind_name, amount in report.injected.items():
+            total_injected[kind_name] = (
+                total_injected.get(kind_name, 0) + amount
+            )
+    injected = ", ".join(
+        f"{k}={total_injected.get(k, 0)}" for k in FAULT_KINDS
+    )
+    lines.append(f"faults injected: {injected}")
+    bad = [r for r in reports if r.violations]
+    diff_bad = [r for r in reports if not r.differential_ok]
+    if diff_bad:
+        lines.append(
+            "DIFFERENTIAL FAILED (empty plan != plain world): "
+            + ", ".join(r.kernel for r in diff_bad)
+        )
+    else:
+        lines.append("differential (empty plan == plain world): ok")
+    if bad:
+        lines.append("")
+        for report in bad:
+            lines.append(f"{report.kernel}: "
+                         f"{len(report.violations)} violation(s)")
+            for violation in report.violations:
+                lines.append(f"  {violation}")
+    else:
+        monitored = sum(r.monitored for r in reports)
+        lines.append(
+            f"violations of verified properties: none "
+            f"({monitored} properties monitored across "
+            f"{sum(r.schedules for r in reports)} fault schedules)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.harness.chaos``"""
+    reports = run_chaos()
+    print(render_chaos(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

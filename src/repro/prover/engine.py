@@ -96,6 +96,12 @@ class ProverOptions:
     cache_subproofs: bool = True
     check_proofs: bool = True
     proof_store: Optional[str] = None
+    #: parallel runs only: wall-clock budget per obligation task, in
+    #: seconds (``None`` disables the watchdog)
+    task_timeout: Optional[float] = None
+    #: parallel runs only: how many times a timed-out or crashed task is
+    #: retried before it becomes a diagnostic failure verdict
+    task_retries: int = 1
 
 
 @dataclass

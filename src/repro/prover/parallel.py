@@ -17,15 +17,28 @@ to a serial run — asserted by the differential tests.
 Each task runs under its own telemetry sink; the resulting counters and
 spans travel back with the task result and are merged into the parent's
 active sink.
+
+Robustness: a hung obligation (``ProverOptions.task_timeout``) or a
+worker killed mid-task can no longer wedge ``verify_all`` — the parent
+abandons the poisoned pool, rebuilds it, and retries the unresolved
+tasks up to ``ProverOptions.task_retries`` times; a task that keeps
+failing becomes a *diagnostic failure verdict* on its property rather
+than an exception or a hang.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from ..lang.errors import ProofSearchFailure
@@ -125,97 +138,248 @@ class _NIAssembly:
         return NIProof(prop, base_notes, tuple(verdicts))
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool whose workers can no longer be trusted: kill the
+    processes outright (a hung task never returns on its own) and discard
+    the executor without waiting."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
     """Verify every property of ``spec`` across a pool of ``jobs``
-    workers; returns per-property results in specification order."""
+    workers; returns per-property results in specification order.
+
+    Tasks that hang past ``options.task_timeout`` or whose worker dies
+    are retried in a fresh pool up to ``options.task_retries`` times,
+    then resolved as diagnostic failure verdicts — ``verify_all`` always
+    returns one result per property.
+    """
     from .engine import PropertyResult
 
+    timeout = getattr(options, "task_timeout", None)
+    retries = max(0, getattr(options, "task_retries", 1))
+
     exchange_parts = list(spec.program.exchange_keys())
-    tasks: List[tuple] = []
+    ids = itertools.count()
+    tasks: Dict[int, tuple] = {}
     assemblies: Dict[int, _NIAssembly] = {}
     for index, prop in enumerate(spec.properties):
         if isinstance(prop, NonInterference):
             parts: List[Optional[Tuple[str, str]]] = [None]
             parts.extend(exchange_parts)
             assemblies[index] = _NIAssembly(index, parts)
-            tasks.extend(("ni-part", index, part) for part in parts)
+            for part in parts:
+                tasks[next(ids)] = ("ni-part", index, part)
         else:
-            tasks.append(("prop", index))
+            tasks[next(ids)] = ("prop", index)
 
     telemetry = obs.active()
     results: Dict[int, PropertyResult] = {}
+    attempts: Dict[int, int] = {tid: 0 for tid in tasks}
+    unresolved: Set[int] = set(tasks)
     payload = pickle.dumps((spec, options))
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(payload,),
-    ) as pool:
-        pending = {pool.submit(_run_task, task) for task in tasks}
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                task, outcome, counters, spans = future.result()
-                if telemetry is not None:
-                    telemetry.merge(counters, spans)
-                kind = task[0]
-                if kind == "prop":
-                    results[task[1]] = outcome[1]
-                elif kind == "ni-part":
-                    index, part = task[1], task[2]
-                    assembly = assemblies[index]
-                    if outcome[0] == "fail":
-                        assembly.failures[part] = outcome[1]
-                        assembly.seconds += outcome[2]
-                    else:
-                        assembly.payloads[part] = outcome[1]
-                        assembly.from_store = (
-                            assembly.from_store and outcome[2]
-                        )
-                        assembly.seconds += outcome[3]
-                    if assembly.complete():
-                        finished = _finish_ni(
-                            spec, options, assembly, pool, pending
-                        )
-                        if finished is not None:
-                            results[index] = finished
-                elif kind == "ni-check":
-                    index = task[1]
-                    results[index] = _finalize_checked_ni(
-                        spec, assemblies[index], task[2], outcome
-                    )
+
+    def settle_assembly(index: int) -> None:
+        """An NI assembly with every obligation reported: produce the
+        result, or enqueue its coverage-check task."""
+        finished = _finish_ni(spec, options, assemblies[index])
+        if finished[0] == "result":
+            results[index] = finished[1]
+        else:
+            tid = next(ids)
+            tasks[tid] = finished[1]
+            attempts[tid] = 0
+            unresolved.add(tid)
+
+    def handle_outcome(tid: int, task: tuple, outcome: tuple) -> None:
+        """Fold one completed task into the parent-side state."""
+        unresolved.discard(tid)
+        kind = task[0]
+        if kind == "prop":
+            results[task[1]] = outcome[1]
+        elif kind == "ni-part":
+            index, part = task[1], task[2]
+            assembly = assemblies[index]
+            if outcome[0] == "fail":
+                assembly.failures[part] = outcome[1]
+                assembly.seconds += outcome[2]
+            else:
+                assembly.payloads[part] = outcome[1]
+                assembly.from_store = (
+                    assembly.from_store and outcome[2]
+                )
+                assembly.seconds += outcome[3]
+            if assembly.complete():
+                settle_assembly(index)
+        elif kind == "ni-check":
+            index = task[1]
+            results[index] = _finalize_checked_ni(
+                spec, assemblies[index], task[2], outcome
+            )
+
+    def condemn(tid: int, reason: str) -> None:
+        """Out of retries: resolve the task as a diagnostic failure."""
+        unresolved.discard(tid)
+        task = tasks[tid]
+        message = (
+            f"obligation abandoned after {attempts[tid]} attempt(s): "
+            f"{reason}"
+        )
+        obs.incr("parallel.task_abandoned")
+        kind = task[0]
+        if kind == "prop":
+            index = task[1]
+            results[index] = PropertyResult(
+                property=spec.properties[index],
+                status="failed",
+                seconds=0.0,
+                error=message,
+            )
+        elif kind == "ni-part":
+            index, part = task[1], task[2]
+            assembly = assemblies[index]
+            assembly.failures[part] = message
+            if assembly.complete():
+                settle_assembly(index)
+        elif kind == "ni-check":
+            index = task[1]
+            results[index] = PropertyResult(
+                property=spec.properties[index],
+                status="failed",
+                seconds=assemblies[index].seconds,
+                error=message,
+            )
+
+    def run_generation() -> Dict[int, str]:
+        """One pool lifetime: submit every unresolved task, fold in
+        completions, and stop early on a hang or worker death.  Returns
+        the tasks to penalize (id → reason); everything else still
+        unresolved is retried free of charge in the next generation."""
+        penalized: Dict[int, str] = {}
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+        pending: Dict[object, int] = {}
+        scheduled: Set[int] = set()
+        for tid in sorted(unresolved):
+            scheduled.add(tid)
+            pending[pool.submit(_run_task, tasks[tid])] = tid
+        running_since: Dict[object, float] = {}
+        broken = False
+        poll = None if timeout is None else min(timeout / 4.0, 0.1)
+        try:
+            while pending:
+                done, _ = wait(set(pending), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in pending:
+                    if (future not in done and future.running()
+                            and future not in running_since):
+                        running_since[future] = now
+                for future in done:
+                    tid = pending.pop(future)
+                    running_since.pop(future, None)
+                    try:
+                        task, outcome, counters, spans = future.result()
+                    except BrokenExecutor:
+                        penalized[tid] = "its worker process died"
+                        broken = True
+                        continue
+                    except Exception as error:  # noqa: BLE001
+                        penalized[tid] = f"it raised {error!r}"
+                        continue
+                    if telemetry is not None:
+                        telemetry.merge(counters, spans)
+                    handle_outcome(tid, task, outcome)
+                    # a settled NI assembly may have enqueued its check
+                    for new_tid in sorted(unresolved - scheduled):
+                        try:
+                            future = pool.submit(
+                                _run_task, tasks[new_tid]
+                            )
+                        except BrokenExecutor:
+                            # pool died under us: the task stays
+                            # unresolved and runs next generation
+                            broken = True
+                            break
+                        scheduled.add(new_tid)
+                        pending[future] = new_tid
+                if broken:
+                    return penalized  # survivors retried next generation
+                if timeout is not None:
+                    hung = [future for future, since
+                            in running_since.items()
+                            if now - since >= timeout]
+                    if hung:
+                        for future in hung:
+                            tid = pending.pop(future)
+                            penalized[tid] = (
+                                f"it exceeded the {timeout:g}s "
+                                f"task timeout"
+                            )
+                        broken = True
+                        return penalized
+        finally:
+            if broken:
+                _abandon_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        return penalized
+
+    # Every generation either resolves a task or penalizes one, and each
+    # task survives at most ``retries`` penalties — so this terminates;
+    # the cap is a belt-and-braces backstop against scheduler bugs.
+    generation_cap = len(tasks) * (retries + 2) + 2
+    for _ in range(generation_cap):
+        if not unresolved:
+            break
+        for tid, reason in sorted(run_generation().items()):
+            if tid not in unresolved:
+                continue
+            attempts[tid] += 1
+            obs.incr("parallel.task_retry")
+            if attempts[tid] > retries:
+                condemn(tid, reason)
+    for tid in sorted(unresolved):  # pragma: no cover - backstop only
+        condemn(tid, "the scheduler gave up")
     return [results[index] for index in range(len(spec.properties))]
 
 
-def _finish_ni(spec, options, assembly: _NIAssembly, pool, pending):
+def _finish_ni(spec, options, assembly: _NIAssembly):
     """All obligations of one NI property are in: either produce the
-    failed result, finalize unchecked, or submit the coverage-check
-    task (returning ``None`` until it lands)."""
+    failed result (``("result", r)``), finalize unchecked, or hand back
+    the coverage-check task to schedule (``("task", t)``)."""
     from .engine import PropertyResult
 
     prop = spec.properties[assembly.index]
     error = assembly.first_error()
     if error is not None:
-        return PropertyResult(
+        return ("result", PropertyResult(
             property=prop,
             status="failed",
             seconds=assembly.seconds,
             error=error,
-        )
+        ))
     proof = assembly.assemble(prop)
     if not options.check_proofs:
-        return PropertyResult(
+        return ("result", PropertyResult(
             property=prop,
             status="proved",
             seconds=assembly.seconds,
             proof=proof,
             checked=False,
             source="store" if assembly.from_store else "searched",
-        )
-    pending.add(pool.submit(
-        _run_task, ("ni-check", assembly.index, proof)
-    ))
-    return None
+        ))
+    return ("task", ("ni-check", assembly.index, proof))
 
 
 def _finalize_checked_ni(spec, assembly: _NIAssembly, proof: NIProof,

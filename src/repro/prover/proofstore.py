@@ -193,18 +193,22 @@ class ProofStore:
 
     def put(self, entry: StoreEntry) -> None:
         """Atomically persist ``entry`` (best effort: a full disk or
-        permission error never fails the proof that produced it)."""
+        permission error never fails the proof that produced it — the
+        failed write is counted as ``store.write_error`` and the run
+        continues without the cache entry)."""
         try:
             handle, tmp = tempfile.mkstemp(
                 dir=str(self.root), suffix=".tmp"
             )
         except OSError:
+            obs.incr("store.write_error")
             return
         try:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump(entry, stream)
             os.replace(tmp, self.path_for(entry.key))
         except OSError:
+            obs.incr("store.write_error")
             try:
                 os.unlink(tmp)
             except OSError:

@@ -6,7 +6,17 @@ a :class:`~repro.runtime.world.World` of simulated components and threads a
 ghost :class:`~repro.runtime.trace.Trace` of every observable action.
 """
 
-from .actions import ACall, ARecv, ASelect, ASend, ASpawn, Action, kind
+from .actions import (
+    ACall,
+    ACrash,
+    ARecv,
+    ARestart,
+    ASelect,
+    ASend,
+    ASpawn,
+    Action,
+    kind,
+)
 from .components import (
     ComponentBehavior,
     ComponentPort,
@@ -15,20 +25,31 @@ from .components import (
     RecordingBehavior,
     ScriptedBehavior,
 )
+from .faults import FaultPlan, FaultRecord, FaultSpec, FaultyWorld
 from .interpreter import Interpreter, KernelState, run_program
 from .monitor import MonitoredInterpreter, MonitorViolation, TraceMonitor
 from .render import render_sequence
+from .supervisor import RestartPolicy, SupervisedInterpreter, Supervisor
 from .trace import Trace
 from .world import World, make_call_table
 
 __all__ = [
     "ACall",
+    "ACrash",
     "ARecv",
+    "ARestart",
     "ASelect",
     "ASend",
     "ASpawn",
     "Action",
     "kind",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "FaultyWorld",
+    "RestartPolicy",
+    "SupervisedInterpreter",
+    "Supervisor",
     "ComponentBehavior",
     "ComponentPort",
     "EchoBehavior",

@@ -84,7 +84,42 @@ class ACall:
         return f"Call({self.func}({args}) = {self.result})"
 
 
-Action = Union[ASelect, ARecv, ASend, ASpawn, ACall]
+@dataclass(frozen=True)
+class ACrash:
+    """The kernel observed component ``comp`` fail.
+
+    ``reason`` is ``"fault"`` when the process died (crash injection or a
+    real exit) and ``"protocol"`` when the kernel's message parser
+    rejected garbage on the channel and dropped the connection.  Crash
+    events are observable so online monitors keep checking across
+    component failure, but no property pattern matches them — the
+    verified guarantees quantify over the paper's five primitives only,
+    which is exactly why they survive component failure.
+    """
+
+    comp: ComponentInstance
+    reason: str
+
+    def __str__(self) -> str:
+        return f"Crash({self.comp}, {self.reason})"
+
+
+@dataclass(frozen=True)
+class ARestart:
+    """A kernel-side supervisor restarted the dead component ``comp``.
+
+    The replacement process inherits the component's identity and channel
+    descriptor, so this is *not* a ``Spawn``: uniqueness properties such
+    as the browser's ``UniqueTabIds`` are unaffected by supervision.
+    """
+
+    comp: ComponentInstance
+
+    def __str__(self) -> str:
+        return f"Restart({self.comp})"
+
+
+Action = Union[ASelect, ARecv, ASend, ASpawn, ACall, ACrash, ARestart]
 
 #: Action kind tags, used by patterns and the pretty-printer.
 KIND_OF = {
@@ -93,6 +128,8 @@ KIND_OF = {
     ASend: "Send",
     ASpawn: "Spawn",
     ACall: "Call",
+    ACrash: "Crash",
+    ARestart: "Restart",
 }
 
 

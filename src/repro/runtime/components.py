@@ -59,6 +59,19 @@ class ComponentPort:
     def pending_count(self) -> int:
         return len(self._outbox)
 
+    def push_front(self, msg: str,
+                   payload: Tuple[Value, ...]) -> None:
+        """Re-queue an already-lifted message at the head of the outbox
+        (fault injection: duplicate delivery / retransmission)."""
+        self._outbox.appendleft((msg, payload))
+
+    def rotate(self) -> None:
+        """Move the oldest pending message to the back of the outbox
+        (fault injection: delay/reorder).  No-op with fewer than two
+        pending messages."""
+        if len(self._outbox) > 1:
+            self._outbox.append(self._outbox.popleft())
+
 
 class ComponentBehavior:
     """Base class for simulated components.

@@ -1,0 +1,316 @@
+"""Deterministic fault injection for the runtime world.
+
+REFLEX's trust story is asymmetric: the kernel is verified, the sandboxed
+components it mediates (SSH slaves, browser tabs, CGI processes) are
+untrusted and crash-prone.  The verified trace properties quantify over
+the kernel's observable actions only, so they must survive *any*
+component behavior — including crashing mid-protocol, flooding the
+kernel with duplicates, reordering replies, or writing garbage on the
+channel.  This module makes those behaviors injectable, deterministically.
+
+A :class:`FaultPlan` is a seeded schedule of :class:`FaultSpec` events;
+a :class:`FaultyWorld` wraps a clean :class:`~repro.runtime.world.World`
+and fires the scheduled events as the interpreter steps, so the base
+``World`` stays the faithful model of the paper's primitives.  With an
+empty plan a ``FaultyWorld`` is observationally identical to the wrapped
+world — the differential tests assert trace-for-trace equality.
+
+Fault kinds
+===========
+
+``crash``
+    The component's process dies (channel closed, exit status recorded).
+``drop``
+    The next kernel→component message is lost in flight.  The kernel's
+    ``Send`` action still happens — delivery failure is invisible to the
+    verified trace, exactly as a full socket buffer is on a real system.
+``duplicate``
+    The next component→kernel message is delivered twice (retransmission).
+``delay``
+    The component's oldest pending message is pushed behind its newer
+    ones (reordering in the channel).
+``garble``
+    The next component→kernel message is corrupted (undeclared message
+    name, wrong arity, ill-typed or negative payload).  The kernel's
+    parser rejects it and drops the connection — a protocol crash.
+
+Determinism: a plan fires the same faults at the same steps against the
+same component slots for a fixed seed, and every random choice inside the
+injector draws from the plan's own RNG, never the world's — so fault
+injection composes with the paired-execution NI harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.values import ComponentInstance, VNum, VStr, Value
+from .world import World
+
+#: The injectable fault kinds, in report order.
+FAULT_KINDS = ("crash", "drop", "duplicate", "delay", "garble")
+
+#: Exit status recorded for crash-injected kills (SIGKILL convention).
+CRASH_EXIT_STATUS = 137
+
+#: An undeclared message name no kernel can parse.
+GARBAGE_MESSAGE = "__garbled__"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled injection.
+
+    ``step`` is the interpreter step (exchange attempt) at which the
+    fault fires; ``target`` is an abstract component slot, resolved at
+    fire time as ``target mod live-component-count`` so plans stay valid
+    for any kernel.
+    """
+
+    step: int
+    kind: str
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose one of {FAULT_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired, resolved to a concrete component."""
+
+    step: int
+    kind: str
+    comp: ComponentInstance
+
+    def __str__(self) -> str:
+        return f"step {self.step}: {self.kind} " \
+               f"{self.comp.ctype}#{self.comp.ident}"
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of fault injections."""
+
+    def __init__(self, events: Sequence[FaultSpec] = (),
+                 seed: int = 0) -> None:
+        self.events: Tuple[FaultSpec, ...] = tuple(sorted(
+            events, key=lambda e: (e.step, FAULT_KINDS.index(e.kind),
+                                   e.target)
+        ))
+        self.seed = seed
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """The no-fault plan: a ``FaultyWorld`` under it is transparent."""
+        return cls()
+
+    @classmethod
+    def generate(cls, seed: int, horizon: int = 32, count: int = 6,
+                 kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
+        """A pseudo-random plan of ``count`` events over ``horizon``
+        interpreter steps — same seed, same plan, always."""
+        rng = random.Random(seed)
+        events = [
+            FaultSpec(
+                step=rng.randrange(max(1, horizon)),
+                kind=rng.choice(tuple(kinds)),
+                target=rng.randrange(1 << 16),
+            )
+            for _ in range(count)
+        ]
+        return cls(events, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(<{len(self.events)} events>, seed={self.seed})"
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for the coverage report."""
+
+    #: events fired, by kind (an event may fire yet have no effect, e.g.
+    #: a delay on an empty outbox)
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: events that found no live component to target
+    skipped: int = 0
+    #: kernel→component sends lost in flight by a ``drop`` fault
+    dropped_sends: int = 0
+    #: component→kernel messages delivered twice
+    duplicated: int = 0
+    #: component outbox rotations by ``delay`` faults
+    delayed: int = 0
+    #: component→kernel messages corrupted by ``garble`` faults
+    garbled: int = 0
+    #: kernel→component sends to a dead component (gracefully absorbed)
+    dead_lettered_sends: int = 0
+    #: driver stimuli addressed to a dead component (suppressed)
+    suppressed_stimuli: int = 0
+
+    def count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "injected": {k: self.injected.get(k, 0) for k in FAULT_KINDS},
+            "skipped": self.skipped,
+            "dropped_sends": self.dropped_sends,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "garbled": self.garbled,
+            "dead_lettered_sends": self.dead_lettered_sends,
+            "suppressed_stimuli": self.suppressed_stimuli,
+        }
+
+
+class FaultyWorld:
+    """A :class:`World` wrapper that injects a :class:`FaultPlan`.
+
+    The wrapper intercepts exactly the operations faults act on —
+    ``send`` (drops, dead letters), ``recv`` (duplicates, garbling),
+    ``stimulate`` (dead components cannot speak) — and delegates
+    everything else to the wrapped world, which stays the clean model of
+    the paper's primitives.  A supervising interpreter calls
+    :meth:`begin_step` once per step to advance the fault clock; without
+    a supervisor the plan simply never fires, and with an empty plan the
+    wrapper is observationally identical to the bare world.
+    """
+
+    def __init__(self, world: World,
+                 plan: Optional[FaultPlan] = None) -> None:
+        self._world = world
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self._rng = random.Random(self.plan.seed ^ 0x5EED_FA17)
+        self._clock = 0
+        self._cursor = 0  # next unfired plan event
+        #: armed one-shot latches, per component ident
+        self._drop: Dict[int, int] = {}
+        self._dup: Dict[int, int] = {}
+        self._garble: Dict[int, int] = {}
+        self.stats = FaultStats()
+        #: kernel→dead-component messages, kept for the coverage report
+        self.dead_letters: List[
+            Tuple[ComponentInstance, str, Tuple[Value, ...]]
+        ] = []
+
+    # -- delegation ----------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._world, name)
+
+    # -- the fault clock -----------------------------------------------------
+
+    def begin_step(self) -> List[FaultRecord]:
+        """Advance the fault clock one interpreter step and fire every
+        scheduled event that is due; returns what fired (the supervisor
+        turns ``crash`` records into observable actions)."""
+        self._clock += 1
+        fired: List[FaultRecord] = []
+        events = self.plan.events
+        while (self._cursor < len(events)
+               and events[self._cursor].step < self._clock):
+            spec = events[self._cursor]
+            self._cursor += 1
+            record = self._fire(spec)
+            if record is not None:
+                fired.append(record)
+        return fired
+
+    def _fire(self, spec: FaultSpec) -> Optional[FaultRecord]:
+        live = [c for c in self._world.components()
+                if self._world.alive(c)]
+        if not live:
+            self.stats.skipped += 1
+            return None
+        comp = live[spec.target % len(live)]
+        self.stats.count(spec.kind)
+        if spec.kind == "crash":
+            self._world.kill_component(comp, exit_status=CRASH_EXIT_STATUS)
+        elif spec.kind == "drop":
+            self._drop[comp.ident] = self._drop.get(comp.ident, 0) + 1
+        elif spec.kind == "duplicate":
+            self._dup[comp.ident] = self._dup.get(comp.ident, 0) + 1
+        elif spec.kind == "delay":
+            port = self._world.port_of(comp)
+            if port.pending_count() > 1:
+                port.rotate()
+                self.stats.delayed += 1
+        elif spec.kind == "garble":
+            self._garble[comp.ident] = self._garble.get(comp.ident, 0) + 1
+        return FaultRecord(spec.step, spec.kind, comp)
+
+    # -- intercepted primitives ----------------------------------------------
+
+    def send(self, comp: ComponentInstance, msg: str,
+             payload: Tuple[Value, ...]) -> None:
+        """Kernel→component delivery, with graceful degradation: sends to
+        a dead component are dead-lettered (the kernel wrote to a closed
+        socket; its own observable action already happened), and an armed
+        ``drop`` fault loses the message in flight."""
+        if not self._world.alive(comp):
+            self.stats.dead_lettered_sends += 1
+            self.dead_letters.append((comp, msg, payload))
+            return
+        if self._drop.get(comp.ident, 0) > 0:
+            self._drop[comp.ident] -= 1
+            self.stats.dropped_sends += 1
+            return
+        self._world.send(comp, msg, payload)
+
+    def recv(self, comp: ComponentInstance) -> Tuple[str, Tuple[Value, ...]]:
+        """Component→kernel delivery, with duplication and garbling."""
+        msg, payload = self._world.recv(comp)
+        if self._dup.get(comp.ident, 0) > 0:
+            self._dup[comp.ident] -= 1
+            self.stats.duplicated += 1
+            # the retransmitted copy is clean; it arrives again next
+            self._world.requeue_front(comp, msg, payload)
+        if self._garble.get(comp.ident, 0) > 0:
+            self._garble[comp.ident] -= 1
+            self.stats.garbled += 1
+            msg, payload = self._garble_message(msg, payload)
+        return msg, payload
+
+    def stimulate(self, comp: ComponentInstance, msg: str,
+                  *payload: object) -> None:
+        """Driver stimuli to a dead component vanish — its process is not
+        there to produce them."""
+        if not self._world.alive(comp):
+            self.stats.suppressed_stimuli += 1
+            return
+        self._world.stimulate(comp, msg, *payload)
+
+    # -- payload corruption ---------------------------------------------------
+
+    def _garble_message(
+        self, msg: str, payload: Tuple[Value, ...],
+    ) -> Tuple[str, Tuple[Value, ...]]:
+        """Corrupt a message so the kernel's parser must reject it.
+
+        Three mutations, all guaranteed unparseable: an undeclared message
+        name, an extra payload item (wrong arity), or a first payload item
+        of the wrong shape (ill-typed, or a negative number where the
+        declared type is ``num`` — naturals only).
+        """
+        mutation = self._rng.randrange(3 if payload else 2)
+        if mutation == 0:
+            return GARBAGE_MESSAGE, payload
+        if mutation == 1:
+            return msg, payload + (VNum(0),)
+        first = payload[0]
+        if isinstance(first, VStr):
+            replacement: Value = VNum(-1)
+        else:
+            replacement = VStr("\x1bgarbage")
+        return msg, (replacement,) + payload[1:]

@@ -23,7 +23,7 @@ such a property.  ``tests/runtime/test_monitor.py`` pins this down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..lang.errors import ValidationError
@@ -208,12 +208,22 @@ class MonitoredInterpreter:
 
     Boundaries are placed after Init and after every exchange — the
     reachable states of the verified semantics.
+
+    ``interpreter`` substitutes a custom interpreter (e.g. a
+    :class:`~repro.runtime.supervisor.SupervisedInterpreter` wired to a
+    fault-injecting world); ``properties`` restricts monitoring to a
+    subset of the spec's trace properties (e.g. only the prover-verified
+    ones, as the chaos harness does).
     """
 
-    def __init__(self, spec, world) -> None:
+    def __init__(self, spec, world, interpreter=None,
+                 properties=None) -> None:
         self.spec = spec
-        self.interpreter = Interpreter(spec.info, world)
-        self.monitor = TraceMonitor(spec.trace_properties())
+        self.interpreter = (interpreter if interpreter is not None
+                            else Interpreter(spec.info, world))
+        monitored = (spec.trace_properties() if properties is None
+                     else tuple(properties))
+        self.monitor = TraceMonitor(monitored)
         self._fed = 0
 
     def run_init(self) -> KernelState:

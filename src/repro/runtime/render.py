@@ -18,7 +18,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..lang.values import ComponentInstance
-from .actions import ACall, ARecv, ASelect, ASend, ASpawn, Action
+from .actions import (
+    ACall,
+    ACrash,
+    ARecv,
+    ARestart,
+    ASelect,
+    ASend,
+    ASpawn,
+    Action,
+)
 from .trace import Trace
 
 _KERNEL = "KERNEL"
@@ -114,4 +123,10 @@ def _render_action(action: Action, lane_of: Dict[int, int],
         args = ", ".join(str(a) for a in action.args)
         note = f"* {action.func}({args}) = {action.result}"
         cells[0] = note[:_LANE_WIDTH].center(_LANE_WIDTH)
+    elif isinstance(action, ACrash):
+        lane = lane_of[action.comp.ident]
+        cells[lane] = f"X ({action.reason})".center(_LANE_WIDTH)
+    elif isinstance(action, ARestart):
+        lane = lane_of[action.comp.ident]
+        cells[lane] = "(restarted)".center(_LANE_WIDTH)
     return "".join(cells).rstrip()

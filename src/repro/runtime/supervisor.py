@@ -1,0 +1,215 @@
+"""Kernel-side supervision: restart policies and graceful degradation.
+
+The paper's kernel assumes components die — a browser tab segfaults, an
+SSH slave is killed — and its guarantees are about the *kernel's* trace,
+not about components behaving.  This module adds the kernel-side
+machinery a production deployment needs around that fact:
+
+* a :class:`Supervisor` with per-component-type :class:`RestartPolicy`
+  (max restarts, bounded exponential backoff, quarantine after repeated
+  failure), which drains a dead component's pending messages to a
+  dead-letter queue instead of letting them wedge ``select``;
+* a :class:`SupervisedInterpreter` that surfaces component failure as
+  observable :class:`~repro.runtime.actions.ACrash` /
+  :class:`~repro.runtime.actions.ARestart` trace actions — so an online
+  :class:`~repro.runtime.monitor.TraceMonitor` keeps checking across
+  failures — and turns unparseable (garbled) messages into protocol
+  crashes instead of aborting the event loop.
+
+Crash and restart actions are pushed only *between* exchanges, never
+inside a handler run, so they cannot interpose between a trigger and its
+immediately-adjacent obligation (``ImmAfter``/``ImmBefore``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..lang.errors import WorldError
+from ..lang.validate import ProgramInfo
+from ..lang.values import ComponentInstance, Value
+from .actions import ACrash, ARestart
+from .interpreter import Interpreter, KernelState, _Scope
+
+#: Exit status recorded when the kernel drops a protocol-violating
+#: component (EX_PROTOCOL from sysexits.h).
+PROTOCOL_EXIT_STATUS = 76
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How the supervisor treats one component type's failures.
+
+    A component is restarted at most ``max_restarts`` times; the n-th
+    restart waits ``backoff_base * 2**n`` interpreter steps, capped at
+    ``backoff_cap``.  Past the limit the component is quarantined: left
+    dead for good, its traffic dead-lettered.
+    """
+
+    max_restarts: int = 3
+    backoff_base: int = 1
+    backoff_cap: int = 8
+
+    def delay(self, restarts_so_far: int) -> int:
+        """Backoff (in interpreter steps) before the next restart."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** restarts_so_far))
+
+
+class Supervisor:
+    """Kernel-side supervision of component lifecycles.
+
+    The supervisor owns no thread: a driving interpreter notifies it of
+    crashes (:meth:`on_crash`) and pumps time into it (:meth:`tick`).
+    All per-component bookkeeping is keyed by component identity, so a
+    restarted component keeps its failure history.
+    """
+
+    def __init__(self, world,
+                 policy: Optional[RestartPolicy] = None,
+                 policies: Optional[Dict[str, RestartPolicy]] = None,
+                 ) -> None:
+        self.world = world
+        self._default_policy = policy or RestartPolicy()
+        self._policies = dict(policies or {})
+        self._restarts: Dict[int, int] = {}
+        self._due: Dict[int, int] = {}  # ident → step the restart is due
+        self._comps: Dict[int, ComponentInstance] = {}
+        self._quarantined: Dict[int, ComponentInstance] = {}
+        #: undeliverable component→kernel messages of dead components
+        self.dead_letters: List[
+            Tuple[ComponentInstance, str, Tuple[Value, ...]]
+        ] = []
+        self.crashes = 0
+
+    def policy_for(self, comp: ComponentInstance) -> RestartPolicy:
+        """The restart policy governing ``comp`` (per-type override or
+        the default)."""
+        return self._policies.get(comp.ctype, self._default_policy)
+
+    # -- events --------------------------------------------------------------
+
+    def on_crash(self, comp: ComponentInstance, clock: int,
+                 reason: str = "fault") -> None:
+        """A component died: dead-letter its pending messages and decide
+        between a backed-off restart and quarantine."""
+        self.crashes += 1
+        obs.incr("supervisor.crash")
+        for msg, payload in self.world.drain_component(comp):
+            self.dead_letters.append((comp, msg, payload))
+            obs.incr("supervisor.dead_letter")
+        policy = self.policy_for(comp)
+        done = self._restarts.get(comp.ident, 0)
+        if done >= policy.max_restarts:
+            self._quarantined[comp.ident] = comp
+            self._due.pop(comp.ident, None)
+            obs.incr("supervisor.quarantine")
+            return
+        self._comps[comp.ident] = comp
+        self._due[comp.ident] = clock + policy.delay(done)
+
+    def tick(self, clock: int) -> List[ComponentInstance]:
+        """Perform every restart that is due at ``clock``; returns the
+        restarted components in identity order."""
+        due = sorted(ident for ident, when in self._due.items()
+                     if when <= clock)
+        restarted: List[ComponentInstance] = []
+        for ident in due:
+            comp = self._comps[ident]
+            del self._due[ident]
+            self.world.restart_component(comp)
+            self._restarts[ident] = self._restarts.get(ident, 0) + 1
+            obs.incr("supervisor.restart")
+            restarted.append(comp)
+        return restarted
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def restarts_total(self) -> int:
+        return sum(self._restarts.values())
+
+    @property
+    def quarantined(self) -> Tuple[ComponentInstance, ...]:
+        """Components the supervisor has given up on, in identity order."""
+        return tuple(self._quarantined[i]
+                     for i in sorted(self._quarantined))
+
+    def to_dict(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "restarts": self.restarts_total,
+            "quarantined": [str(c) for c in self.quarantined],
+            "dead_letters": len(self.dead_letters),
+        }
+
+
+class SupervisedInterpreter(Interpreter):
+    """An interpreter hardened against component failure.
+
+    Each step: (1) advance the world's fault clock (when the world
+    injects faults) and surface any component deaths as ``Crash``
+    actions, (2) perform due supervisor restarts as ``Restart`` actions,
+    (3) run one exchange — where a message the kernel cannot parse kills
+    the offending component (protocol crash) instead of aborting the
+    event loop.
+
+    The clean-path trace is action-for-action identical to the base
+    :class:`~repro.runtime.interpreter.Interpreter`'s — asserted by the
+    differential tests.
+    """
+
+    def __init__(self, info: ProgramInfo, world,
+                 supervisor: Optional[Supervisor] = None) -> None:
+        super().__init__(info, world)
+        self.supervisor = supervisor or Supervisor(world)
+        self.clock = 0
+        self.protocol_faults = 0
+
+    def step(self, state: KernelState) -> bool:
+        """One exchange, with pre-step fault/restart housekeeping and
+        protocol-crash containment; returns True if anything happened
+        (including a contained crash)."""
+        self.clock += 1
+        self._pre_step(state)
+        comp = self.world.select()
+        if comp is None:
+            return False
+        msg, payload = self.world.recv(comp)
+        try:
+            self._check_message_shape(comp, msg, payload)
+        except WorldError:
+            # The kernel's parser rejected the bytes: no Recv happened.
+            # Drop the connection and let the supervisor take over.
+            self.protocol_faults += 1
+            obs.incr("supervisor.protocol_fault")
+            state.trace.push(ACrash(comp, "protocol"))
+            self.world.kill_component(
+                comp, exit_status=PROTOCOL_EXIT_STATUS
+            )
+            self.supervisor.on_crash(comp, self.clock, reason="protocol")
+            return True
+        from .actions import ARecv, ASelect
+
+        state.trace.push(ASelect(comp))
+        state.trace.push(ARecv(comp, msg, payload))
+        handler = self.info.program.handler_for(comp.ctype, msg)
+        if handler is not None:
+            scope = _Scope(dict(zip(handler.params, payload)), comp)
+            self.run_cmd(handler.body, state, scope)
+        return True
+
+    def _pre_step(self, state: KernelState) -> None:
+        """Between-exchange housekeeping: fire scheduled faults, observe
+        deaths, perform due restarts."""
+        begin_step = getattr(self.world, "begin_step", None)
+        if begin_step is not None:
+            for record in begin_step():
+                if record.kind == "crash":
+                    state.trace.push(ACrash(record.comp, "fault"))
+                    self.supervisor.on_crash(record.comp, self.clock,
+                                             reason="fault")
+        for comp in self.supervisor.tick(self.clock):
+            state.trace.push(ARestart(comp))

@@ -16,7 +16,7 @@ harness run *paired* executions sharing the same non-deterministic context
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..lang.errors import WorldError
 from ..lang.types import ComponentDecl
@@ -56,6 +56,11 @@ class World:
         self._ports: Dict[int, ComponentPort] = {}
         self._behaviors: Dict[int, ComponentBehavior] = {}
         self._open_fds: set = set()
+        #: executable path per instance, so a dead component can be
+        #: restarted with a fresh behavior of the same kind
+        self._executables: Dict[int, str] = {}
+        #: exit status per dead instance (present iff the component died)
+        self._exit_status: Dict[int, int] = {}
         self._next_ident = 0
         self._next_fd = 3  # 0/1/2 are stdio, as on a real system
         #: chronological arrival order used by the fifo select policy
@@ -101,6 +106,7 @@ class World:
         port = ComponentPort(instance)
         self._ports[instance.ident] = port
         self._behaviors[instance.ident] = behavior
+        self._executables[instance.ident] = decl.executable
         behavior.on_start(port)
         self._note_arrivals(port)
         return instance
@@ -113,7 +119,12 @@ class World:
         channel must be open.
         """
         if comp.fd not in self._open_fds:
-            raise WorldError(f"send on closed channel fd:{comp.fd}")
+            status = self._exit_status.get(comp.ident)
+            died = f", exit status {status}" if status is not None else ""
+            raise WorldError(
+                f"send on closed channel fd:{comp.fd} "
+                f"(component {comp.ctype}#{comp.ident}{died})"
+            )
         behavior = self._behaviors.get(comp.ident)
         port = self._ports.get(comp.ident)
         if behavior is None or port is None:
@@ -122,11 +133,15 @@ class World:
         self._note_arrivals(port)
 
     def ready_components(self) -> List[ComponentInstance]:
-        """Components with at least one pending message for the kernel."""
+        """Live components with at least one pending message for the
+        kernel.  Dead components never count as ready: their channel is
+        closed, so ``select`` must not serve them (their leftover outbox
+        is drained or dead-lettered by a supervisor instead)."""
         return [
             port.instance
             for port in self._ports.values()
             if port.has_pending()
+            and port.instance.ident not in self._exit_status
         ]
 
     def select(self) -> Optional[ComponentInstance]:
@@ -152,6 +167,10 @@ class World:
         port = self._ports.get(comp.ident)
         if port is None or not port.has_pending():
             raise WorldError(f"recv from non-ready component {comp}")
+        if comp.ident in self._exit_status:
+            raise WorldError(
+                f"recv from dead component {comp.ctype}#{comp.ident}"
+            )
         result = port.pop()
         self._refresh_arrival(port)
         return result
@@ -169,6 +188,88 @@ class World:
         if fn is not None:
             return VStr(fn(str_args, self._rng))
         return VStr(f"{func}:{self._rng.randrange(1 << 30):08x}")
+
+    # -- lifecycle (crash/restart bookkeeping) -------------------------------
+
+    def alive(self, comp: ComponentInstance) -> bool:
+        """True while the component's process has not exited."""
+        return (comp.ident in self._ports
+                and comp.ident not in self._exit_status)
+
+    def exit_status(self, comp: ComponentInstance) -> Optional[int]:
+        """The component's recorded exit status, or ``None`` while alive."""
+        return self._exit_status.get(comp.ident)
+
+    def kill_component(self, comp: ComponentInstance,
+                       exit_status: int = 1) -> None:
+        """Terminate a component's process: close its channel and record
+        the exit status.
+
+        The component's identity and pending outbox survive — a
+        supervisor drains (dead-letters) the outbox and may later
+        :meth:`restart_component` the same identity.  Killing an already
+        dead component is a double close and therefore an error.
+        """
+        if comp.ident not in self._ports:
+            raise WorldError(f"kill of unknown component {comp}")
+        if comp.ident in self._exit_status:
+            raise WorldError(
+                f"double close of channel fd:{comp.fd} "
+                f"(component {comp.ctype}#{comp.ident} already exited "
+                f"with status {self._exit_status[comp.ident]})"
+            )
+        self._open_fds.discard(comp.fd)
+        self._exit_status[comp.ident] = exit_status
+        self._arrival.pop(comp.ident, None)
+
+    def restart_component(self, comp: ComponentInstance) -> None:
+        """Re-exec a dead component: reopen its channel and attach a fresh
+        behavior instance of the declared executable.
+
+        The replacement process inherits the component's identity and
+        descriptor (the kernel re-binds the channel, ``dup2``-style), so
+        component references held in kernel state stay valid — and no
+        ``Spawn`` action is observed, which matters for uniqueness
+        properties like the browser's ``UniqueTabIds``.
+        """
+        port = self._ports.get(comp.ident)
+        if port is None:
+            raise WorldError(f"restart of unknown component {comp}")
+        if comp.ident not in self._exit_status:
+            raise WorldError(
+                f"restart of live component {comp.ctype}#{comp.ident}"
+            )
+        del self._exit_status[comp.ident]
+        self._open_fds.add(comp.fd)
+        executable = self._executables.get(comp.ident, "")
+        factory = self._behavior_registry.get(executable, InertBehavior)
+        behavior = factory()
+        self._behaviors[comp.ident] = behavior
+        behavior.on_start(port)
+        self._note_arrivals(port)
+
+    def drain_component(
+        self, comp: ComponentInstance,
+    ) -> List[Tuple[str, Tuple[Value, ...]]]:
+        """Remove and return every pending message of the component's
+        outbox (oldest first) — the dead-letter path for a component that
+        died with undelivered messages."""
+        port = self._ports.get(comp.ident)
+        if port is None:
+            raise WorldError(f"drain of unknown component {comp}")
+        drained: List[Tuple[str, Tuple[Value, ...]]] = []
+        while port.has_pending():
+            drained.append(port.pop())
+        self._arrival.pop(comp.ident, None)
+        return drained
+
+    def requeue_front(self, comp: ComponentInstance, msg: str,
+                      payload: Tuple[Value, ...]) -> None:
+        """Put a message back at the head of the component's outbox — the
+        retransmission hook used by fault injection (duplicates)."""
+        port = self.port_of(comp)
+        port.push_front(msg, payload)
+        self._note_arrivals(port)
 
     # -- driver API (the "outside world" for examples and tests) -------------
 
@@ -192,6 +293,10 @@ class World:
                   *payload: object) -> None:
         """Have ``comp`` send ``msg(payload...)`` to the kernel, as if its
         process produced it spontaneously."""
+        if comp.ident in self._exit_status:
+            raise WorldError(
+                f"stimulate of dead component {comp.ctype}#{comp.ident}"
+            )
         port = self.port_of(comp)
         port.emit(msg, *payload)
         self._note_arrivals(port)

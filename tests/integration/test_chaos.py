@@ -1,0 +1,93 @@
+"""Integration tests for the chaos harness: verified trace properties
+survive seeded component failure, deterministically."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import chaos
+
+
+@pytest.fixture(scope="module")
+def car_reports():
+    return chaos.run_chaos(kernel="car", schedules=4, seed=0, rounds=6)
+
+
+class TestRunChaos:
+    def test_verified_properties_survive_faults(self, car_reports):
+        (report,) = car_reports
+        assert report.kernel == "car"
+        assert report.ok
+        assert report.violations == ()
+        assert report.monitored > 0
+        # the sweep actually exercised the fault machinery
+        assert report.exchanges > 0
+        assert sum(report.injected.values()) > 0
+
+    def test_differential_empty_plan_equals_plain_world(self, car_reports):
+        (report,) = car_reports
+        assert report.differential_ok
+
+    def test_reports_are_bit_for_bit_reproducible(self, car_reports):
+        again = chaos.run_chaos(kernel="car", schedules=4, seed=0,
+                                rounds=6)
+        assert [r.to_dict() for r in again] == \
+            [r.to_dict() for r in car_reports]
+        assert chaos.render_chaos(again) == chaos.render_chaos(car_reports)
+
+    def test_different_seed_different_sweep(self, car_reports):
+        other = chaos.run_chaos(kernel="car", schedules=4, seed=1,
+                                rounds=6)
+        assert other[0].ok  # robustness holds under any seed
+        assert other[0].to_dict() != car_reports[0].to_dict()
+
+    def test_kernel_all_resolves_to_the_seven(self):
+        from repro.systems import BENCHMARKS
+
+        assert chaos.chaos_kernel_names("all") == list(BENCHMARKS)
+        assert chaos.chaos_kernel_names("ssh") == ["ssh"]
+        with pytest.raises(KeyError):
+            chaos.chaos_kernel_names("toaster")
+
+    def test_render_mentions_verdict_and_coverage(self, car_reports):
+        text = chaos.render_chaos(car_reports)
+        assert "ok" in text
+        assert "faults injected:" in text
+        assert "differential" in text
+        assert "violations of verified properties: none" in text
+
+
+class TestChaosCli:
+    def test_chaos_subcommand_passes(self, capsys):
+        assert main(["chaos", "--kernel", "car", "--schedules", "2",
+                     "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "car" in out
+        assert "ok" in out
+
+    def test_chaos_json_is_machine_readable(self, capsys):
+        assert main(["chaos", "--kernel", "car", "--schedules", "2",
+                     "--rounds", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (report,) = payload["reports"]
+        assert report["kernel"] == "car"
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert set(report["injected"]) == {
+            "crash", "drop", "duplicate", "delay", "garble",
+        }
+
+    def test_chaos_profile_reports_coverage_counters(self, capsys):
+        assert main(["chaos", "--kernel", "car", "--schedules", "2",
+                     "--rounds", "4", "--json", "--profile"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["telemetry"]["counters"]
+        assert "chaos.exchanges" in counters
+        assert counters.get("chaos.violations") == 0
+
+    def test_unknown_kernel_rejected(self, capsys):
+        assert main(["chaos", "--kernel", "toaster"]) == 2
+        err = capsys.readouterr().err
+        assert "toaster" in err
+        assert "car" in err  # the valid choices are listed

@@ -1,0 +1,123 @@
+"""Robustness of ``verify_all(jobs=N)``: hung and dying workers.
+
+A single stuck or killed obligation task must never wedge the whole
+verification run: the parent times the task out (or observes the broken
+pool), rebuilds, retries up to ``task_retries`` times, and finally
+resolves the obligation as a *diagnostic failure verdict* — while every
+other property still gets its ordinary result.
+
+The pool uses the ``fork`` start method, so monkeypatching
+``repro.prover.parallel._execute`` in the parent is inherited by the
+workers — that is how these tests plant a culprit task.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro.prover.parallel as parallel_mod
+from repro.props.spec import NonInterference
+from repro.prover import ProverOptions, Verifier
+from repro.systems import BENCHMARKS
+
+REAL_EXECUTE = parallel_mod._execute
+
+
+def _require_fork():
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        pytest.skip("fork start method unavailable")
+
+
+def _spec_and_culprit():
+    """The car kernel plus the index of its first plain trace property
+    (a ``("prop", i)`` task in the parallel fan-out)."""
+    spec = BENCHMARKS["car"].load()
+    for index, prop in enumerate(spec.properties):
+        if not isinstance(prop, NonInterference):
+            return spec, index
+    raise AssertionError("car kernel has no trace property")
+
+
+def test_hung_task_times_out_into_diagnostic_failure(monkeypatch):
+    _require_fork()
+    spec, culprit = _spec_and_culprit()
+
+    def hang_execute(task):
+        if task[0] == "prop" and task[1] == culprit:
+            time.sleep(60)
+        return REAL_EXECUTE(task)
+
+    monkeypatch.setattr(parallel_mod, "_execute", hang_execute)
+    options = ProverOptions(task_timeout=0.5, task_retries=1)
+    report = Verifier(spec, options).verify_all(jobs=2)
+
+    assert len(report.results) == len(spec.properties)
+    bad = report.results[culprit]
+    assert not bad.proved
+    assert "task timeout" in bad.error
+    assert "2 attempt" in bad.error
+    for index, result in enumerate(report.results):
+        if index != culprit:
+            assert result.proved, (result.property.name, result.error)
+
+
+def test_killed_worker_becomes_diagnostic_failure(monkeypatch):
+    _require_fork()
+    spec, culprit = _spec_and_culprit()
+
+    def dying_execute(task):
+        if task[0] == "prop" and task[1] == culprit:
+            # let the innocents land first, then die hard (no cleanup,
+            # no exception back to the parent — a real segfault shape)
+            time.sleep(0.3)
+            os._exit(1)
+        return REAL_EXECUTE(task)
+
+    monkeypatch.setattr(parallel_mod, "_execute", dying_execute)
+    options = ProverOptions(task_retries=1)  # no timeout needed
+    report = Verifier(spec, options).verify_all(jobs=2)
+
+    assert len(report.results) == len(spec.properties)
+    bad = report.results[culprit]
+    assert not bad.proved
+    assert "worker process died" in bad.error
+    for index, result in enumerate(report.results):
+        if index != culprit:
+            assert result.proved, (result.property.name, result.error)
+
+
+def test_flaky_task_recovers_within_retry_budget(monkeypatch, tmp_path):
+    _require_fork()
+    spec, culprit = _spec_and_culprit()
+    flag = tmp_path / "already-died-once"
+
+    def flaky_execute(task):
+        if (task[0] == "prop" and task[1] == culprit
+                and not flag.exists()):
+            flag.write_text("x")
+            os._exit(1)
+        return REAL_EXECUTE(task)
+
+    monkeypatch.setattr(parallel_mod, "_execute", flaky_execute)
+    options = ProverOptions(task_retries=1)
+    report = Verifier(spec, options).verify_all(jobs=2)
+
+    assert all(result.proved for result in report.results)
+    assert report.results[culprit].proved
+
+
+def test_serial_parallel_equivalence_with_watchdog_enabled():
+    _require_fork()
+    spec = BENCHMARKS["car"].load()
+    serial = Verifier(spec).verify_all(jobs=1)
+    watched = Verifier(
+        spec, ProverOptions(task_timeout=30.0)
+    ).verify_all(jobs=3)
+    assert ([r.status for r in serial.results]
+            == [r.status for r in watched.results])
+    assert ([r.derivation_key() for r in serial.results]
+            == [r.derivation_key() for r in watched.results])

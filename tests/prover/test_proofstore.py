@@ -141,6 +141,58 @@ class TestStore:
         store.path_for("k1").write_bytes(pickle.dumps(wrong))
         assert store.get("k1") is None
 
+    def test_failed_replace_is_logged_and_survived(self, tmp_path,
+                                                   monkeypatch):
+        """A filesystem error while publishing the entry (full disk,
+        revoked permissions) is counted through ``obs`` and otherwise
+        absorbed — and leaves no temp droppings behind."""
+        from repro import obs
+        from repro.prover import proofstore as proofstore_mod
+
+        store = ProofStore(tmp_path)
+
+        def failing_replace(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(proofstore_mod.os, "replace", failing_replace)
+        with obs.use(obs.Telemetry()) as telemetry:
+            store.put(StoreEntry("k1", "trace", ("payload",), True))
+        assert telemetry.counters.get("store.write_error") == 1
+        assert telemetry.counters.get("store.put") is None
+        assert store.get("k1") is None
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_mkstemp_is_logged_and_survived(self, tmp_path,
+                                                   monkeypatch):
+        from repro import obs
+        from repro.prover import proofstore as proofstore_mod
+
+        store = ProofStore(tmp_path)
+
+        def failing_mkstemp(*args, **kwargs):
+            raise OSError(13, "Permission denied")
+
+        monkeypatch.setattr(proofstore_mod.tempfile, "mkstemp",
+                            failing_mkstemp)
+        with obs.use(obs.Telemetry()) as telemetry:
+            store.put(StoreEntry("k1", "trace", ("payload",), True))
+        assert telemetry.counters.get("store.write_error") == 1
+        assert store.get("k1") is None
+
+    def test_unwritable_store_still_verifies(self, tmp_path, monkeypatch):
+        """End to end: every store write failing does not fail the run."""
+        from repro.prover import proofstore as proofstore_mod
+
+        def failing_replace(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(proofstore_mod.os, "replace", failing_replace)
+        spec = BENCHMARKS["car"].load()
+        options = ProverOptions(proof_store=str(tmp_path))
+        report = Verifier(spec, options).verify_all()
+        assert report.all_proved
+        assert len(ProofStore(tmp_path)) == 0
+
     def test_corrupt_store_reproved_not_crashed(self, tmp_path):
         """A verifier pointed at a corrupted store re-proves and heals."""
         spec = BENCHMARKS["ssh"].load()

@@ -1,0 +1,176 @@
+"""Unit tests for deterministic fault injection (``runtime.faults``)."""
+
+import pytest
+
+from repro.lang import ComponentDecl, WorldError
+from repro.lang.values import vstr
+from repro.runtime.components import RecordingBehavior
+from repro.runtime.faults import (
+    CRASH_EXIT_STATUS,
+    GARBAGE_MESSAGE,
+    FaultPlan,
+    FaultSpec,
+    FaultyWorld,
+)
+from repro.runtime.world import World
+
+DECL = ComponentDecl("A", "a.py", ())
+
+
+def _spawned(plan=None):
+    world = FaultyWorld(World(), plan)
+    world.register_executable("a.py", RecordingBehavior)
+    comp = world.spawn(DECL, ())
+    return world, comp
+
+
+def _fire_all(world):
+    """Advance the fault clock past every scheduled event."""
+    records = []
+    last_step = max((e.step for e in world.plan.events), default=0)
+    for _ in range(last_step + 2):
+        records.extend(world.begin_step())
+    return records
+
+
+class TestPlans:
+    def test_generate_is_seed_deterministic(self):
+        assert (FaultPlan.generate(seed=5).events
+                == FaultPlan.generate(seed=5).events)
+        assert (FaultPlan.generate(seed=5).events
+                != FaultPlan.generate(seed=6).events)
+
+    def test_events_sorted_by_step(self):
+        plan = FaultPlan.generate(seed=3, horizon=20, count=10)
+        steps = [e.step for e in plan.events]
+        assert steps == sorted(steps)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(step=0, kind="gremlin", target=0)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.empty()
+        assert len(FaultPlan.empty()) == 0
+        assert FaultPlan.generate(seed=0, count=3)
+
+
+class TestTransparency:
+    """With an empty plan a FaultyWorld is the wrapped world."""
+
+    def test_delegation_and_clean_messaging(self):
+        world, comp = _spawned()
+        assert world.components() == [comp]
+        world.begin_step()
+        world.send(comp, "M", (vstr("x"),))
+        assert world.behavior_of(comp).received == [("M", (vstr("x"),))]
+        world.stimulate(comp, "R", "y")
+        assert world.recv(comp) == ("R", (vstr("y"),))
+        assert world.stats.to_dict()["injected"] == {
+            k: 0 for k in ("crash", "drop", "duplicate", "delay", "garble")
+        }
+
+
+class TestInjection:
+    def test_crash_kills_component(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="crash", target=0)])
+        world, comp = _spawned(plan)
+        records = world.begin_step()
+        assert [(r.kind, r.comp) for r in records] == [("crash", comp)]
+        assert not world.alive(comp)
+        assert world.exit_status(comp) == CRASH_EXIT_STATUS
+
+    def test_fault_with_no_live_target_is_skipped(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="crash", target=0)])
+        world = FaultyWorld(World(), plan)  # nothing spawned
+        assert world.begin_step() == []
+        assert world.stats.skipped == 1
+
+    def test_drop_loses_exactly_one_send(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="drop", target=0)])
+        world, comp = _spawned(plan)
+        world.begin_step()
+        world.send(comp, "M", (vstr("lost"),))
+        world.send(comp, "M", (vstr("kept"),))
+        assert world.behavior_of(comp).received == \
+            [("M", (vstr("kept"),))]
+        assert world.stats.dropped_sends == 1
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="duplicate", target=0)])
+        world, comp = _spawned(plan)
+        world.begin_step()
+        world.stimulate(comp, "M", "x")
+        first = world.recv(comp)
+        second = world.recv(comp)
+        assert first == second == ("M", (vstr("x"),))
+        assert world.stats.duplicated == 1
+        assert not world.port_of(comp).has_pending()
+
+    def test_delay_reorders_pending(self):
+        plan = FaultPlan([FaultSpec(step=1, kind="delay", target=0)])
+        world, comp = _spawned(plan)
+        world.stimulate(comp, "M", "old")
+        world.stimulate(comp, "M", "new")
+        world.begin_step()
+        world.begin_step()
+        assert world.recv(comp)[1] == (vstr("new"),)
+        assert world.recv(comp)[1] == (vstr("old"),)
+        assert world.stats.delayed == 1
+
+    def test_delay_on_single_message_is_harmless(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="delay", target=0)])
+        world, comp = _spawned(plan)
+        world.stimulate(comp, "M", "only")
+        world.begin_step()
+        assert world.recv(comp)[1] == (vstr("only"),)
+        assert world.stats.delayed == 0
+
+    def test_garble_corrupts_next_recv(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="garble", target=0)],
+                         seed=4)
+        world, comp = _spawned(plan)
+        world.begin_step()
+        world.stimulate(comp, "M", "clean")
+        msg, payload = world.recv(comp)
+        assert (msg, payload) != ("M", (vstr("clean"),))
+        assert msg == GARBAGE_MESSAGE or len(payload) != 1 \
+            or payload[0] != vstr("clean")
+        assert world.stats.garbled == 1
+
+    def test_garble_is_seed_deterministic(self):
+        def corrupted(seed):
+            plan = FaultPlan(
+                [FaultSpec(step=0, kind="garble", target=0)], seed=seed
+            )
+            world, comp = _spawned(plan)
+            world.begin_step()
+            world.stimulate(comp, "M", "clean")
+            return world.recv(comp)
+
+        assert corrupted(7) == corrupted(7)
+
+
+class TestGracefulDegradation:
+    def test_send_to_dead_component_is_dead_lettered(self):
+        world, comp = _spawned()
+        world.kill_component(comp)
+        world.send(comp, "M", (vstr("x"),))  # no WorldError
+        assert world.dead_letters == [(comp, "M", (vstr("x"),))]
+        assert world.stats.dead_lettered_sends == 1
+
+    def test_stimulate_of_dead_component_is_suppressed(self):
+        world, comp = _spawned()
+        world.kill_component(comp)
+        world.stimulate(comp, "M", "x")  # no WorldError
+        assert world.stats.suppressed_stimuli == 1
+
+    def test_bare_world_still_raises(self):
+        """The graceful paths live in the wrapper only — the clean model
+        keeps the paper's strict preconditions."""
+        world = World()
+        world.register_executable("a.py", RecordingBehavior)
+        comp = world.spawn(DECL, ())
+        world.kill_component(comp)
+        with pytest.raises(WorldError):
+            world.send(comp, "M", (vstr("x"),))

@@ -1,0 +1,148 @@
+"""``TraceMonitor.boundary()`` on truncated and interleaved traces.
+
+A boundary marks a reachable state — an exchange completed.  A trace
+that *stops* mid-obligation (the run was truncated: the kernel crashed,
+the fault injector killed the counterpart, the step budget ran out) must
+flag the outstanding obligation at the boundary, exactly once, at the
+position of the unmatched trigger; and obligations from interleaved
+bindings must be flagged independently, in trigger-position order.
+"""
+
+from repro.lang.values import ComponentInstance, vnum
+from repro.props import TraceProperty, comp_pat, msg_pat, recv_pat, send_pat
+from repro.runtime.actions import ARecv, ASend
+from repro.runtime.monitor import TraceMonitor
+
+A = ComponentInstance(0, "A", (), 3)
+B = ComponentInstance(1, "B", (), 4)
+
+
+def _recv(x: int) -> ARecv:
+    return ARecv(A, "M", (vnum(x),))
+
+
+def _send(x: int) -> ASend:
+    return ASend(B, "M", (vnum(x),))
+
+
+def _ensures() -> TraceProperty:
+    return TraceProperty("ensures", "Ensures",
+                         recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                         send_pat(comp_pat("B"), msg_pat("M", "?x")))
+
+
+def _immafter() -> TraceProperty:
+    return TraceProperty("immafter", "ImmAfter",
+                         recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                         send_pat(comp_pat("B"), msg_pat("M", "?x")))
+
+
+class TestTruncatedEnsures:
+    def test_truncation_mid_obligation_is_flagged(self):
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))  # obligation opened ...
+        assert monitor.ok  # ... not yet judged: no boundary reached
+        monitor.boundary()  # the run ended here, obligation unmet
+        assert not monitor.ok
+        violation = monitor.violations[0]
+        assert violation.position == 0
+        assert violation.binding == (("x", vnum(1)),)
+
+    def test_discharged_obligation_is_silent(self):
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))
+        monitor.observe(_send(1))
+        monitor.boundary()
+        assert monitor.ok
+
+    def test_no_duplicate_flag_at_next_boundary(self):
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))
+        monitor.boundary()
+        monitor.boundary()  # a later quiescent point, nothing new
+        assert len(monitor.violations) == 1
+
+    def test_late_discharge_does_not_heal_the_violation(self):
+        """The intermediate state was reachable and wrong; a discharge in
+        a later exchange cannot rewrite history."""
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))
+        monitor.boundary()  # violated here
+        monitor.observe(_send(1))  # next exchange pays the debt late
+        monitor.boundary()
+        assert len(monitor.violations) == 1
+
+    def test_interleaved_bindings_flagged_in_position_order(self):
+        """Two exchanges truncate with different bindings outstanding:
+        both flagged, ordered by trigger position, bindings intact."""
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))
+        monitor.observe(_recv(2))
+        monitor.observe(_send(2))  # only x=2 discharged
+        monitor.observe(_recv(3))
+        monitor.boundary()
+        positions = [(v.position, v.binding) for v in monitor.violations]
+        assert positions == [
+            (0, (("x", vnum(1)),)),
+            (3, (("x", vnum(3)),)),
+        ]
+
+    def test_same_binding_twice_flagged_once_at_first_position(self):
+        monitor = TraceMonitor([_ensures()])
+        monitor.observe(_recv(1))
+        monitor.observe(_recv(1))
+        monitor.boundary()
+        assert [v.position for v in monitor.violations] == [0]
+
+
+class TestTruncatedImmAfter:
+    def test_trigger_then_boundary_is_flagged(self):
+        """The immediately-after obligation cannot be met by a truncated
+        run: the trigger was the last action before quiescence."""
+        monitor = TraceMonitor([_immafter()])
+        monitor.observe(_recv(1))
+        monitor.boundary()
+        assert not monitor.ok
+        assert monitor.violations[0].position == 0
+
+    def test_adjacent_discharge_is_silent(self):
+        monitor = TraceMonitor([_immafter()])
+        monitor.observe(_recv(1))
+        monitor.observe(_send(1))
+        monitor.boundary()
+        assert monitor.ok
+
+    def test_boundary_consumes_the_pending_trigger(self):
+        """After the violation is flagged, the stale trigger is gone: a
+        following required action neither heals nor double-counts it."""
+        monitor = TraceMonitor([_immafter()])
+        monitor.observe(_recv(1))
+        monitor.boundary()
+        monitor.observe(_send(1))
+        monitor.boundary()
+        assert len(monitor.violations) == 1
+
+    def test_interleaved_trigger_flagged_at_wrong_successor(self):
+        """A second trigger interleaves before the first's discharge: the
+        first is flagged (its successor was wrong), the second truncates
+        at the boundary and is flagged too."""
+        monitor = TraceMonitor([_immafter()])
+        monitor.observe(_recv(1))
+        monitor.observe(_recv(2))  # wrong successor for x=1
+        monitor.boundary()         # and x=2 left dangling
+        assert [(v.position, v.binding) for v in monitor.violations] == [
+            (0, (("x", vnum(1)),)),
+            (1, (("x", vnum(2)),)),
+        ]
+
+
+class TestMixedProperties:
+    def test_each_property_judged_independently(self):
+        monitor = TraceMonitor([_ensures(), _immafter()])
+        monitor.observe(_recv(1))
+        monitor.observe(_send(1))  # discharges both
+        monitor.observe(_recv(2))  # opens both again
+        monitor.boundary()         # truncated: both flagged at #2
+        names = sorted((v.property_name, v.position)
+                       for v in monitor.violations)
+        assert names == [("ensures", 2), ("immafter", 2)]

@@ -1,0 +1,155 @@
+"""Unit tests for kernel-side supervision (``runtime.supervisor``)."""
+
+from repro.lang import ComponentDecl
+from repro.lang.values import vstr
+from repro.runtime.actions import ACrash, ARestart, ASelect
+from repro.runtime.components import RecordingBehavior
+from repro.runtime.faults import FaultPlan, FaultSpec, FaultyWorld
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.supervisor import (
+    PROTOCOL_EXIT_STATUS,
+    RestartPolicy,
+    SupervisedInterpreter,
+    Supervisor,
+)
+from repro.runtime.world import World
+from repro.systems import BENCHMARKS
+
+DECL = ComponentDecl("A", "a.py", ())
+
+
+def _world_with_component():
+    world = World()
+    world.register_executable("a.py", RecordingBehavior)
+    return world, world.spawn(DECL, ())
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RestartPolicy(backoff_base=1, backoff_cap=8)
+        assert [policy.delay(n) for n in range(5)] == [1, 2, 4, 8, 8]
+
+    def test_per_type_override(self):
+        world, comp = _world_with_component()
+        strict = RestartPolicy(max_restarts=0)
+        supervisor = Supervisor(world, policies={"A": strict})
+        assert supervisor.policy_for(comp) is strict
+        other = ComponentDecl("B", "b.py", ())
+        b = world.spawn(other, ())
+        assert supervisor.policy_for(b) == RestartPolicy()
+
+
+class TestSupervisor:
+    def test_crash_drains_to_dead_letters(self):
+        world, comp = _world_with_component()
+        world.stimulate(comp, "M", "pending")
+        world.kill_component(comp)
+        supervisor = Supervisor(world)
+        supervisor.on_crash(comp, clock=1)
+        assert supervisor.dead_letters == [(comp, "M", (vstr("pending"),))]
+        assert supervisor.crashes == 1
+        assert world.select() is None  # nothing wedges the event loop
+
+    def test_restart_waits_for_backoff(self):
+        world, comp = _world_with_component()
+        world.kill_component(comp)
+        supervisor = Supervisor(world, RestartPolicy(backoff_base=2))
+        supervisor.on_crash(comp, clock=1)  # due at clock 3
+        assert supervisor.tick(2) == []
+        assert not world.alive(comp)
+        assert supervisor.tick(3) == [comp]
+        assert world.alive(comp)
+        assert supervisor.restarts_total == 1
+
+    def test_quarantine_after_max_restarts(self):
+        world, comp = _world_with_component()
+        supervisor = Supervisor(world, RestartPolicy(max_restarts=1,
+                                                     backoff_base=0))
+        world.kill_component(comp)
+        supervisor.on_crash(comp, clock=1)
+        assert supervisor.tick(1) == [comp]  # first crash: restarted
+        world.kill_component(comp)
+        supervisor.on_crash(comp, clock=2)
+        assert supervisor.tick(10) == []  # second crash: given up
+        assert supervisor.quarantined == (comp,)
+        assert not world.alive(comp)
+        assert supervisor.to_dict()["restarts"] == 1
+
+
+def _car_stack(world):
+    spec = BENCHMARKS["car"].load()
+    BENCHMARKS["car"].register_components(world)
+    supervisor = Supervisor(world)
+    interpreter = SupervisedInterpreter(spec.info, world,
+                                        supervisor=supervisor)
+    return spec, supervisor, interpreter
+
+
+class TestSupervisedInterpreter:
+    def test_protocol_fault_becomes_crash_action(self):
+        world = World(seed=0)
+        spec, supervisor, interpreter = _car_stack(world)
+        state = interpreter.run_init()
+        victim = world.components()[0]
+        world.stimulate(victim, "__garbled__")
+        assert interpreter.step(state) is True
+        assert interpreter.protocol_faults == 1
+        crash = [a for a in state.trace.chronological()
+                 if isinstance(a, ACrash)]
+        assert crash and crash[0].comp == victim
+        assert crash[0].reason == "protocol"
+        assert world.exit_status(victim) == PROTOCOL_EXIT_STATUS
+        # no Select/Recv was recorded for the rejected bytes
+        assert not any(isinstance(a, ASelect)
+                       and a.comp == victim
+                       for a in state.trace.chronological())
+
+    def test_supervisor_restarts_protocol_crashed_component(self):
+        world = World(seed=0)
+        spec, supervisor, interpreter = _car_stack(world)
+        state = interpreter.run_init()
+        victim = world.components()[0]
+        world.stimulate(victim, "__garbled__")
+        for _ in range(6):  # crash, then idle steps until backoff expires
+            interpreter.step(state)
+        restarts = [a for a in state.trace.chronological()
+                    if isinstance(a, ARestart)]
+        assert restarts and restarts[0].comp == victim
+        assert world.alive(victim)
+        assert supervisor.restarts_total == 1
+
+    def test_injected_crash_surfaces_between_exchanges(self):
+        plan = FaultPlan([FaultSpec(step=0, kind="crash", target=0)])
+        world = FaultyWorld(World(seed=0), plan)
+        spec, supervisor, interpreter = _car_stack(world)
+        state = interpreter.run_init()
+        interpreter.step(state)
+        crash = [a for a in state.trace.chronological()
+                 if isinstance(a, ACrash)]
+        assert len(crash) == 1
+        assert crash[0].reason == "fault"
+        assert supervisor.crashes == 1
+
+    def test_clean_run_matches_base_interpreter(self):
+        """No faults, no crashes: trace is action-for-action the base
+        interpreter's."""
+        spec = BENCHMARKS["car"].load()
+
+        def drive(world, interpreter):
+            BENCHMARKS["car"].register_components(world)
+            state = interpreter.run_init()
+            comp = world.components()[0]
+            world.stimulate(comp, "Braking")
+            interpreter.run(state, max_steps=50)
+            return state.trace.chronological()
+
+        plain_world = World(seed=3)
+        plain = drive(plain_world, Interpreter(spec.info, plain_world))
+        sup_world = FaultyWorld(World(seed=3), FaultPlan.empty())
+        supervised = drive(
+            sup_world,
+            SupervisedInterpreter(spec.info, sup_world,
+                                  supervisor=Supervisor(sup_world)),
+        )
+        assert plain == supervised
+        assert len(plain) > 1

@@ -153,3 +153,101 @@ class TestCalls:
         for fname, fn in table.items():
             world.register_call(fname, fn)
         assert world.call("up", (vstr("abc"),)) == vstr("ABC")
+
+
+class TestLifecycle:
+    """Component death, channel bookkeeping, and restart."""
+
+    def _spawned(self, behavior=None):
+        world = World()
+        if behavior is not None:
+            world.register_executable("a.py", behavior)
+        return world, world.spawn(DECL, ())
+
+    def test_kill_closes_channel_and_records_status(self):
+        world, comp = self._spawned()
+        assert world.alive(comp)
+        assert world.exit_status(comp) is None
+        world.kill_component(comp, exit_status=9)
+        assert not world.alive(comp)
+        assert world.exit_status(comp) == 9
+
+    def test_send_after_kill_names_component_and_status(self):
+        world, comp = self._spawned(RecordingBehavior)
+        world.kill_component(comp, exit_status=9)
+        with pytest.raises(WorldError) as excinfo:
+            world.send(comp, "M", (vstr("x"),))
+        message = str(excinfo.value)
+        assert f"fd:{comp.fd}" in message
+        assert f"A#{comp.ident}" in message
+        assert "exit status 9" in message
+
+    def test_double_close_rejected(self):
+        world, comp = self._spawned()
+        world.kill_component(comp, exit_status=9)
+        with pytest.raises(WorldError, match="double close") as excinfo:
+            world.kill_component(comp)
+        message = str(excinfo.value)
+        assert f"A#{comp.ident}" in message
+        assert "status 9" in message
+
+    def test_kill_of_unknown_component_rejected(self):
+        from repro.lang.values import ComponentInstance
+
+        world = World()
+        ghost = ComponentInstance(99, "A", (), 42)
+        with pytest.raises(WorldError, match="unknown"):
+            world.kill_component(ghost)
+
+    def test_recv_and_stimulate_of_dead_rejected(self):
+        world, comp = self._spawned()
+        world.stimulate(comp, "M", "x")
+        world.kill_component(comp)
+        with pytest.raises(WorldError, match="dead component"):
+            world.recv(comp)
+        with pytest.raises(WorldError, match="dead component"):
+            world.stimulate(comp, "M", "y")
+
+    def test_dead_component_never_ready(self):
+        world, comp = self._spawned()
+        world.stimulate(comp, "M", "x")
+        assert world.ready_components() == [comp]
+        world.kill_component(comp)
+        assert world.ready_components() == []
+        assert world.select() is None
+
+    def test_drain_returns_pending_oldest_first(self):
+        world, comp = self._spawned()
+        world.stimulate(comp, "M", "one")
+        world.stimulate(comp, "M", "two")
+        world.kill_component(comp)
+        drained = world.drain_component(comp)
+        assert [p[0].s for _, p in drained] == ["one", "two"]
+        assert world.drain_component(comp) == []
+
+    def test_restart_keeps_identity_runs_startup(self):
+        world, comp = self._spawned(
+            lambda: ScriptedBehavior(startup=lambda port: port.emit("Hi"))
+        )
+        world.recv(comp)  # consume the first startup emission
+        world.kill_component(comp)
+        world.restart_component(comp)
+        assert world.alive(comp)
+        assert world.exit_status(comp) is None
+        # same identity and descriptor, fresh process: startup re-ran
+        assert world.components() == [comp]
+        assert world.ready_components() == [comp]
+        assert world.recv(comp)[0] == "Hi"
+
+    def test_restart_of_live_component_rejected(self):
+        world, comp = self._spawned()
+        with pytest.raises(WorldError, match="live component"):
+            world.restart_component(comp)
+
+    def test_requeue_front_is_delivered_next(self):
+        world, comp = self._spawned()
+        world.stimulate(comp, "M", "later")
+        world.requeue_front(comp, "M", (vstr("first"),))
+        msg, payload = world.recv(comp)
+        assert (msg, payload[0].s) == ("M", "first")
+        assert world.recv(comp)[1][0].s == "later"
