@@ -1,0 +1,86 @@
+"""End-to-end benchmark of the symbolic caching layer.
+
+Repeated ``verify_all`` runs (a fresh :class:`Verifier` per iteration,
+mirroring incremental re-verification) on the two deepest kernels, with
+the term caches on versus off.  Full mode asserts the ≥1.5× speedup the
+caching layer is sold on; quick mode (``REPRO_BENCH_QUICK=1``, the CI
+smoke job) only asserts the cached runs are not slower.  Timings and
+speedups land in ``benchmarks/results/symbolic_caching.json`` and a
+rendered table beside it.
+"""
+
+import json
+import os
+import time
+
+from repro.prover import ProverOptions, Verifier
+from repro.systems import BENCHMARKS
+from repro.symbolic import cache as symcache
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+KERNELS = ("ssh2", "browser3")
+ROUNDS = 3 if QUICK else 7
+#: Quick mode runs on noisy shared CI runners: only insist the caches do
+#: not make verification slower.  Full mode holds the headline claim.
+REQUIRED_SPEEDUP = 1.0 if QUICK else 1.5
+
+
+def _series(spec, term_cache: bool) -> list:
+    """Seconds per ``verify_all`` round, coldest caches first."""
+    symcache.clear_all()
+    times = []
+    for _ in range(ROUNDS):
+        options = ProverOptions(term_cache=term_cache)
+        start = time.perf_counter()
+        report = Verifier(spec, options).verify_all()
+        times.append(time.perf_counter() - start)
+        assert report.all_proved
+    return times
+
+
+def _render(rows) -> str:
+    lines = [
+        "symbolic caching: verify_all seconds (best of "
+        f"{ROUNDS} rounds)",
+        f"{'kernel':<10} {'uncached':>10} {'cached':>10} {'speedup':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kernel']:<10} {row['uncached_best']:>10.4f} "
+            f"{row['cached_best']:>10.4f} {row['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_caching_speedup(results_dir, record_table):
+    rows = []
+    for name in KERNELS:
+        spec = BENCHMARKS[name].load()
+        uncached = _series(spec, term_cache=False)
+        cached = _series(spec, term_cache=True)
+        rows.append({
+            "kernel": name,
+            "rounds": ROUNDS,
+            "uncached_seconds": uncached,
+            "cached_seconds": cached,
+            "uncached_best": min(uncached),
+            "cached_best": min(cached),
+            "speedup": min(uncached) / min(cached),
+        })
+
+    payload = {
+        "benchmark": "symbolic_caching",
+        "quick": QUICK,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "kernels": rows,
+    }
+    (results_dir / "symbolic_caching.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_table("symbolic_caching", _render(rows))
+
+    best = max(row["speedup"] for row in rows)
+    assert best >= REQUIRED_SPEEDUP, (
+        f"caching speedup {best:.2f}x below the required "
+        f"{REQUIRED_SPEEDUP}x (see symbolic_caching.json)"
+    )

@@ -76,6 +76,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     options = ProverOptions(
         syntactic_skip=not args.no_skip,
         check_proofs=not args.no_check,
+        term_cache=not args.no_term_cache,
         proof_store=args.store,
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
@@ -105,6 +106,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             report.wall_seconds = time.perf_counter() - start
         else:
             report = verifier.verify_all(jobs=args.jobs)
+    if telemetry is not None:
+        from .symbolic import cache as symcache
+
+        # End-of-run cache occupancy, reported next to the hit/miss
+        # counters (sizes are gauges; with --jobs they reflect the
+        # parent process only).
+        for name, size in symcache.sizes().items():
+            telemetry.incr(name, size)
     if args.json:
         payload = report.to_dict()
         if telemetry is not None:
@@ -239,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip re-validation of derivations")
     verify.add_argument("--no-skip", action="store_true",
                         help="disable the syntactic skip optimization")
+    verify.add_argument("--no-term-cache", action="store_true",
+                        help="disable memoized simplification and solver "
+                             "query caching (terms are still interned)")
     verify.add_argument("-c", "--counterexample", action="store_true",
                         help="print candidate counterexamples on failure")
     verify.add_argument("-e", "--explain", action="store_true",

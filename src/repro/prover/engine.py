@@ -49,6 +49,7 @@ from ..props.spec import (
     SpecifiedProgram,
     TraceProperty,
 )
+from ..symbolic import cache as symcache
 from ..symbolic.behabs import GenericStep, generic_step
 from .checker import (
     check_ni_proof,
@@ -95,6 +96,10 @@ class ProverOptions:
     memoize_step: bool = True
     cache_subproofs: bool = True
     check_proofs: bool = True
+    #: consult the process-wide symbolic caches (interned-term simplify
+    #: memo, DNF memo, solver query cache — see docs/performance.md);
+    #: semantically invisible, so it does not shape obligation keys
+    term_cache: bool = True
     proof_store: Optional[str] = None
     #: parallel runs only: wall-clock budget per obligation task, in
     #: seconds (``None`` disables the watchdog)
@@ -407,7 +412,16 @@ class Verifier:
         return proof, checked, "store" if all_from_store else "searched"
 
     def prove_property(self, prop: Property) -> PropertyResult:
-        """Prove (and check) one property, timing the whole pipeline."""
+        """Prove (and check) one property, timing the whole pipeline.
+
+        Runs under the symbolic-cache scope selected by
+        ``ProverOptions.term_cache``; caching never changes the verdict,
+        the derivation, or its key (asserted by the differential tests).
+        """
+        with symcache.scope(self.options.term_cache):
+            return self._prove_property_inner(prop)
+
+    def _prove_property_inner(self, prop: Property) -> PropertyResult:
         start = time.perf_counter()
         try:
             if isinstance(prop, TraceProperty):

@@ -16,7 +16,12 @@ to a serial run — asserted by the differential tests.
 
 Each task runs under its own telemetry sink; the resulting counters and
 spans travel back with the task result and are merged into the parent's
-active sink.
+active sink — for the *winning* attempt only (an attempt killed by the
+timeout watchdog never returns a sink).  The one-off symbolic step build
+is kept out of task sinks entirely: each worker captures its build under
+a private sink (:func:`_instrumented_step`), ships it alongside every
+result, and the parent merges exactly one copy per run — so totals match
+a serial run even when retry generations rebuild pools and workers.
 
 Robustness: a hung obligation (``ProverOptions.task_timeout``) or a
 worker killed mid-task can no longer wedge ``verify_all`` — the parent
@@ -48,15 +53,51 @@ from .ni import NIProof, PathVerdict
 #: The worker-global verifier, built once per process by :func:`_init_worker`.
 _WORKER = None
 
+#: Counters/spans of this worker's one-off symbolic step build, captured
+#: outside any task sink; the parent merges exactly one worker's copy.
+_STEP_TELEMETRY = None
+
 
 def _init_worker(payload: bytes) -> None:
     """Pool initializer: build this worker's Verifier from the pickled
-    ``(spec, options)`` pair."""
-    global _WORKER
+    ``(spec, options)`` pair, on a fresh intern table (terms unpickled
+    from the payload re-intern into it) with the symbolic caches set per
+    ``options.term_cache``."""
+    global _WORKER, _STEP_TELEMETRY
+    from ..symbolic import cache as symcache
+    from ..symbolic.expr import reset_interning
     from .engine import Verifier
 
+    reset_interning()
+    symcache.clear_all()
     spec, options = pickle.loads(payload)
+    symcache.set_enabled(getattr(options, "term_cache", True))
     _WORKER = Verifier(spec, options)
+    _STEP_TELEMETRY = None
+    # Route the verifier's step accessor through the instrumented build so
+    # its one-off cost lands in _STEP_TELEMETRY, not in some task's sink.
+    _WORKER.generic_step = _instrumented_step
+
+
+def _instrumented_step():
+    """The worker's :meth:`Verifier.generic_step`, with the first (memoized)
+    build captured under a private telemetry sink.
+
+    Without this, the build lands inside whichever task happens to run
+    first on each worker — and since every retry generation spawns fresh
+    workers, the parent's merged counters would double-count it (once per
+    worker per generation) relative to a serial run.
+    """
+    global _STEP_TELEMETRY
+    from .engine import Verifier
+
+    if _WORKER.options.memoize_step and _WORKER._step_cache is None:
+        build_sink = obs.Telemetry()
+        with obs.use(build_sink):
+            step = Verifier.generic_step(_WORKER)
+        _STEP_TELEMETRY = (build_sink.counters, build_sink.spans)
+        return step
+    return Verifier.generic_step(_WORKER)
 
 
 def _execute(task: tuple) -> tuple:
@@ -86,11 +127,13 @@ def _execute(task: tuple) -> tuple:
 
 def _run_task(task: tuple) -> tuple:
     """Task entry point: execute under a private telemetry sink and ship
-    the counters/spans back for the parent to merge."""
+    the counters/spans back for the parent to merge, along with this
+    worker's (separately captured) step-build telemetry."""
     telemetry = obs.Telemetry()
     with obs.use(telemetry):
         outcome = _execute(task)
-    return task, outcome, telemetry.counters, telemetry.spans
+    return (task, outcome, telemetry.counters, telemetry.spans,
+            _STEP_TELEMETRY)
 
 
 def _pool_context():
@@ -180,6 +223,9 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             tasks[next(ids)] = ("prop", index)
 
     telemetry = obs.active()
+    # The one-off symbolic step build happens once per run in a serial
+    # prover; merge exactly one worker's copy, across ALL generations.
+    step_merged = [False]
     results: Dict[int, PropertyResult] = {}
     attempts: Dict[int, int] = {tid: 0 for tid in tasks}
     unresolved: Set[int] = set(tasks)
@@ -289,7 +335,8 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                     tid = pending.pop(future)
                     running_since.pop(future, None)
                     try:
-                        task, outcome, counters, spans = future.result()
+                        (task, outcome, counters, spans,
+                         step_telemetry) = future.result()
                     except BrokenExecutor:
                         penalized[tid] = "its worker process died"
                         broken = True
@@ -298,6 +345,9 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                         penalized[tid] = f"it raised {error!r}"
                         continue
                     if telemetry is not None:
+                        if step_telemetry is not None and not step_merged[0]:
+                            step_merged[0] = True
+                            telemetry.merge(*step_telemetry)
                         telemetry.merge(counters, spans)
                     handle_outcome(tid, task, outcome)
                     # a settled NI assembly may have enqueued its check

@@ -192,10 +192,12 @@ class ProofStore:
         return entry
 
     def put(self, entry: StoreEntry) -> None:
-        """Atomically persist ``entry`` (best effort: a full disk or
-        permission error never fails the proof that produced it — the
-        failed write is counted as ``store.write_error`` and the run
-        continues without the cache entry)."""
+        """Atomically persist ``entry`` (best effort: a full disk,
+        permission error or unpicklable payload never fails the proof
+        that produced it — the failed write is counted as
+        ``store.write_error`` and the run continues without the cache
+        entry).  The temp file and its descriptor are reclaimed on every
+        failure path."""
         try:
             handle, tmp = tempfile.mkstemp(
                 dir=str(self.root), suffix=".tmp"
@@ -204,17 +206,29 @@ class ProofStore:
             obs.incr("store.write_error")
             return
         try:
-            with os.fdopen(handle, "wb") as stream:
+            stream = os.fdopen(handle, "wb")
+        except Exception:  # noqa: BLE001 - the raw fd must not leak
+            os.close(handle)
+            obs.incr("store.write_error")
+            self._discard(tmp)
+            return
+        try:
+            with stream:
                 pickle.dump(entry, stream)
             os.replace(tmp, self.path_for(entry.key))
-        except OSError:
+        except Exception:  # noqa: BLE001 - pickle errors are not OSErrors
             obs.incr("store.write_error")
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._discard(tmp)
             return
         obs.incr("store.put")
+
+    @staticmethod
+    def _discard(tmp: str) -> None:
+        """Best-effort removal of a failed write's temp file."""
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
     def clear(self) -> None:
         """Remove every entry."""

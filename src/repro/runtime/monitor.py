@@ -250,6 +250,17 @@ class MonitoredInterpreter:
 
     def _feed(self, state: KernelState) -> None:
         actions = state.trace.chronological()
+        if len(actions) < self._fed:
+            # A shorter trace than last time means the caller swapped in a
+            # different (or reset) state: silently re-feeding from the old
+            # offset would skip actions and corrupt every verdict.  Feed
+            # each MonitoredInterpreter a single, monotonically growing
+            # trace.
+            raise ValidationError(
+                f"monitored trace rewound from {self._fed} to "
+                f"{len(actions)} action(s); each MonitoredInterpreter "
+                "must observe a single growing trace"
+            )
         for action in actions[self._fed:]:
             self.monitor.observe(action)
         self._fed = len(actions)

@@ -1,6 +1,10 @@
 """Symbolic machinery: terms, simplification, the path-condition solver,
 pattern/template unification, symbolic evaluation, and the behavioral
 abstraction ``BehAbs`` the prover inducts over.
+
+Terms are hash-consed (see :mod:`repro.symbolic.expr`) and the hot
+simplify/DNF/solver paths are memoized behind the knobs in
+:mod:`repro.symbolic.cache`; ``docs/performance.md`` describes the layer.
 """
 
 from .behabs import (
@@ -22,7 +26,9 @@ from .expr import (
     SVar,
     Term,
     free_vars,
+    intern_table_size,
     lift_value,
+    reset_interning,
     sand,
     sconst,
     seq_,
@@ -32,6 +38,7 @@ from .expr import (
     sor,
     sstr,
     substitute,
+    term_children,
 )
 from .seval import FoundFact, MissingFact, SymPath, eval_sexpr, sym_exec
 from .simplify import dnf, linearize, simplify, term_type
@@ -64,7 +71,9 @@ __all__ = [
     "SVar",
     "Term",
     "free_vars",
+    "intern_table_size",
     "lift_value",
+    "reset_interning",
     "sand",
     "sconst",
     "seq_",
@@ -74,6 +83,7 @@ __all__ = [
     "sor",
     "sstr",
     "substitute",
+    "term_children",
     "FoundFact",
     "MissingFact",
     "SymPath",

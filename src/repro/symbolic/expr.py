@@ -20,28 +20,190 @@ variables rather than concrete values:
 Terms are immutable, hashable dataclasses; the simplifier
 (:mod:`repro.symbolic.simplify`) and the solver (:mod:`repro.symbolic
 .solver`) treat them purely structurally.
+
+**Hash consing.**  Term constructors intern: structurally equal terms built
+in the same process are the *same object*, so equality is usually a pointer
+comparison and dictionary lookups (the simplify memo, the solver query
+cache, union-find tables) hit the identity fast path.  Each term also
+carries a stable 64-bit structural hash (``term_hash``), computed bottom-up
+at construction from a keyed BLAKE2 digest — independent of
+``PYTHONHASHSEED`` and of the process that built the term.
+
+Correctness never *depends* on interning: ``__eq__`` falls back to a
+structural comparison, so terms that predate :func:`reset_interning` (or
+that crossed a process boundary) still compare equal to freshly interned
+ones.  Pickled terms re-intern on load (``__reduce__`` routes through the
+constructor), which is what keeps the tables consistent in
+:mod:`repro.prover.parallel` workers — each worker resets to a fresh table
+in its pool initializer and rebuilds it from the unpickled spec.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import os
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Tuple, Union
 
+from .. import obs
 from ..lang import types as ty
 from ..lang.errors import SymbolicError
 from ..lang.values import Value, VBool, VNum, VStr, VTuple
+
+# ---------------------------------------------------------------------------
+# Interning machinery
+# ---------------------------------------------------------------------------
+
+#: Debug escape hatch: ``REPRO_TERM_INTERN=0`` disables the intern table
+#: (constructors return fresh objects; structural equality still holds).
+_INTERNING = os.environ.get("REPRO_TERM_INTERN", "1") != "0"
+
+#: The per-process intern table: ``(class, shallow field tuple) → term``.
+_TABLE: Dict[tuple, "Term"] = {}
+
+
+def _intern(cls, args: tuple):
+    """Return the canonical instance of ``cls(*args)``, allocating (and
+    remembering) one on first sight."""
+    if not _INTERNING:
+        return object.__new__(cls)
+    key = (cls, args)
+    hit = _TABLE.get(key)
+    if hit is not None:
+        obs.incr("term.intern.hit")
+        return hit
+    obs.incr("term.intern.miss")
+    obj = object.__new__(cls)
+    _TABLE[key] = obj
+    return obj
+
+
+def intern_table_size() -> int:
+    """Number of distinct terms currently interned in this process."""
+    return len(_TABLE)
+
+
+def reset_interning() -> None:
+    """Drop the intern table (fresh-table-per-worker contract).
+
+    Existing terms stay valid — equality degrades gracefully to the
+    structural fallback — and the canonical booleans are re-seeded so the
+    module singletons stay the canonical representatives.  The memo
+    caches are dropped with the table: their entries hold pre-reset
+    objects that would otherwise linger as equal-but-not-identical
+    representatives.
+    """
+    from . import cache as _cache
+
+    _TABLE.clear()
+    for singleton in (S_TRUE, S_FALSE):
+        _TABLE[(SConst, (singleton.value,))] = singleton
+    _cache.clear_all()
+
+
+def _feed_hash(h, value) -> None:
+    """Mix one (possibly nested) constructor field into a hash state."""
+    if isinstance(value, _Node):
+        h.update(b"T")
+        h.update(value._shash.to_bytes(8, "big"))
+    elif isinstance(value, tuple):
+        h.update(b"(%d:" % len(value))
+        for element in value:
+            _feed_hash(h, element)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        h.update(b"s%d:" % len(raw))
+        h.update(raw)
+    elif isinstance(value, int):
+        h.update(b"i")
+        h.update(str(value).encode("ascii"))
+    else:  # Value / Type leaves: reprs are canonical for frozen dataclasses
+        raw = repr(value).encode("utf-8")
+        h.update(b"r%d:" % len(raw))
+        h.update(raw)
+
+
+def _structural_eq(a, b) -> bool:
+    """Field-by-field equality, iterative so arbitrarily deep terms never
+    overflow the interpreter stack."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        if isinstance(x, _Node):
+            if x.__class__ is not y.__class__ or x._shash != y._shash:
+                return False
+            for name in x.__dataclass_fields__:
+                stack.append((getattr(x, name), getattr(y, name)))
+        elif isinstance(x, tuple):
+            if not isinstance(y, tuple) or len(x) != len(y):
+                return False
+            stack.extend(zip(x, y))
+        elif x != y:
+            return False
+    return True
+
+
+class _Node:
+    """Shared term plumbing: stable hashing, fast equality, re-interning
+    pickle support.  Subclasses are frozen dataclasses with ``eq=False``."""
+
+    __slots__ = ()
+
+    def __post_init__(self) -> None:
+        """Compute the stable structural hash once, at first construction
+        (an intern hit re-runs ``__init__`` but keeps the cached hash)."""
+        if "_shash" not in self.__dict__:
+            h = hashlib.blake2b(digest_size=8)
+            h.update(self.__class__.__name__.encode("ascii"))
+            for name in self.__dataclass_fields__:
+                h.update(b"\x1f")
+                _feed_hash(h, getattr(self, name))
+            object.__setattr__(
+                self, "_shash", int.from_bytes(h.digest(), "big")
+            )
+
+    @property
+    def term_hash(self) -> int:
+        """The stable 64-bit structural hash: equal for structurally equal
+        terms in every process, regardless of ``PYTHONHASHSEED``."""
+        return self._shash
+
+    def __hash__(self) -> int:
+        return self._shash
+
+    def __eq__(self, other) -> bool:
+        if self is other:  # interning makes this the common case
+            return True
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        if self._shash != other._shash:
+            return False
+        return _structural_eq(self, other)
+
+    def __reduce__(self):
+        # Route unpickling through the constructor so loaded terms intern
+        # into the receiving process's table.
+        return (self.__class__, tuple(
+            getattr(self, name) for name in self.__dataclass_fields__
+        ))
+
 
 # ---------------------------------------------------------------------------
 # Term constructors
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class SConst:
+@dataclass(frozen=True, eq=False)
+class SConst(_Node):
     """A concrete value embedded in the term language."""
 
     value: Value
+
+    def __new__(cls, value):
+        return _intern(cls, (value,))
 
     def __str__(self) -> str:
         return str(self.value)
@@ -58,8 +220,8 @@ SVAR_ORIGINS = (
 )
 
 
-@dataclass(frozen=True)
-class SVar:
+@dataclass(frozen=True, eq=False)
+class SVar(_Node):
     """A symbolic variable.  Names are globally unique per obligation; the
     factory :class:`FreshNames` enforces this."""
 
@@ -67,25 +229,36 @@ class SVar:
     type: ty.Type
     origin: str
 
+    def __new__(cls, name, type, origin):  # noqa: A002 - field name
+        return _intern(cls, (name, type, origin))
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
-class STuple:
+@dataclass(frozen=True, eq=False)
+class STuple(_Node):
+    """A literal tuple of terms."""
+
     elems: Tuple["Term", ...]
+
+    def __new__(cls, elems):
+        return _intern(cls, (elems,))
 
     def __str__(self) -> str:
         return "(" + ", ".join(str(e) for e in self.elems) + ")"
 
 
-@dataclass(frozen=True)
-class SProj:
+@dataclass(frozen=True, eq=False)
+class SProj(_Node):
     """Projection out of a tuple-typed term that is not literally a tuple
     (e.g. the symbolic value of a tuple-typed state variable)."""
 
     base: "Term"
     index: int
+
+    def __new__(cls, base, index):
+        return _intern(cls, (base, index))
 
     def __str__(self) -> str:
         return f"{self.base}.{self.index}"
@@ -100,8 +273,8 @@ class SProj:
 SCOMP_ORIGINS = ("init", "sender", "lookup", "fresh")
 
 
-@dataclass(frozen=True)
-class SComp:
+@dataclass(frozen=True, eq=False)
+class SComp(_Node):
     """A component-instance term.
 
     ``label`` is unique per obligation (it names *how the prover refers* to
@@ -116,6 +289,9 @@ class SComp:
     origin: str
     seq: int = 0
 
+    def __new__(cls, label, ctype, config, origin, seq=0):
+        return _intern(cls, (label, ctype, config, origin, seq))
+
     def __str__(self) -> str:
         cfg = ", ".join(str(c) for c in self.config)
         return f"{self.label}:{self.ctype}({cfg})"
@@ -126,10 +302,15 @@ class SComp:
 S_OPS = ("eq", "not", "and", "or", "add", "sub", "lt", "le", "concat")
 
 
-@dataclass(frozen=True)
-class SOp:
+@dataclass(frozen=True, eq=False)
+class SOp(_Node):
+    """An operator application over terms."""
+
     op: str
     args: Tuple["Term", ...]
+
+    def __new__(cls, op, args):
+        return _intern(cls, (op, args))
 
     def __str__(self) -> str:
         if self.op == "not":
@@ -148,32 +329,39 @@ S_FALSE = SConst(VBool(False))
 
 
 def sconst(v: object) -> SConst:
+    """Embed a Python value as a constant term."""
     from ..lang.values import from_python
 
     return SConst(from_python(v))
 
 
 def snum(n: int) -> SConst:
+    """A numeric constant term."""
     return SConst(VNum(n))
 
 
 def sstr(s: str) -> SConst:
+    """A string constant term."""
     return SConst(VStr(s))
 
 
 def seq_(a: Term, b: Term) -> SOp:
+    """The equality atom ``a == b``."""
     return SOp("eq", (a, b))
 
 
 def sne(a: Term, b: Term) -> SOp:
+    """The disequality literal ``a != b``."""
     return SOp("not", (SOp("eq", (a, b)),))
 
 
 def snot(a: Term) -> SOp:
+    """Boolean negation."""
     return SOp("not", (a,))
 
 
 def sand(*args: Term) -> Term:
+    """N-ary conjunction (empty = true, singleton = the term itself)."""
     if not args:
         return S_TRUE
     if len(args) == 1:
@@ -182,6 +370,7 @@ def sand(*args: Term) -> Term:
 
 
 def sor(*args: Term) -> Term:
+    """N-ary disjunction (empty = false, singleton = the term itself)."""
     if not args:
         return S_FALSE
     if len(args) == 1:
@@ -190,10 +379,12 @@ def sor(*args: Term) -> Term:
 
 
 def sadd(a: Term, b: Term) -> SOp:
+    """Numeric addition."""
     return SOp("add", (a, b))
 
 
 def ssub(a: Term, b: Term) -> SOp:
+    """Numeric subtraction."""
     return SOp("sub", (a, b))
 
 
@@ -202,20 +393,29 @@ def ssub(a: Term, b: Term) -> SOp:
 # ---------------------------------------------------------------------------
 
 
-def sub_terms(t: Term) -> Iterator[Term]:
-    """Yield ``t`` and all sub-terms, pre-order."""
-    yield t
+def term_children(t: Term) -> Tuple[Term, ...]:
+    """The direct sub-terms of ``t`` (empty for leaves)."""
     if isinstance(t, STuple):
-        for e in t.elems:
-            yield from sub_terms(e)
-    elif isinstance(t, SProj):
-        yield from sub_terms(t.base)
-    elif isinstance(t, SComp):
-        for e in t.config:
-            yield from sub_terms(e)
-    elif isinstance(t, SOp):
-        for a in t.args:
-            yield from sub_terms(a)
+        return t.elems
+    if isinstance(t, SProj):
+        return (t.base,)
+    if isinstance(t, SComp):
+        return t.config
+    if isinstance(t, SOp):
+        return t.args
+    return ()
+
+
+def sub_terms(t: Term) -> Iterator[Term]:
+    """Yield ``t`` and all sub-terms, pre-order (iterative: safe on
+    arbitrarily deep terms)."""
+    stack = [t]
+    while stack:
+        current = stack.pop()
+        yield current
+        children = term_children(current)
+        if children:
+            stack.extend(reversed(children))
 
 
 def free_vars(t: Term) -> FrozenSet[SVar]:
@@ -234,25 +434,47 @@ def substitute(t: Term, mapping: Dict[Term, Term]) -> Term:
 
     Used by invariant generalization (replace payload terms by universal
     parameters) and by the checker when re-validating instantiations.
+    Iterative post-order rebuild, so deep terms never overflow the stack.
     """
-    hit = mapping.get(t)
-    if hit is not None:
-        return hit
-    if isinstance(t, STuple):
-        return STuple(tuple(substitute(e, mapping) for e in t.elems))
-    if isinstance(t, SProj):
-        return SProj(substitute(t.base, mapping), t.index)
-    if isinstance(t, SComp):
-        return SComp(
-            t.label,
-            t.ctype,
-            tuple(substitute(e, mapping) for e in t.config),
-            t.origin,
-            t.seq,
-        )
-    if isinstance(t, SOp):
-        return SOp(t.op, tuple(substitute(a, mapping) for a in t.args))
-    return t
+    memo: Dict[Term, Term] = {}
+    stack: List[Term] = [t]
+    while stack:
+        current = stack[-1]
+        if current in memo:
+            stack.pop()
+            continue
+        hit = mapping.get(current)
+        if hit is not None:
+            memo[current] = hit
+            stack.pop()
+            continue
+        children = term_children(current)
+        pending = [c for c in children if c not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if isinstance(current, STuple):
+            memo[current] = STuple(
+                tuple(memo[e] for e in current.elems)
+            )
+        elif isinstance(current, SProj):
+            memo[current] = SProj(memo[current.base], current.index)
+        elif isinstance(current, SComp):
+            memo[current] = SComp(
+                current.label,
+                current.ctype,
+                tuple(memo[e] for e in current.config),
+                current.origin,
+                current.seq,
+            )
+        elif isinstance(current, SOp):
+            memo[current] = SOp(
+                current.op, tuple(memo[a] for a in current.args)
+            )
+        else:
+            memo[current] = current
+    return memo[t]
 
 
 # ---------------------------------------------------------------------------
@@ -275,15 +497,18 @@ class FreshNames:
         self._counters = itertools.count()
 
     def var(self, hint: str, type_: ty.Type, origin: str) -> SVar:
+        """A fresh symbolic variable tagged with its ``origin``."""
         if origin not in SVAR_ORIGINS:
             raise SymbolicError(f"unknown SVar origin {origin}")
         return SVar(f"{self.prefix}{hint}${next(self._counters)}", type_,
                     origin)
 
     def comp_label(self, hint: str) -> str:
+        """A fresh component label."""
         return f"{self.prefix}{hint}${next(self._counters)}"
 
     def seq(self) -> int:
+        """A fresh sequence number (orders ``fresh`` spawns)."""
         return next(self._counters)
 
 

@@ -17,16 +17,28 @@ it.  This module provides:
 Domain-specific reduction strategies were one of the paper's key
 optimizations (section 6.4: 80× average speedup); :func:`simplify` is where
 those strategies live in this reproduction.
+
+Both :func:`simplify` and the DNF expansion walk terms with explicit
+stacks — never native recursion over term structure — so pathologically
+deep terms (long handler sequences compile to deep ``SOp`` chains) cannot
+overflow the interpreter stack mid-proof.  Because terms are immutable
+and interned (:mod:`repro.symbolic.expr`), both functions memoize their
+results in bounded process-wide LRU caches; ``repro.symbolic.cache``
+holds the switch and the size knobs, and the differential tests assert
+the cached results are byte-identical to uncached ones.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..lang import types as ty
 from ..lang.errors import SymbolicError
 from ..lang.values import VBool, VNum, VStr, VTuple
+from . import cache as _cache
 from .expr import (
     S_FALSE,
     S_TRUE,
@@ -38,6 +50,7 @@ from .expr import (
     SVar,
     Term,
     sand,
+    term_children,
 )
 
 # ---------------------------------------------------------------------------
@@ -92,18 +105,23 @@ def linearize(t: Term) -> Linear:
 
 
 def _lin(t: Term) -> Tuple[Fraction, Dict[Term, Fraction]]:
-    if isinstance(t, SConst) and isinstance(t.value, VNum):
-        return Fraction(t.value.n), {}
-    if isinstance(t, SOp) and t.op in ("add", "sub"):
-        c1, m1 = _lin(t.args[0])
-        c2, m2 = _lin(t.args[1])
-        sign = 1 if t.op == "add" else -1
-        merged = dict(m1)
-        for atom, coeff in m2.items():
-            merged[atom] = merged.get(atom, Fraction(0)) + sign * coeff
-        return c1 + sign * c2, merged
-    # anything else is an opaque numeric atom
-    return Fraction(0), {t: Fraction(1)}
+    const = Fraction(0)
+    coeffs: Dict[Term, Fraction] = {}
+    stack: List[Tuple[Term, int]] = [(t, 1)]
+    while stack:
+        current, sign = stack.pop()
+        if isinstance(current, SConst) and isinstance(current.value, VNum):
+            const += sign * current.value.n
+        elif isinstance(current, SOp) and current.op in ("add", "sub"):
+            stack.append((current.args[0], sign))
+            stack.append((
+                current.args[1],
+                sign if current.op == "add" else -sign,
+            ))
+        else:
+            # anything else is an opaque numeric atom
+            coeffs[current] = coeffs.get(current, Fraction(0)) + sign
+    return const, coeffs
 
 
 def linear_to_term(lin: Linear) -> Term:
@@ -140,21 +158,100 @@ def linear_to_term(lin: Linear) -> Term:
 # Simplification
 # ---------------------------------------------------------------------------
 
+#: The process-wide simplify memo (input term → simplified term), LRU
+#: evicted at ``cache.SIMPLIFY_CACHE_SIZE``.  Sound to share across every
+#: caller because terms are immutable and simplification is deterministic.
+_SIMPLIFY_MEMO: "OrderedDict[Term, Term]" = OrderedDict()
+
+#: The process-wide DNF memo (simplified term → tuple of cubes).
+_DNF_MEMO: "OrderedDict[Term, Tuple[Cube, ...]]" = OrderedDict()
+
+#: Reentrancy depth of :func:`simplify`/:func:`dnf`; evicting only at
+#: depth zero keeps entries an in-flight outer call still relies on.
+_DEPTH = 0
+
+
+def clear_caches() -> None:
+    """Empty the simplify and DNF memos."""
+    _SIMPLIFY_MEMO.clear()
+    _DNF_MEMO.clear()
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Current entry counts of this module's memos."""
+    return {
+        "simplify.cache.size": len(_SIMPLIFY_MEMO),
+        "dnf.cache.size": len(_DNF_MEMO),
+    }
+
 
 def simplify(t: Term) -> Term:
     """Bottom-up simplification; idempotent on its own output."""
+    global _DEPTH
     if isinstance(t, (SConst, SVar)):
         return t
+    if not _cache.enabled():
+        return _simplify_into(t, {})
+    memo = _SIMPLIFY_MEMO
+    hit = memo.get(t)
+    if hit is not None:
+        obs.incr("simplify.cache.hit")
+        memo.move_to_end(t)
+        return hit
+    obs.incr("simplify.cache.miss")
+    _DEPTH += 1
+    try:
+        result = _simplify_into(t, memo)
+    finally:
+        _DEPTH -= 1
+        if _DEPTH == 0:
+            limit = _cache.SIMPLIFY_CACHE_SIZE
+            while len(memo) > limit:
+                memo.popitem(last=False)
+    return result
+
+
+def _resolved(t: Term, memo: Dict[Term, Term]) -> Term:
+    """The simplified form of a child ``t`` (leaves simplify to themselves
+    and are kept out of the memo)."""
+    if isinstance(t, (SConst, SVar)):
+        return t
+    return memo[t]
+
+
+def _simplify_into(t: Term, memo: Dict[Term, Term]) -> Term:
+    """Iterative post-order simplification of ``t``, recording every
+    visited (non-leaf) sub-term's simplified form in ``memo``."""
+    stack: List[Term] = [t]
+    while stack:
+        current = stack[-1]
+        if current in memo:
+            stack.pop()
+            continue
+        pending = [
+            c for c in term_children(current)
+            if not isinstance(c, (SConst, SVar)) and c not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        memo[current] = _simplify_node(current, memo)
+    return memo[t]
+
+
+def _simplify_node(t: Term, memo: Dict[Term, Term]) -> Term:
+    """Rebuild one node from its already-simplified children."""
     if isinstance(t, STuple):
-        return STuple(tuple(simplify(e) for e in t.elems))
+        return STuple(tuple(_resolved(e, memo) for e in t.elems))
     if isinstance(t, SComp):
         return SComp(
             t.label, t.ctype,
-            tuple(simplify(e) for e in t.config),
+            tuple(_resolved(e, memo) for e in t.config),
             t.origin, t.seq,
         )
     if isinstance(t, SProj):
-        base = simplify(t.base)
+        base = _resolved(t.base, memo)
         if isinstance(base, STuple):
             return base.elems[t.index]
         if isinstance(base, SConst) and isinstance(base.value, VTuple):
@@ -163,7 +260,7 @@ def simplify(t: Term) -> Term:
             return simplify(SProj(lift_value(base.value), t.index))
         return SProj(base, t.index)
     if isinstance(t, SOp):
-        args = tuple(simplify(a) for a in t.args)
+        args = tuple(_resolved(a, memo) for a in t.args)
         return _simplify_op(t.op, args)
     raise SymbolicError(f"cannot simplify {t!r}")
 
@@ -351,28 +448,78 @@ def dnf(t: Term) -> List[Cube]:
     """DNF of a *simplified* boolean term: a list of cubes; the term is
     equivalent to the disjunction of the cubes' conjunctions.  ``[]`` means
     false; ``[()]`` means true."""
+    global _DEPTH
     t = simplify(t)
-    return _dnf(t, positive=True)
+    if not _cache.enabled():
+        return _dnf(t, positive=True)
+    hit = _DNF_MEMO.get(t)
+    if hit is not None:
+        obs.incr("dnf.cache.hit")
+        _DNF_MEMO.move_to_end(t)
+        return list(hit)
+    obs.incr("dnf.cache.miss")
+    _DEPTH += 1
+    try:
+        result = _dnf(t, positive=True)
+    finally:
+        _DEPTH -= 1
+    # The memo holds an immutable snapshot; callers get private lists.
+    _DNF_MEMO[t] = tuple(result)
+    if _DEPTH == 0:
+        limit = _cache.DNF_CACHE_SIZE
+        while len(_DNF_MEMO) > limit:
+            _DNF_MEMO.popitem(last=False)
+    return result
 
 
 def _dnf(t: Term, positive: bool) -> List[Cube]:
-    if t == S_TRUE:
-        return [()] if positive else []
-    if t == S_FALSE:
-        return [] if positive else [()]
-    if isinstance(t, SOp) and t.op == "not":
-        return _dnf(t.args[0], not positive)
-    if isinstance(t, SOp) and t.op in ("and", "or"):
-        is_and = (t.op == "and") == positive
-        branches = [_dnf(a, positive) for a in t.args]
-        if is_and:
-            cubes: List[Cube] = [()]
-            for branch in branches:
-                cubes = [c1 + c2 for c1 in cubes for c2 in branch]
-            return cubes
-        merged: List[Cube] = []
-        for branch in branches:
-            merged.extend(branch)
-        return merged
-    literal = t if positive else _simplify_not(t)
-    return [(literal,)]
+    """Iterative DNF expansion (explicit stack, memoized per call on
+    ``(sub-term, polarity)``) — deep alternations cannot overflow the
+    interpreter stack."""
+    memo: Dict[Tuple[Term, bool], List[Cube]] = {}
+    stack: List[Tuple[Term, bool]] = [(t, positive)]
+    while stack:
+        current, pos = stack[-1]
+        key = (current, pos)
+        if key in memo:
+            stack.pop()
+            continue
+        if current == S_TRUE:
+            memo[key] = [()] if pos else []
+            stack.pop()
+            continue
+        if current == S_FALSE:
+            memo[key] = [] if pos else [()]
+            stack.pop()
+            continue
+        if isinstance(current, SOp) and current.op == "not":
+            inner = (current.args[0], not pos)
+            if inner not in memo:
+                stack.append(inner)
+                continue
+            memo[key] = memo[inner]
+            stack.pop()
+            continue
+        if isinstance(current, SOp) and current.op in ("and", "or"):
+            children = [(a, pos) for a in current.args]
+            pending = [c for c in children if c not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            branches = [memo[c] for c in children]
+            if (current.op == "and") == pos:
+                cubes: List[Cube] = [()]
+                for branch in branches:
+                    cubes = [c1 + c2 for c1 in cubes for c2 in branch]
+                memo[key] = cubes
+            else:
+                merged: List[Cube] = []
+                for branch in branches:
+                    merged.extend(branch)
+                memo[key] = merged
+            stack.pop()
+            continue
+        literal = current if pos else _simplify_not(current)
+        memo[key] = [(literal,)]
+        stack.pop()
+    return memo[(t, positive)]

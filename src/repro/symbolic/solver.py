@@ -28,12 +28,14 @@ goal or fail (section 5.3: the automation is incomplete but never wrong).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
 
 from .. import obs
 from ..lang import types as ty
 from ..lang.values import VBool, VNum
+from . import cache as _cache
 from .expr import S_FALSE, S_TRUE, SComp, SConst, SOp, Term, snot
 from .simplify import (
     Cube,
@@ -44,6 +46,41 @@ from .simplify import (
     simplify,
     term_type,
 )
+
+#: The process-wide solver query cache.  A :class:`Facts` is a
+#: deterministic fold over its asserted-literal sequence, so every query
+#: answer is a pure function of ``(kind, asserted sequence, query term)``
+#: — that tuple (of *interned terms*, never raw hashes, so collisions
+#: cannot produce unsound answers) is the cache key.  Bounded LRU;
+#: :mod:`repro.symbolic.cache` owns the size knob and the on/off switch.
+_QUERY_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+
+
+def clear_caches() -> None:
+    """Empty the solver query cache."""
+    _QUERY_CACHE.clear()
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Current entry count of the solver query cache."""
+    return {"solver.cache.size": len(_QUERY_CACHE)}
+
+
+def _query_cache_get(key: tuple) -> Optional[bool]:
+    hit = _QUERY_CACHE.get(key)
+    if hit is None:
+        obs.incr("solver.cache.miss")
+        return None
+    obs.incr("solver.cache.hit")
+    _QUERY_CACHE.move_to_end(key)
+    return hit
+
+
+def _query_cache_put(key: tuple, result: bool) -> None:
+    _QUERY_CACHE[key] = result
+    limit = _cache.SOLVER_CACHE_SIZE
+    while len(_QUERY_CACHE) > limit:
+        _QUERY_CACHE.popitem(last=False)
 
 
 class Facts:
@@ -57,6 +94,10 @@ class Facts:
         #: linear rows asserted >= 0 (integers; lt is folded into le via +1)
         self._nonneg_rows: List[Linear] = []
         self._contradiction = False
+        #: the assertion log: every ``assert_term`` entry in order, which
+        #: (by determinism of the fold) fully determines this state and
+        #: therefore keys the process-wide query cache
+        self._asserted: List[Term] = []
 
     # -- copying -------------------------------------------------------------
 
@@ -68,6 +109,7 @@ class Facts:
         c._zero_rows = list(self._zero_rows)
         c._nonneg_rows = list(self._nonneg_rows)
         c._contradiction = self._contradiction
+        c._asserted = list(self._asserted)
         return c
 
     # -- union-find ----------------------------------------------------------
@@ -238,6 +280,7 @@ class Facts:
         t = simplify(t)
         if t == S_TRUE:
             return
+        self._asserted.append(t)
         if t == S_FALSE:
             self._contradiction = True
             return
@@ -304,6 +347,19 @@ class Facts:
         """Sound when ``True``: the asserted facts are unsatisfiable."""
         if self._contradiction:
             return True
+        if _cache.enabled():
+            key = ("incon", tuple(self._asserted))
+            hit = _query_cache_get(key)
+            if hit is not None:
+                if hit:
+                    self._contradiction = True
+                return hit
+            result = self._inconsistent_uncached()
+            _query_cache_put(key, result)
+            return result
+        return self._inconsistent_uncached()
+
+    def _inconsistent_uncached(self) -> bool:
         if self._reduce_all() is None:
             self._contradiction = True
             return True
@@ -325,9 +381,21 @@ class Facts:
         inconsistent with the current facts.
         """
         obs.incr("solver.implies")
+        query = simplify(t)
+        if _cache.enabled():
+            key = ("implies", tuple(self._asserted), query)
+            hit = _query_cache_get(key)
+            if hit is not None:
+                return hit
+            result = self._implies_uncached(query)
+            _query_cache_put(key, result)
+            return result
+        return self._implies_uncached(query)
+
+    def _implies_uncached(self, query: Term) -> bool:
         if self.inconsistent():
             return True
-        for cube in dnf(snot(simplify(t))):
+        for cube in dnf(snot(query)):
             probe = self.copy()
             probe.assume_cube(cube)
             if not probe.inconsistent():

@@ -86,6 +86,8 @@ def _match_field(pat: FieldPattern, term: Term, constraints: List[Term],
     if prior is None:
         binding[pat.name] = term
         return True
+    if term is prior:  # interned terms: identical ⇒ equal, no constraint
+        return True
     c = simplify(SOp("eq", (term, prior)))
     if c == S_FALSE:
         return False

@@ -1,0 +1,99 @@
+"""Differential telemetry tests for the parallel prover.
+
+The parent sink's merged counters must match a serial run — including
+when a task times out and is retried in a fresh pool.  Two historical
+double-counting hazards are pinned here:
+
+* the one-off symbolic step build used to land inside whichever task ran
+  first on *each worker*, so a clean 2-worker run doubled the build's
+  counters and every retry generation added another copy;
+* a retried task must contribute exactly one (winning) sink.
+
+Counters prefixed ``parallel.`` (retry bookkeeping, meaningless
+serially) and ``term.intern.`` (per-process intern tables) are excluded
+from the comparison by design.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.prover import ProverOptions, Verifier
+from repro.prover import parallel as parallel_mod
+from repro.systems import BENCHMARKS
+
+#: The untouched task entry point, captured before any monkeypatching.
+REAL_EXECUTE = parallel_mod._execute
+
+
+def _require_fork():
+    """The forced-retry tests patch module state in the parent and rely
+    on fork-started workers inheriting it."""
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        pytest.skip("forced-retry injection requires fork start method")
+
+
+def _comparable(counters):
+    """The counters that must agree between serial and parallel runs."""
+    excluded = ("parallel.", "term.intern.")
+    return {name: count for name, count in counters.items()
+            if not name.startswith(excluded)}
+
+
+def _options(**overrides):
+    # term_cache off: the memo caches are per-process, so their hit/miss
+    # counters legitimately differ between one serial process and N
+    # workers; everything else must line up exactly.
+    return ProverOptions(term_cache=False, **overrides)
+
+
+def _run(spec, options, jobs):
+    with obs.use(obs.Telemetry()) as telemetry:
+        report = Verifier(spec, options).verify_all(jobs=jobs)
+    return report, telemetry
+
+
+class TestCleanRunCounters:
+    def test_parallel_counters_match_serial(self):
+        spec = BENCHMARKS["car"].load()
+        serial_report, serial = _run(spec, _options(), jobs=1)
+        parallel_report, parallel = _run(spec, _options(), jobs=2)
+        assert serial_report.all_proved and parallel_report.all_proved
+        assert _comparable(parallel.counters) == \
+            _comparable(serial.counters)
+
+
+def _delayed_execute(task):
+    """Sleep through the first attempt at the first 'prop' task, so the
+    watchdog times it out and the scheduler retries it; every other call
+    runs the real entry point."""
+    flag = os.environ["REPRO_TEST_RETRY_FLAG"]
+    if task[0] == "prop" and not os.path.exists(flag):
+        with open(flag, "w", encoding="ascii") as stream:
+            stream.write("tripped")
+        time.sleep(60.0)
+    return REAL_EXECUTE(task)
+
+
+class TestForcedRetryCounters:
+    def test_retry_counters_match_serial(self, tmp_path, monkeypatch):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        serial_report, serial = _run(spec, _options(), jobs=1)
+
+        flag = tmp_path / "first-attempt"
+        monkeypatch.setenv("REPRO_TEST_RETRY_FLAG", str(flag))
+        monkeypatch.setattr(parallel_mod, "_execute", _delayed_execute)
+        options = _options(task_timeout=1.0, task_retries=2)
+        retried_report, retried = _run(spec, options, jobs=2)
+
+        assert flag.exists()  # the injection really fired
+        assert retried.counters.get("parallel.task_retry", 0) >= 1
+        assert retried_report.all_proved
+        assert [r.status for r in retried_report.results] == \
+            [r.status for r in serial_report.results]
+        assert _comparable(retried.counters) == \
+            _comparable(serial.counters)

@@ -209,3 +209,69 @@ class TestStore:
             ["searched"] * len(report.results)
         assert [r.derivation_key() for r in report.results] == \
             [r.derivation_key() for r in baseline.results]
+
+
+class TestStoreFaults:
+    """Fault-injected writes: every failure path must reclaim the temp
+    file and its descriptor, count ``store.write_error``, and return."""
+
+    def test_unpicklable_entry_is_logged_and_survived(self, tmp_path):
+        """A pickling error is not an OSError; it used to propagate out
+        of ``put`` and leak the already-created temp file."""
+        from repro import obs
+
+        store = ProofStore(tmp_path)
+        poisoned = StoreEntry("k1", "trace", (lambda: None,), True)
+        with obs.use(obs.Telemetry()) as telemetry:
+            store.put(poisoned)  # must absorb, not raise
+        assert telemetry.counters.get("store.write_error") == 1
+        assert telemetry.counters.get("store.put") is None
+        assert store.get("k1") is None
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_read_only_store_dir_is_logged_and_survived(self, tmp_path):
+        """With the store directory read-only, ``mkstemp`` itself fails;
+        the write is counted and absorbed with nothing left behind."""
+        import stat
+
+        import pytest
+
+        from repro import obs
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory write permissions")
+        store = ProofStore(tmp_path)
+        os.chmod(tmp_path, stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            with obs.use(obs.Telemetry()) as telemetry:
+                store.put(StoreEntry("k1", "trace", ("payload",), True))
+        finally:
+            os.chmod(tmp_path, stat.S_IRWXU)
+        assert telemetry.counters.get("store.write_error") == 1
+        assert store.get("k1") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fdopen_failure_closes_descriptor(self, tmp_path, monkeypatch):
+        """If wrapping the raw descriptor fails, the descriptor is closed
+        and the temp file removed (it used to leak both)."""
+        from repro import obs
+        from repro.prover import proofstore as proofstore_mod
+
+        store = ProofStore(tmp_path)
+        closed = []
+        real_close = os.close
+
+        def failing_fdopen(fd, *args, **kwargs):
+            raise MemoryError("cannot allocate stream buffer")
+
+        def spying_close(fd):
+            closed.append(fd)
+            real_close(fd)
+
+        monkeypatch.setattr(proofstore_mod.os, "fdopen", failing_fdopen)
+        monkeypatch.setattr(proofstore_mod.os, "close", spying_close)
+        with obs.use(obs.Telemetry()) as telemetry:
+            store.put(StoreEntry("k1", "trace", ("payload",), True))
+        assert telemetry.counters.get("store.write_error") == 1
+        assert len(closed) == 1
+        assert list(tmp_path.glob("*.tmp")) == []

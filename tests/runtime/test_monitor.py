@@ -166,3 +166,52 @@ class TestMonitoredInterpreter:
         monitored.run(state)
         names = {v.property_name for v in monitored.monitor.violations}
         assert "AuthBeforeTerm" in names
+
+
+class TestTraceRewind:
+    """A MonitoredInterpreter fed a shorter trace than it has already
+    observed must raise instead of silently going stale."""
+
+    @staticmethod
+    def _monitored_car(world):
+        from repro.runtime.supervisor import (
+            SupervisedInterpreter,
+            Supervisor,
+        )
+        from repro.systems import BENCHMARKS
+
+        spec = BENCHMARKS["car"].load()
+        BENCHMARKS["car"].register_components(world)
+        interpreter = SupervisedInterpreter(spec.info, world,
+                                            supervisor=Supervisor(world))
+        return spec, MonitoredInterpreter(spec, world,
+                                          interpreter=interpreter)
+
+    def test_rewound_trace_raises(self):
+        from repro.runtime import World
+
+        world = World(seed=0)
+        spec, monitored = self._monitored_car(world)
+        state = monitored.run_init()
+        world.stimulate(state.comps[0], "Braking")
+        monitored.run(state)
+        assert len(state.trace.chronological()) > 0
+
+        # A supervisor-style restart hands the monitor a *fresh* state
+        # whose trace restarts from Init: shorter than what it already
+        # observed.  Pre-fix the slice actions[self._fed:] yielded
+        # nothing and the monitor silently missed every later action.
+        with pytest.raises(ValidationError, match="rewound"):
+            monitored.run_init()
+
+    def test_growing_trace_still_fine(self):
+        from repro.runtime import World
+
+        world = World(seed=0)
+        spec, monitored = self._monitored_car(world)
+        state = monitored.run_init()
+        world.stimulate(state.comps[0], "Braking")
+        monitored.run(state)
+        world.stimulate(state.comps[0], "BrakeRelease")
+        monitored.run(state)
+        assert monitored.monitor.ok

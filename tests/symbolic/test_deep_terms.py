@@ -1,0 +1,108 @@
+"""Regression tests: the symbolic traversals must handle very deep terms.
+
+The simplifier, DNF conversion, and the structural helpers in
+:mod:`repro.symbolic.expr` used to recurse once per term level, so a
+~10k-deep term blew the interpreter's recursion limit.  They now run on
+explicit work stacks; these tests pin that with terms far deeper than
+any plausible recursion limit.
+"""
+
+import sys
+
+from repro.lang import types as ty
+from repro.symbolic.expr import (
+    SOp,
+    SVar,
+    free_vars,
+    snot,
+    snum,
+    sub_terms,
+    substitute,
+)
+from repro.symbolic.simplify import _dnf, simplify
+
+DEPTH = 10_000
+
+NX = SVar("nx", ty.NUM, "state")
+BX = SVar("bx", ty.BOOL, "state")
+
+
+def _not_chain(depth: int):
+    term = BX
+    for _ in range(depth):
+        term = snot(term)
+    return term
+
+
+def _add_chain(depth: int):
+    term = NX
+    for i in range(depth):
+        term = SOp("add", (term, snum(i % 7)))
+    return term
+
+
+def _or_nest(width: int):
+    """A right-nested or-chain of ``width`` distinct literals."""
+    term = SOp("eq", (NX, snum(0)))
+    for i in range(1, width):
+        term = SOp("or", (SOp("eq", (NX, snum(i))), term))
+    return term
+
+
+def test_deep_terms_exceed_recursion_limit():
+    """Sanity: the chains really are deeper than the recursion limit, so
+    the other tests would fail with RecursionError on recursive code."""
+    assert DEPTH > sys.getrecursionlimit()
+
+
+def test_simplify_deep_not_chain():
+    term = _not_chain(DEPTH)
+    # Double negations cancel: an even chain is BX itself.
+    assert simplify(term) is BX
+    assert simplify(snot(term)) == snot(BX)
+
+
+def test_dnf_deep_or_nest():
+    cubes = _dnf(_or_nest(DEPTH), True)
+    assert len(cubes) == DEPTH
+    assert all(len(cube) == 1 for cube in cubes)
+
+
+def test_sub_terms_deep_chain():
+    term = _not_chain(DEPTH)
+    listed = list(sub_terms(term))
+    assert listed[0] is term
+    assert len(listed) == DEPTH + 1
+
+
+def test_free_vars_deep_chain():
+    assert free_vars(_add_chain(DEPTH)) == {NX}
+
+
+def test_substitute_deep_chain():
+    term = _not_chain(DEPTH)
+    swapped = substitute(term, {BX: snot(BX)})
+    assert swapped == _not_chain(DEPTH + 1)
+
+
+def test_structural_eq_deep_chain_across_reset():
+    from repro.symbolic.expr import reset_interning
+
+    term = _not_chain(DEPTH)
+    reset_interning()
+    try:
+        # A fresh table makes the rebuilt chain a distinct object graph,
+        # so == falls through to the iterative structural walk.
+        rebuilt = _not_chain(DEPTH)
+        assert rebuilt is not term
+        assert rebuilt == term
+    finally:
+        reset_interning()
+
+
+def test_deep_term_hash_is_cheap():
+    """Eager bottom-up hashing: the deep chain's hash exists without any
+    deep traversal at lookup time."""
+    term = _add_chain(DEPTH)
+    assert isinstance(term.term_hash, int)
+    assert hash(term) == hash(_add_chain(DEPTH))
