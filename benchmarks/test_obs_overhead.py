@@ -1,0 +1,101 @@
+"""Overhead guard for the observability layer.
+
+The obs subsystem is sold as *cheap when off*: with no sink installed,
+every ``obs.incr``/``obs.span``/``obs.event`` call site is a module
+global read plus a ``None`` check.  This benchmark holds that claim
+end-to-end — repeated ``verify_all`` runs with no sink versus a fully
+instrumented sink (trace + metrics + events) — and bounds the fully-on
+cost too, since a tracing run that doubles verification time would never
+get used.
+
+Full mode bounds fully-on overhead at 1.5× the uninstrumented run;
+quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke job) runs fewer
+rounds on noisier machines and relaxes the bound to 2×.  Timings land
+in ``benchmarks/results/obs_overhead.json`` and a rendered table beside
+it.
+"""
+
+import json
+import os
+import time
+
+from repro import obs
+from repro.prover import ProverOptions, Verifier
+from repro.symbolic import cache as symcache
+from repro.systems import BENCHMARKS
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+KERNEL = "ssh2"
+ROUNDS = 3 if QUICK else 5
+#: Fully-on observability (trace + metrics + events) may cost at most
+#: this factor over the uninstrumented run; quick mode runs on noisy
+#: shared CI runners and gets headroom.
+MAX_OVERHEAD = 2.0 if QUICK else 1.5
+
+
+def _series(instrumented: bool) -> list:
+    """Seconds per ``verify_all`` round (fresh caches each round, so
+    both series pay the same cold-start work)."""
+    times = []
+    for _ in range(ROUNDS):
+        symcache.clear_all()
+        verifier = Verifier(BENCHMARKS[KERNEL].load(), ProverOptions())
+        if instrumented:
+            sink = obs.Telemetry(trace=True, metrics=True, events=True)
+            start = time.perf_counter()
+            with obs.use(sink):
+                report = verifier.verify_all()
+            elapsed = time.perf_counter() - start
+            assert sink.spans and sink.counters
+        else:
+            assert obs.active() is None
+            start = time.perf_counter()
+            report = verifier.verify_all()
+            elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        assert report.all_proved
+    return times
+
+
+def _render(row) -> str:
+    return "\n".join([
+        f"observability overhead: {KERNEL} verify_all seconds "
+        f"(best of {ROUNDS} rounds)",
+        f"{'mode':<14} {'best':>10} {'mean':>10}",
+        f"{'off':<14} {row['off_best']:>10.4f} {row['off_mean']:>10.4f}",
+        f"{'fully on':<14} {row['on_best']:>10.4f} "
+        f"{row['on_mean']:>10.4f}",
+        f"overhead {row['overhead']:.2f}x (bound {MAX_OVERHEAD:.1f}x)",
+    ])
+
+
+def test_observability_overhead_is_bounded(results_dir, record_table):
+    """Fully-on observability stays within ``MAX_OVERHEAD`` of an
+    uninstrumented run (min-of-rounds, the noise-robust comparison)."""
+    off = _series(instrumented=False)
+    on = _series(instrumented=True)
+    row = {
+        "kernel": KERNEL,
+        "rounds": ROUNDS,
+        "off_seconds": off,
+        "on_seconds": on,
+        "off_best": min(off),
+        "off_mean": sum(off) / len(off),
+        "on_best": min(on),
+        "on_mean": sum(on) / len(on),
+        "overhead": min(on) / min(off),
+    }
+    payload = {
+        "benchmark": "obs_overhead",
+        "quick": QUICK,
+        "max_overhead": MAX_OVERHEAD,
+        "result": row,
+    }
+    (results_dir / "obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_table("obs_overhead", _render(row))
+    assert row["overhead"] <= MAX_OVERHEAD, (
+        f"fully-on observability costs {row['overhead']:.2f}x "
+        f"(bound {MAX_OVERHEAD:.1f}x)"
+    )

@@ -6,10 +6,13 @@ The pushbutton workflow of the paper as a tool::
     python -m repro verify kernel.rfx -p Name  # one property
     python -m repro verify car --jobs 4        # builtin kernel, parallel
     python -m repro verify car --profile --json  # spans + counters, JSON
+    python -m repro verify ssh2 --jobs 4 --trace-out t.json  # Perfetto trace
     python -m repro check kernel.rfx           # parse + validate only
     python -m repro fmt kernel.rfx             # canonical formatting
     python -m repro bench --figure6            # regenerate Figure 6
     python -m repro chaos --kernel car         # fault-inject + monitor
+    python -m repro chaos --events-out c.jsonl  # + flight-recorder log
+    python -m repro report run.json            # post-mortem text report
 
 Exit status: 0 on success (all requested properties proved / the file is
 well-formed), 1 on verification failure, 2 on syntax or validation errors
@@ -82,7 +85,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         task_retries=args.task_retries,
     )
     verifier = Verifier(spec, options)
-    telemetry = obs.Telemetry() if args.profile else None
+    instrumented = args.profile or args.trace_out or args.events_out
+    telemetry = obs.Telemetry(
+        trace=bool(args.trace_out),
+        metrics=True,
+        events=bool(args.events_out),
+    ) if instrumented else None
     scope = obs.use(telemetry) if telemetry is not None \
         else contextlib.nullcontext()
     with scope:
@@ -114,6 +122,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         # parent process only).
         for name, size in symcache.sizes().items():
             telemetry.incr(name, size)
+        if telemetry.metrics is not None:
+            for name, ratio in symcache.hit_ratios(
+                    telemetry.counters).items():
+                telemetry.metrics.gauge(name, ratio)
+        notes = sys.stderr if args.json else sys.stdout
+        if args.trace_out:
+            obs.export.write_chrome_trace(args.trace_out,
+                                          telemetry.to_dict())
+            print(f"trace written to {args.trace_out} "
+                  f"(load it at ui.perfetto.dev)", file=notes)
+        if args.events_out:
+            telemetry.events.write_jsonl(args.events_out)
+            print(f"flight recorder written to {args.events_out}",
+                  file=notes)
     if args.json:
         payload = report.to_dict()
         if telemetry is not None:
@@ -137,7 +159,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 print(result.counterexample)
     total = len(report.results)
     print(f"{total - failed}/{total} properties proved")
-    if telemetry is not None:
+    if telemetry is not None and args.profile:
         print(telemetry.render())
     return 0 if failed == 0 else 1
 
@@ -156,7 +178,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    telemetry = obs.Telemetry() if args.profile else None
+    telemetry = obs.Telemetry(
+        metrics=bool(args.profile),
+        events=bool(args.events_out),
+    ) if (args.profile or args.events_out) else None
+    if telemetry is not None and args.events_out:
+        # Bind before the run: the harness flushes once per episode, so
+        # a crash mid-sweep still leaves a post-mortem log on disk.
+        telemetry.events.bind(args.events_out)
     scope = obs.use(telemetry) if telemetry is not None \
         else contextlib.nullcontext()
     with scope:
@@ -168,6 +197,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             faults=args.faults,
             max_steps=args.max_steps,
         )
+    if telemetry is not None and args.events_out:
+        telemetry.events.flush()
+        print(f"flight recorder written to {args.events_out}",
+              file=sys.stderr if args.json else sys.stdout)
     if args.json:
         payload = {"reports": [r.to_dict() for r in reports]}
         if telemetry is not None:
@@ -175,9 +208,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(chaos.render_chaos(reports))
-        if telemetry is not None:
+        if telemetry is not None and args.profile:
             print(telemetry.render())
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    payload = obs.export.load_run(args.run)
+    telemetry = payload.get("telemetry", payload)
+    if not isinstance(telemetry, dict) or not any(
+            key in telemetry for key in ("counters", "spans", "trace")):
+        print(
+            f"error: {args.run} carries no telemetry; produce it with "
+            f"'repro verify --json' plus --profile, --trace-out or "
+            f"--events-out",
+            file=sys.stderr,
+        )
+        return 2
+    print(obs.export.render_report(payload))
+    trace = telemetry.get("trace")
+    if trace:
+        complaints = obs.export.validate_trace_tree(trace)
+        if complaints:
+            print(f"\ntrace tree malformed "
+                  f"({len(complaints)} complaint(s)):", file=sys.stderr)
+            for complaint in complaints:
+                print(f"  {complaint}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -267,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "crashed obligation task (default 1)")
     verify.add_argument("--profile", action="store_true",
                         help="collect and report spans and counters")
+    verify.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(hierarchical spans, one track per worker; "
+                             "load at ui.perfetto.dev)")
+    verify.add_argument("--events-out", metavar="FILE",
+                        help="write the flight-recorder event log as "
+                             "JSON Lines")
     verify.add_argument("--json", action="store_true",
                         help="emit the report (and profile) as JSON")
     verify.add_argument("--store", metavar="DIR",
@@ -291,9 +356,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exchange cap per stimulus round")
     chaos.add_argument("--profile", action="store_true",
                        help="collect and report fault-coverage counters")
+    chaos.add_argument("--events-out", metavar="FILE",
+                       help="write the flight-recorder event log (fault "
+                            "injections, supervisor actions, monitor "
+                            "violations) as JSON Lines, flushed once "
+                            "per episode")
     chaos.add_argument("--json", action="store_true",
                        help="emit the reports (and profile) as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    report = sub.add_parser(
+        "report",
+        help="render the post-mortem text report for a saved run",
+    )
+    report.add_argument("run",
+                        help="a 'repro verify --json' payload (or bare "
+                             "telemetry dict) saved to disk")
+    report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser("bench",
                            help="regenerate the paper's tables/figures")

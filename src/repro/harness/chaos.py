@@ -269,12 +269,21 @@ def run_chaos(kernel: str = "all", schedules: int = 25, seed: int = 0,
                 plan = FaultPlan.generate(
                     seed=base, horizon=rounds * 4, count=faults,
                 )
+                obs.event("chaos.episode.start", kernel=spec.name,
+                          schedule=schedule, seed=base,
+                          planned_faults=len(plan))
                 monitored, world, supervisor, interpreter, _state, done = \
                     _drive_supervised(
                         spec, module.register_components, plan, proved,
                         world_seed=base, stimulus_seed=base * 7919 + 13,
                         rounds=rounds, max_steps=max_steps,
                     )
+                obs.event("chaos.episode.end", kernel=spec.name,
+                          schedule=schedule, exchanges=done,
+                          violations=len(monitored.monitor.violations))
+                # One flush per episode: a crash mid-sweep still leaves
+                # every finished episode on disk for the post-mortem.
+                obs.flush_events()
                 report.exchanges += done
                 for kind_name, amount in world.stats.injected.items():
                     report.injected[kind_name] = (
@@ -308,6 +317,7 @@ def run_chaos(kernel: str = "all", schedules: int = 25, seed: int = 0,
         obs.incr("chaos.dead_letters", report.dead_letters)
         obs.incr("chaos.violations", len(report.violations))
         reports.append(report)
+        obs.flush_events()
     return reports
 
 

@@ -1,11 +1,15 @@
-"""Observability for the prover stack: counters and span timings.
+"""Observability for the prover stack and runtime: counters, spans,
+hierarchical traces, metrics, and a flight-recorder event log.
 
 The prover, tactics, solver and symbolic evaluator report events here —
 solver entailment calls, enumerated symbolic paths, proof-store hits and
-misses, syntactic-skip rates — and the engine wraps each pipeline stage
-(plan / search / check) in a timed span.  Everything is a no-op unless a
-:class:`Telemetry` sink is installed with :func:`use`, so the default
-verification path pays only a module-global ``None`` check per event.
+misses, syntactic-skip rates — the engine wraps each pipeline stage
+(plan / search / check) in a timed span, and the runtime's supervisor,
+monitor and fault injector append structured events.  Everything is a
+no-op unless a :class:`Telemetry` sink is installed with :func:`use`, so
+the default verification path pays only a module-global ``None`` check
+per event; tracing, metrics and the event log are additionally off
+unless the sink enables them.
 
 Typical use::
 
@@ -15,17 +19,58 @@ Typical use::
         verifier.verify_all()
     print(telemetry.render())
 
-Worker processes install their own sink and ship ``counters``/``spans``
-back to the parent, which folds them in with :meth:`Telemetry.merge`.
+A fully instrumented run enables the subsystems explicitly::
+
+    sink = obs.Telemetry(trace=True, metrics=True, events=True)
+    with obs.use(sink):
+        verifier.verify_all(jobs=4)
+    obs.export.write_chrome_trace("t.json", sink.to_dict())
+
+Worker processes install their own sink and ship
+:meth:`Telemetry.export` back to the parent, which folds it in with
+:meth:`Telemetry.merge_export` (the legacy ``counters``/``spans`` pair
+via :meth:`Telemetry.merge` still works).  See ``docs/observability.md``
+for the architecture, the event schema, and the ``repro report``
+walkthrough.
 """
 
-from .telemetry import Span, Telemetry, active, incr, span, use
+from . import export
+from .events import Event, EventLog, read_jsonl
+from .metrics import Histogram, MetricsRegistry
+from .telemetry import (
+    Span,
+    Telemetry,
+    active,
+    event,
+    flush_events,
+    gauge,
+    incr,
+    metrics_active,
+    observe,
+    span,
+    use,
+)
+from .trace import Tracer, TraceSpan, new_run_id
 
 __all__ = [
+    "Event",
+    "EventLog",
+    "Histogram",
+    "MetricsRegistry",
     "Span",
     "Telemetry",
+    "TraceSpan",
+    "Tracer",
     "active",
+    "event",
+    "export",
+    "flush_events",
+    "gauge",
     "incr",
+    "metrics_active",
+    "new_run_id",
+    "observe",
+    "read_jsonl",
     "span",
     "use",
 ]

@@ -1,0 +1,161 @@
+"""The flight recorder: an append-only log of structured events.
+
+Traces and metrics say how long things took; the event log says *what
+happened, in order* — which is the question a chaos-harness violation or
+a flaky parallel run actually poses.  Events are small frozen records
+(a sequence number, a wall-clock offset, a kind, sorted key/value
+fields) appended in causal order: an injected fault is logged before the
+supervisor action it provokes, which is logged before any monitor
+violation it causes, because each is emitted at the moment it happens.
+
+The log serializes to JSON Lines — one event per line — so a failing
+chaos seed leaves a post-mortem-debuggable artifact even if the process
+dies mid-run: :meth:`EventLog.bind` attaches a file and
+:meth:`EventLog.flush` appends everything not yet written (the chaos
+harness flushes once per episode).
+
+Emission goes through :func:`repro.obs.event`, which is a module-global
+read plus a ``None`` check when no event-enabled sink is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a field value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: identity, time offset, kind, fields."""
+
+    seq: int
+    t: float  # seconds since the owning log's epoch
+    kind: str
+    worker: str
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (field keys flattened into the record; the
+        envelope keys ``seq``/``t``/``kind``/``worker`` always win, so a
+        field cannot clobber the event's identity)."""
+        out = {
+            "seq": self.seq,
+            "t": round(self.t, 6),
+            "kind": self.kind,
+            "worker": self.worker,
+        }
+        for key, value in self.fields:
+            out.setdefault(key, value)
+        return out
+
+
+class EventLog:
+    """An append-only, optionally file-backed event log for one run."""
+
+    def __init__(self, run_id: Optional[str] = None,
+                 worker: str = "main") -> None:
+        self.run_id = run_id
+        self.worker = worker
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self.events: List[Event] = []
+        self._path: Optional[str] = None
+        self._flushed = 0
+
+    def emit(self, kind: str, /, **fields: object) -> Event:
+        """Append one event, stamped with the current time offset.
+
+        ``kind`` is positional-only so a field may also be named
+        ``kind`` (obligation events use it for the obligation kind).
+        """
+        event = Event(
+            seq=len(self.events),
+            t=time.perf_counter() - self._epoch_perf,
+            kind=kind,
+            worker=self.worker,
+            fields=tuple(sorted(
+                (key, _jsonable(value)) for key, value in fields.items()
+            )),
+        )
+        self.events.append(event)
+        return event
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, epoch_wall: float, events: Iterable[Event]) -> None:
+        """Fold a worker log's events in, re-stamping sequence numbers
+        (their internal order is preserved) and re-offsetting times onto
+        this log's epoch."""
+        offset = epoch_wall - self.epoch_wall
+        for event in events:
+            self.events.append(Event(
+                seq=len(self.events),
+                t=event.t + offset,
+                kind=event.kind,
+                worker=event.worker,
+                fields=event.fields,
+            ))
+
+    def export(self) -> dict:
+        """Pickle-friendly snapshot a worker ships to the parent."""
+        return {
+            "worker": self.worker,
+            "epoch_wall": self.epoch_wall,
+            "events": list(self.events),
+        }
+
+    # -- file backing --------------------------------------------------------
+
+    def bind(self, path: str) -> None:
+        """Attach a JSONL file; the file is truncated, and subsequent
+        :meth:`flush` calls append events not yet written."""
+        self._path = path
+        self._flushed = 0
+        with open(path, "w", encoding="utf-8"):
+            pass
+
+    def flush(self) -> int:
+        """Append every unwritten event to the bound file; returns how
+        many were written (0 when unbound or up to date)."""
+        if self._path is None or self._flushed >= len(self.events):
+            return 0
+        pending = self.events[self._flushed:]
+        with open(self._path, "a", encoding="utf-8") as handle:
+            for event in pending:
+                handle.write(json.dumps(event.to_dict(),
+                                        sort_keys=True) + "\n")
+        self._flushed = len(self.events)
+        return len(pending)
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the whole log to ``path`` as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict(),
+                                        sort_keys=True) + "\n")
+
+    # -- output --------------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        """Every event in JSON-ready form, in append (causal) order."""
+        return [event.to_dict() for event in self.events]
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSONL flight-recorder file back into event dicts."""
+    out: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,333 @@
+"""Exporters: Chrome trace-event JSON and the self-contained text report.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` turns a hierarchical trace (the
+  ``telemetry["trace"]`` section of a ``repro verify --json`` payload)
+  into the Chrome trace-event format — load the file at
+  ``ui.perfetto.dev`` (or ``chrome://tracing``) and every worker appears
+  as its own track, spans nested as they ran;
+* :func:`render_report` turns a whole run payload into the text report
+  behind ``repro report <run.json>``: slowest obligations, per-stage and
+  per-worker utilization, histogram summaries, and cache statistics.
+
+Both operate on plain JSON dicts (not live objects), so they work
+equally on an in-process :meth:`Telemetry.to_dict` and on a ``run.json``
+loaded back from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+#: How many slowest obligations the text report lists.
+REPORT_TOP_OBLIGATIONS = 10
+
+
+def _telemetry_of(payload: dict) -> dict:
+    """The telemetry section of a run payload (or the payload itself,
+    when handed a bare telemetry dict)."""
+    if "telemetry" in payload:
+        return payload["telemetry"]
+    return payload
+
+
+def chrome_trace(trace: dict) -> dict:
+    """Chrome trace-event JSON for one hierarchical trace dict.
+
+    One process, one thread ("track") per worker; every span becomes a
+    complete ("X") event with microsecond timestamps, its identity and
+    ancestry preserved in ``args``.
+    """
+    spans = trace.get("spans", [])
+    workers: List[str] = []
+    for span in spans:
+        worker = span.get("worker", "main")
+        if worker not in workers:
+            workers.append(worker)
+    main = trace.get("worker", "main")
+    workers.sort(key=lambda w: (w != main, w))
+    tids = {worker: index for index, worker in enumerate(workers)}
+    events: List[dict] = [{
+        "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+        "args": {"name": f"repro run {trace.get('run_id', '?')}"},
+    }]
+    for worker, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": worker},
+        })
+    for span in spans:
+        args = dict(span.get("attrs", {}))
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[span.get("worker", "main")],
+            "name": span["name"],
+            "cat": "repro",
+            "ts": round(span["start"] * 1e6, 3),
+            "dur": round(span["seconds"] * 1e6, 3),
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run_id": trace.get("run_id")},
+    }
+
+
+def write_chrome_trace(path: str, payload: dict) -> None:
+    """Write the Chrome trace for a run payload (or telemetry dict, or
+    bare trace dict) to ``path``."""
+    telemetry = _telemetry_of(payload)
+    trace = telemetry.get("trace", telemetry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(trace), handle, indent=1)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# The text report
+# ---------------------------------------------------------------------------
+
+
+def _obligation_rows(telemetry: dict) -> List[dict]:
+    """Slowest-obligation rows: hierarchical spans preferred, flat spans
+    as the fallback, slowest first."""
+    trace = telemetry.get("trace")
+    spans: Sequence[dict]
+    if trace is not None:
+        spans = [s for s in trace.get("spans", [])
+                 if s["name"] == "obligation"]
+    else:
+        spans = [s for s in telemetry.get("spans", [])
+                 if s["name"] == "obligation"]
+    rows = []
+    for span in spans:
+        attrs = span.get("attrs", {})
+        where = attrs.get("part", "")
+        rows.append({
+            "property": attrs.get("property", "?"),
+            "kind": attrs.get("kind", "?"),
+            "part": where,
+            "worker": span.get("worker", "main"),
+            "seconds": span["seconds"],
+        })
+    rows.sort(key=lambda r: -r["seconds"])
+    return rows
+
+
+def _union_seconds(intervals: List[tuple]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    total = 0.0
+    edge = float("-inf")
+    for start, end in sorted(intervals):
+        if end <= edge:
+            continue
+        total += end - max(start, edge)
+        edge = end
+    return total
+
+
+def _worker_rows(trace: dict) -> List[dict]:
+    """Per-worker busy/utilization rows from a hierarchical trace.
+
+    A worker's *busy* time is the interval union of its root spans
+    (spans whose parent is absent from the trace — the tops of each
+    shipped tree; a union, because per-worker one-off work such as the
+    symbolic step build is captured as its own root overlapping the
+    task that triggered it); utilization is busy time over the whole
+    run window."""
+    spans = trace.get("spans", [])
+    if not spans:
+        return []
+    known = {span["span_id"] for span in spans}
+    window_start = min(span["start"] for span in spans)
+    window_end = max(span["start"] + span["seconds"] for span in spans)
+    window = max(window_end - window_start, 1e-9)
+    roots: Dict[str, List[tuple]] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        worker = span.get("worker", "main")
+        counts[worker] = counts.get(worker, 0) + 1
+        if span.get("parent_id") not in known:
+            roots.setdefault(worker, []).append(
+                (span["start"], span["start"] + span["seconds"])
+            )
+    busy = {worker: _union_seconds(intervals)
+            for worker, intervals in roots.items()}
+    return [{
+        "worker": worker,
+        "spans": counts[worker],
+        "busy": busy.get(worker, 0.0),
+        "utilization": busy.get(worker, 0.0) / window,
+    } for worker in sorted(counts, key=lambda w: (w != trace.get(
+        "worker", "main"), w))]
+
+
+def _cache_rows(counters: Dict[str, int]) -> List[dict]:
+    """Hit/miss/ratio rows for every ``<name>.hit``/``<name>.miss``
+    counter pair, plus standalone ``*.size`` gauges-as-counters."""
+    prefixes = sorted({
+        name[:-len(".hit")] for name in counters if name.endswith(".hit")
+    } | {
+        name[:-len(".miss")] for name in counters
+        if name.endswith(".miss")
+    })
+    rows = []
+    for prefix in prefixes:
+        hits = counters.get(f"{prefix}.hit", 0)
+        misses = counters.get(f"{prefix}.miss", 0)
+        total = hits + misses
+        rows.append({
+            "cache": prefix,
+            "hits": hits,
+            "misses": misses,
+            "ratio": hits / total if total else 0.0,
+            "size": counters.get(f"{prefix}.size"),
+        })
+    return rows
+
+
+def render_report(payload: dict) -> str:
+    """The self-contained text report for one run payload."""
+    telemetry = _telemetry_of(payload)
+    lines: List[str] = []
+    program = payload.get("program")
+    title = "run report"
+    if program:
+        title += f" — {program}"
+    if telemetry.get("run_id"):
+        title += f" (run {telemetry['run_id']})"
+    lines.append(title)
+    if "wall_seconds" in payload:
+        lines.append(
+            f"wall {payload['wall_seconds']:.3f}s, cpu-side total "
+            f"{payload.get('total_seconds', 0.0):.3f}s, "
+            f"all_proved={payload.get('all_proved')}"
+        )
+
+    obligations = _obligation_rows(telemetry)
+    lines.append("")
+    lines.append(f"slowest obligations (top {REPORT_TOP_OBLIGATIONS} of "
+                 f"{len(obligations)}):")
+    if obligations:
+        for row in obligations[:REPORT_TOP_OBLIGATIONS]:
+            where = f" {row['part']}" if row["part"] else ""
+            lines.append(
+                f"  {row['seconds']:9.4f}s  {row['property']}"
+                f"{where}  [{row['kind']}, {row['worker']}]"
+            )
+    else:
+        lines.append("  (no obligation spans recorded)")
+
+    stages = telemetry.get("stage_seconds", {})
+    if stages:
+        lines.append("")
+        lines.append("stage seconds:")
+        for name, seconds in sorted(stages.items(),
+                                    key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {name:24s} {seconds:10.4f}")
+
+    trace = telemetry.get("trace")
+    if trace is not None:
+        rows = _worker_rows(trace)
+        if rows:
+            lines.append("")
+            lines.append("worker utilization:")
+            lines.append(f"  {'worker':<12} {'spans':>6} {'busy(s)':>9} "
+                         f"{'util':>6}")
+            for row in rows:
+                lines.append(
+                    f"  {row['worker']:<12} {row['spans']:>6} "
+                    f"{row['busy']:>9.4f} "
+                    f"{row['utilization'] * 100:>5.1f}%"
+                )
+
+    metrics = telemetry.get("metrics")
+    if metrics and metrics.get("histograms"):
+        lines.append("")
+        lines.append("histograms:")
+        lines.append(
+            f"  {'metric':<28} {'count':>7} {'mean':>10} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        ordered = sorted(metrics["histograms"].items(),
+                         key=lambda kv: -kv[1].get("total", 0.0))
+        for name, summary in ordered:
+            lines.append(
+                f"  {name:<28} {summary['count']:>7} "
+                f"{summary['mean']:>10.6f} {summary['p50']:>10.6f} "
+                f"{summary['p90']:>10.6f} {summary['p99']:>10.6f} "
+                f"{summary['max'] or 0.0:>10.6f}"
+            )
+    if metrics and metrics.get("gauges"):
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in sorted(metrics["gauges"].items()):
+            lines.append(f"  {name:<36} {value:>12.4f}")
+
+    cache_rows = _cache_rows(telemetry.get("counters", {}))
+    if cache_rows:
+        lines.append("")
+        lines.append("cache statistics:")
+        lines.append(f"  {'cache':<24} {'hits':>9} {'misses':>9} "
+                     f"{'hit%':>6}")
+        for row in cache_rows:
+            lines.append(
+                f"  {row['cache']:<24} {row['hits']:>9} "
+                f"{row['misses']:>9} {row['ratio'] * 100:>5.1f}%"
+            )
+
+    events = telemetry.get("events")
+    if events:
+        by_kind: Dict[str, int] = {}
+        for event in events:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        lines.append("")
+        lines.append(f"events ({len(events)} total):")
+        for kind, count in sorted(by_kind.items(),
+                                  key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {kind:<32} {count:>7}")
+    return "\n".join(lines)
+
+
+def load_run(path: str) -> dict:
+    """Load a ``repro verify --json`` payload (or bare telemetry dict)
+    from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_trace_tree(trace: dict) -> List[str]:
+    """Structural complaints about a trace dict: orphaned parents and
+    children sticking out of their parent's interval.  Empty means the
+    tree is well-formed (used by tests and ``repro report``)."""
+    complaints: List[str] = []
+    spans = trace.get("spans", [])
+    index = {span["span_id"]: span for span in spans}
+    slack = 1e-4  # rounding slack: offsets are serialized at 1µs grain
+    for span in spans:
+        parent_id: Optional[str] = span.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = index.get(parent_id)
+        if parent is None:
+            complaints.append(
+                f"span {span['span_id']} has unknown parent {parent_id}"
+            )
+            continue
+        if span["start"] < parent["start"] - slack or (
+                span["start"] + span["seconds"]
+                > parent["start"] + parent["seconds"] + slack):
+            complaints.append(
+                f"span {span['span_id']} [{span['start']:.6f}, "
+                f"{span['start'] + span['seconds']:.6f}] outside parent "
+                f"{parent_id} [{parent['start']:.6f}, "
+                f"{parent['start'] + parent['seconds']:.6f}]"
+            )
+    return complaints

@@ -1,0 +1,203 @@
+"""A metrics registry: counters, gauges, and log-bucketed histograms.
+
+Counters answer "how many", gauges answer "how much right now", and the
+histograms answer the distribution questions flat counters cannot —
+solver-query latency, obligation wall time, worker queue wait.  The
+registry is deliberately tiny:
+
+* **cheap when off** — hot call sites go through the module-level
+  :func:`observe`/:func:`gauge` helpers, which are a single module-global
+  read plus a ``None`` check when no metrics-enabled sink is installed
+  (the same fast path as ``obs.incr``);
+* **process-portable** — :meth:`MetricsRegistry.export` is a plain dict
+  of plain values that pickles; the parent folds worker registries in
+  with :meth:`MetricsRegistry.merge`;
+* **bounded** — a histogram is a fixed family of power-of-two buckets
+  over a base resolution, so a million observations cost the same memory
+  as ten.
+
+Histogram semantics: bucket ``i`` holds values in
+``(BASE * 2**(i-1), BASE * 2**i]`` (bucket 0 holds everything at or
+below ``BASE``); quantiles are upper-bound estimates read off the bucket
+boundaries, which is the right bias for latency alerting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram base resolution in native units (seconds for latencies):
+#: one microsecond.  Everything at or below it lands in bucket 0.
+BASE = 1e-6
+
+#: Quantiles reported by summaries and ``to_dict``.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def bucket_index(value: float, base: float = BASE) -> int:
+    """The log-bucket index of ``value``: 0 for ``value <= base``, else
+    the smallest ``i`` with ``value <= base * 2**i``."""
+    if value <= base:
+        return 0
+    index = 0
+    bound = base
+    while bound < value:
+        bound *= 2.0
+        index += 1
+    return index
+
+
+class Histogram:
+    """A log-bucketed histogram over a fixed base resolution."""
+
+    __slots__ = ("base", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, base: float = BASE) -> None:
+        self.base = base
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bucket_index(value, self.base)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def bucket_bound(self, index: int) -> float:
+        """Upper (inclusive) value bound of bucket ``index``."""
+        return self.base * (2.0 ** index)
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        needed = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= needed:
+                return self.bucket_bound(index)
+        return self.bucket_bound(max(self.buckets))
+
+    def merge(self, other: dict) -> None:
+        """Fold an exported histogram dict into this one."""
+        self.count += other["count"]
+        self.total += other["total"]
+        for extreme, pick in (("min", min), ("max", max)):
+            value = other.get(extreme)
+            if value is not None:
+                mine = getattr(self, extreme)
+                setattr(self, extreme,
+                        value if mine is None else pick(mine, value))
+        for index, amount in other["buckets"].items():
+            index = int(index)
+            self.buckets[index] = self.buckets.get(index, 0) + amount
+
+    def export(self) -> dict:
+        """Pickle/JSON-friendly snapshot (mergeable)."""
+        return {
+            "base": self.base,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: moments, quantile estimates, buckets."""
+        out = {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.total / self.count, 9) if self.count else 0.0,
+            "min": round(self.min, 9) if self.min is not None else None,
+            "max": round(self.max, 9) if self.max is not None else None,
+            "buckets": {
+                f"le_{self.bucket_bound(i):.9g}": self.buckets[i]
+                for i in sorted(self.buckets)
+            },
+        }
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = round(self.quantile(q), 9)
+        return out
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run.
+
+    The owning :class:`~repro.obs.telemetry.Telemetry` facade aliases its
+    flat ``counters`` dict to :attr:`counters`, so ``obs.incr`` feeds the
+    registry at no extra cost.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def merge(self, data: dict) -> None:
+        """Fold an :meth:`export` snapshot (a worker's) into this
+        registry.  Counters are *not* merged here — they travel on the
+        flat telemetry path, which this registry aliases."""
+        for name, value in data.get("gauges", {}).items():
+            self.gauges.setdefault(name, value)
+        for name, exported in data.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(
+                    exported.get("base", BASE)
+                )
+            histogram.merge(exported)
+
+    def export(self) -> dict:
+        """Pickle-friendly snapshot a worker ships to the parent."""
+        return {
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: h.export() for name, h in self.histograms.items()
+            },
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: gauges and histogram summaries."""
+        return {
+            "gauges": {
+                name: round(value, 9)
+                for name, value in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def summaries(self) -> List[Tuple[str, dict]]:
+        """Histogram summaries, sorted by total time descending."""
+        return sorted(
+            ((name, h.to_dict()) for name, h in self.histograms.items()),
+            key=lambda item: -item[1]["total"],
+        )

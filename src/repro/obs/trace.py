@@ -1,0 +1,229 @@
+"""Hierarchical tracing: spans with identity, ancestry and a timeline.
+
+The flat :class:`~repro.obs.telemetry.Span` answers "how much time went
+into stage X overall"; this module answers the questions a slow or flaky
+run actually raises — *which* obligation was slowest, what each worker
+was doing *when*, and how the stages nest inside one another:
+
+* every :class:`TraceSpan` carries a stable ``span_id`` and the
+  ``parent_id`` of the span it ran inside, so exports can rebuild the
+  tree;
+* spans record a wall-clock **start offset** from the run epoch (not
+  just a duration), so a timeline view lines the workers up;
+* the *current* span is tracked in a :mod:`contextvars` variable — the
+  ``engine`` → ``pipeline`` → ``tactics`` → ``solver`` call chain nests
+  correctly without threading a span argument through every layer;
+* a :class:`Tracer` is pickle-friendly to merge: a worker process ships
+  ``Tracer.export()`` home and the parent's :meth:`Tracer.merge`
+  re-offsets every span by the difference of the two epochs (both read
+  the same machine wall clock), so one coherent parent timeline results.
+
+Span identifiers embed the worker name and a per-process serial, so ids
+stay unique after merging trees from many workers and pool generations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: The span currently open in this task context, as ``(tracer, span_id)``.
+#: Tagging with the tracer keeps nesting honest across mid-run sink
+#: swaps: a span opened under a different tracer is never adopted as a
+#: parent.
+_CURRENT: ContextVar[Optional[Tuple["Tracer", str]]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Per-process tracer serials (reset after fork, keyed by pid) — they
+#: make span-id prefixes unique when one process hosts many tracers.
+_SERIALS = itertools.count(1)
+_SERIALS_PID = os.getpid()
+
+
+def _next_serial() -> int:
+    """The next tracer serial for this process (fork-aware)."""
+    global _SERIALS, _SERIALS_PID
+    pid = os.getpid()
+    if pid != _SERIALS_PID:
+        _SERIALS = itertools.count(1)
+        _SERIALS_PID = pid
+    return next(_SERIALS)
+
+
+def new_run_id() -> str:
+    """A fresh random run identifier (hex, collision-proof in practice)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One finished span in the hierarchical trace.
+
+    ``start`` is seconds since the owning run's epoch; ``worker`` names
+    the process-level track the span ran on (``main`` or ``w<pid>``).
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    seconds: float
+    worker: str
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def end(self) -> float:
+        """Offset of the span's end from the run epoch."""
+        return self.start + self.seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+            "seconds": round(self.seconds, 6),
+            "worker": self.worker,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpan":
+        """Rebuild a span from its :meth:`to_dict` form."""
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=float(data["start"]),
+            seconds=float(data["seconds"]),
+            worker=data.get("worker", "main"),
+            attrs=tuple(sorted(
+                (str(k), str(v))
+                for k, v in (data.get("attrs") or {}).items()
+            )),
+        )
+
+
+class _OpenSpan:
+    """Bookkeeping for a span that has started but not finished."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "attrs", "token")
+
+    def __init__(self, name, span_id, parent_id, start, attrs, token):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.attrs = attrs
+        self.token = token
+
+
+class Tracer:
+    """Collects one process's span tree for a run.
+
+    The parent process's tracer owns the run epoch; worker tracers are
+    merged into it with clock-offset normalization (both epochs are
+    ``time.time()`` readings of the same machine clock).
+    """
+
+    def __init__(self, run_id: Optional[str] = None,
+                 worker: str = "main") -> None:
+        self.run_id = run_id or new_run_id()
+        self.worker = worker
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self._prefix = f"{worker}.{_next_serial()}"
+        self._ids = itertools.count(1)
+        self.spans: List[TraceSpan] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def push(self, name: str,
+             attrs: Tuple[Tuple[str, str], ...] = ()) -> _OpenSpan:
+        """Open a span: assign its id, adopt the context's current span
+        (of *this* tracer) as parent, and become current."""
+        current = _CURRENT.get()
+        parent_id = current[1] if current is not None \
+            and current[0] is self else None
+        span_id = f"{self._prefix}.{next(self._ids)}"
+        open_span = _OpenSpan(
+            name, span_id, parent_id,
+            time.perf_counter() - self._epoch_perf,
+            attrs, None,
+        )
+        open_span.token = _CURRENT.set((self, span_id))
+        return open_span
+
+    def pop(self, open_span: _OpenSpan,
+            seconds: Optional[float] = None) -> TraceSpan:
+        """Close a span, restore the previous current span, and record
+        the finished :class:`TraceSpan`."""
+        _CURRENT.reset(open_span.token)
+        if seconds is None:
+            seconds = (time.perf_counter() - self._epoch_perf
+                       - open_span.start)
+        finished = TraceSpan(
+            name=open_span.name,
+            span_id=open_span.span_id,
+            parent_id=open_span.parent_id,
+            start=open_span.start,
+            seconds=max(0.0, seconds),
+            worker=self.worker,
+            attrs=open_span.attrs,
+        )
+        self.spans.append(finished)
+        return finished
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, worker: str, epoch_wall: float,
+              spans: Iterable[TraceSpan]) -> None:
+        """Fold a worker tracer's spans into this timeline, shifting
+        every start by the difference of the two wall-clock epochs."""
+        offset = epoch_wall - self.epoch_wall
+        for span_ in spans:
+            self.spans.append(TraceSpan(
+                name=span_.name,
+                span_id=span_.span_id,
+                parent_id=span_.parent_id,
+                start=span_.start + offset,
+                seconds=span_.seconds,
+                worker=span_.worker if span_.worker != "main" else worker,
+                attrs=span_.attrs,
+            ))
+
+    def export(self) -> dict:
+        """Pickle-friendly snapshot a worker ships to the parent."""
+        return {
+            "worker": self.worker,
+            "epoch_wall": self.epoch_wall,
+            "spans": list(self.spans),
+        }
+
+    # -- output --------------------------------------------------------------
+
+    def workers(self) -> List[str]:
+        """The distinct worker tracks, parent first, then sorted."""
+        seen = {span_.worker for span_ in self.spans}
+        ordered = [self.worker] if self.worker in seen else []
+        ordered.extend(sorted(seen - {self.worker}))
+        return ordered
+
+    def span_index(self) -> Dict[str, TraceSpan]:
+        """Spans by id (merged trees included)."""
+        return {span_.span_id: span_ for span_ in self.spans}
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: run identity, epoch, and every span."""
+        return {
+            "run_id": self.run_id,
+            "worker": self.worker,
+            "epoch_wall": round(self.epoch_wall, 6),
+            "spans": [span_.to_dict() for span_ in self.spans],
+        }

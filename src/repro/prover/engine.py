@@ -311,10 +311,38 @@ class Verifier:
         is ``None``, one exchange otherwise), consulting the proof store
         first.  Returns ``(payload, from_store)``; raises
         :class:`ProofSearchFailure` on violation."""
+        kind = "ni-base" if part is None else "ni-exchange"
+        where = "base" if part is None else f"{part[0]}=>{part[1]}"
+        obs.event("obligation.start", property=prop.name,
+                  obligation=kind, part=where)
+        registry = obs.metrics_active()
+        started = time.perf_counter() if registry is not None else 0.0
+        with obs.span("obligation", property=prop.name, kind=kind,
+                      part=where):
+            try:
+                payload, from_store = self._ni_part_inner(
+                    prop, part, kind, where
+                )
+            except ProofSearchFailure:
+                obs.event("obligation.finish", property=prop.name,
+                          obligation=kind, part=where, verdict="failed",
+                          store_hit=False)
+                raise
+        if registry is not None:
+            registry.observe("obligation.seconds",
+                             time.perf_counter() - started)
+        obs.event("obligation.finish", property=prop.name,
+                  obligation=kind, part=where, verdict="ok",
+                  store_hit=from_store)
+        return payload, from_store
+
+    def _ni_part_inner(self, prop: NonInterference,
+                       part: Optional[Tuple[str, str]], kind: str,
+                       where: str) -> Tuple[object, bool]:
+        """The uninstrumented body of :meth:`ni_part`."""
         key = obligation_key(
             self.program_digest(), prop, self.options, part
         )
-        kind = "ni-base" if part is None else "ni-exchange"
         if self._store is not None:
             entry = self._store.get(key)
             if (entry is not None and entry.kind == kind
@@ -322,7 +350,6 @@ class Verifier:
                 return entry.payload, True
         labeling = self.ni_labeling(prop)
         step = self.generic_step()
-        where = "base" if part is None else f"{part[0]}=>{part[1]}"
         with obs.span("search", property=prop.name, part=where):
             if part is None:
                 payload: object = tuple(check_ni_base(step, labeling))
@@ -353,7 +380,31 @@ class Verifier:
 
     def _prove_trace(self, prop: TraceProperty
                      ) -> Tuple[TracePropertyProof, bool, str]:
-        """Plan, search (store first) and check one trace property."""
+        """Plan, search (store first) and check one trace property (the
+        property's single pipeline obligation, instrumented as such)."""
+        obs.event("obligation.start", property=prop.name,
+                  obligation="trace")
+        registry = obs.metrics_active()
+        started = time.perf_counter() if registry is not None else 0.0
+        with obs.span("obligation", property=prop.name, kind="trace"):
+            try:
+                proof, checked, source = self._prove_trace_inner(prop)
+            except (ProofSearchFailure, ProofCheckFailure):
+                obs.event("obligation.finish", property=prop.name,
+                          obligation="trace", verdict="failed",
+                          store_hit=False)
+                raise
+        if registry is not None:
+            registry.observe("obligation.seconds",
+                             time.perf_counter() - started)
+        obs.event("obligation.finish", property=prop.name,
+                  obligation="trace", verdict="ok",
+                  store_hit=(source == "store"))
+        return proof, checked, source
+
+    def _prove_trace_inner(self, prop: TraceProperty
+                           ) -> Tuple[TracePropertyProof, bool, str]:
+        """The uninstrumented body of :meth:`_prove_trace`."""
         with obs.span("plan", property=prop.name):
             (ob,) = self.plan(prop)
         if self._store is not None:
@@ -419,7 +470,12 @@ class Verifier:
         the derivation, or its key (asserted by the differential tests).
         """
         with symcache.scope(self.options.term_cache):
-            return self._prove_property_inner(prop)
+            with obs.span("property", property=prop.name):
+                result = self._prove_property_inner(prop)
+        registry = obs.metrics_active()
+        if registry is not None:
+            registry.observe("property.seconds", result.seconds)
+        return result
 
     def _prove_property_inner(self, prop: Property) -> PropertyResult:
         start = time.perf_counter()
@@ -463,15 +519,17 @@ class Verifier:
         """
         start = time.perf_counter()
         report = VerificationReport(self.spec.name)
-        if jobs is not None and jobs > 1 and self.spec.properties:
-            from .parallel import verify_parallel
+        with obs.span("verify", program=self.spec.name,
+                      jobs=jobs if jobs is not None else 1):
+            if jobs is not None and jobs > 1 and self.spec.properties:
+                from .parallel import verify_parallel
 
-            report.results.extend(
-                verify_parallel(self.spec, self.options, jobs)
-            )
-        else:
-            for prop in self.spec.properties:
-                report.results.append(self.prove_property(prop))
+                report.results.extend(
+                    verify_parallel(self.spec, self.options, jobs)
+                )
+            else:
+                for prop in self.spec.properties:
+                    report.results.append(self.prove_property(prop))
         report.wall_seconds = time.perf_counter() - start
         return report
 

@@ -14,9 +14,12 @@ for the same obligation, and the parent reassembles NI verdicts in the
 serial order, so verdicts, derivations and derivation keys are identical
 to a serial run — asserted by the differential tests.
 
-Each task runs under its own telemetry sink; the resulting counters and
-spans travel back with the task result and are merged into the parent's
-active sink — for the *winning* attempt only (an attempt killed by the
+Each task runs under its own telemetry sink (enabling whatever trace /
+metrics / event-log subsystems the parent's sink enables — see
+:mod:`repro.obs`); its exported snapshot travels back with the task
+result and is folded into the parent's active sink with
+:meth:`~repro.obs.Telemetry.merge_export`, which normalizes worker clock
+offsets — for the *winning* attempt only (an attempt killed by the
 timeout watchdog never returns a sink).  The one-off symbolic step build
 is kept out of task sinks entirely: each worker captures its build under
 a private sink (:func:`_instrumented_step`), ships it alongside every
@@ -35,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import (
@@ -53,17 +57,23 @@ from .ni import NIProof, PathVerdict
 #: The worker-global verifier, built once per process by :func:`_init_worker`.
 _WORKER = None
 
-#: Counters/spans of this worker's one-off symbolic step build, captured
+#: Exported sink of this worker's one-off symbolic step build, captured
 #: outside any task sink; the parent merges exactly one worker's copy.
 _STEP_TELEMETRY = None
 
+#: Observability configuration inherited from the parent sink (which
+#: subsystems its task sinks should enable, and the shared run id).
+_OBS_CONFIG = None
 
-def _init_worker(payload: bytes) -> None:
+
+def _init_worker(payload: bytes,
+                 obs_config: Optional[dict] = None) -> None:
     """Pool initializer: build this worker's Verifier from the pickled
     ``(spec, options)`` pair, on a fresh intern table (terms unpickled
     from the payload re-intern into it) with the symbolic caches set per
-    ``options.term_cache``."""
-    global _WORKER, _STEP_TELEMETRY
+    ``options.term_cache``; remember the parent's observability config
+    for the per-task sinks."""
+    global _WORKER, _STEP_TELEMETRY, _OBS_CONFIG
     from ..symbolic import cache as symcache
     from ..symbolic.expr import reset_interning
     from .engine import Verifier
@@ -74,9 +84,23 @@ def _init_worker(payload: bytes) -> None:
     symcache.set_enabled(getattr(options, "term_cache", True))
     _WORKER = Verifier(spec, options)
     _STEP_TELEMETRY = None
+    _OBS_CONFIG = obs_config
     # Route the verifier's step accessor through the instrumented build so
     # its one-off cost lands in _STEP_TELEMETRY, not in some task's sink.
     _WORKER.generic_step = _instrumented_step
+
+
+def _task_sink() -> "obs.Telemetry":
+    """A fresh sink for one task, enabling whatever subsystems the
+    parent sink enabled and attributed to this worker process."""
+    cfg = _OBS_CONFIG or {}
+    return obs.Telemetry(
+        trace=bool(cfg.get("trace")),
+        metrics=bool(cfg.get("metrics")),
+        events=bool(cfg.get("events")),
+        run_id=cfg.get("run_id"),
+        worker=f"w{os.getpid()}",
+    )
 
 
 def _instrumented_step():
@@ -92,10 +116,10 @@ def _instrumented_step():
     from .engine import Verifier
 
     if _WORKER.options.memoize_step and _WORKER._step_cache is None:
-        build_sink = obs.Telemetry()
+        build_sink = _task_sink()
         with obs.use(build_sink):
             step = Verifier.generic_step(_WORKER)
-        _STEP_TELEMETRY = (build_sink.counters, build_sink.spans)
+        _STEP_TELEMETRY = build_sink.export()
         return step
     return Verifier.generic_step(_WORKER)
 
@@ -127,13 +151,16 @@ def _execute(task: tuple) -> tuple:
 
 def _run_task(task: tuple) -> tuple:
     """Task entry point: execute under a private telemetry sink and ship
-    the counters/spans back for the parent to merge, along with this
-    worker's (separately captured) step-build telemetry."""
-    telemetry = obs.Telemetry()
+    its :meth:`~repro.obs.Telemetry.export` snapshot back for the parent
+    to merge, along with this worker's (separately captured) step-build
+    telemetry and the wall-clock start (for the queue-wait metric)."""
+    telemetry = _task_sink()
+    start_wall = time.time()
     with obs.use(telemetry):
-        outcome = _execute(task)
-    return (task, outcome, telemetry.counters, telemetry.spans,
-            _STEP_TELEMETRY)
+        with obs.span("parallel.task", kind=task[0]):
+            outcome = _execute(task)
+    return (task, outcome, telemetry.export(), _STEP_TELEMETRY,
+            start_wall)
 
 
 def _pool_context():
@@ -181,6 +208,18 @@ class _NIAssembly:
         return NIProof(prop, base_notes, tuple(verdicts))
 
 
+def _task_label(spec, task: tuple) -> str:
+    """A human-readable identity for one task, for flight-recorder
+    events (``prop:name``, ``ni-part:name:base``, ``ni-check:name``)."""
+    kind = task[0]
+    name = spec.properties[task[1]].name
+    if kind == "ni-part":
+        part = task[2]
+        where = "base" if part is None else f"{part[0]}=>{part[1]}"
+        return f"{kind}:{name}:{where}"
+    return f"{kind}:{name}"
+
+
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
     """Tear down a pool whose workers can no longer be trusted: kill the
     processes outright (a hung task never returns on its own) and discard
@@ -219,10 +258,20 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             assemblies[index] = _NIAssembly(index, parts)
             for part in parts:
                 tasks[next(ids)] = ("ni-part", index, part)
+            # The parent enumerates NI obligations directly (the serial
+            # engine counts them inside plan_property, which workers
+            # never call for NI properties) — keep the counter exact.
+            obs.incr("plan.obligations", len(parts))
         else:
             tasks[next(ids)] = ("prop", index)
 
     telemetry = obs.active()
+    obs_config = None if telemetry is None else {
+        "trace": telemetry.tracer is not None,
+        "metrics": telemetry.metrics is not None,
+        "events": telemetry.events is not None,
+        "run_id": telemetry.run_id,
+    }
     # The one-off symbolic step build happens once per run in a serial
     # prover; merge exactly one worker's copy, across ALL generations.
     step_merged = [False]
@@ -278,6 +327,8 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             f"{reason}"
         )
         obs.incr("parallel.task_abandoned")
+        obs.event("task.abandoned", task=_task_label(spec, task),
+                  reason=reason, attempts=attempts[tid])
         kind = task[0]
         if kind == "prop":
             index = task[1]
@@ -312,13 +363,15 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             max_workers=jobs,
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=(payload,),
+            initargs=(payload, obs_config),
         )
         pending: Dict[object, int] = {}
         scheduled: Set[int] = set()
+        submitted: Dict[int, float] = {}
         for tid in sorted(unresolved):
             scheduled.add(tid)
             pending[pool.submit(_run_task, tasks[tid])] = tid
+            submitted[tid] = time.time()
         running_since: Dict[object, float] = {}
         broken = False
         poll = None if timeout is None else min(timeout / 4.0, 0.1)
@@ -335,20 +388,32 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                     tid = pending.pop(future)
                     running_since.pop(future, None)
                     try:
-                        (task, outcome, counters, spans,
-                         step_telemetry) = future.result()
+                        (task, outcome, exported, step_telemetry,
+                         start_wall) = future.result()
                     except BrokenExecutor:
                         penalized[tid] = "its worker process died"
+                        obs.event("task.worker_died",
+                                  task=_task_label(spec, tasks[tid]))
                         broken = True
                         continue
                     except Exception as error:  # noqa: BLE001
                         penalized[tid] = f"it raised {error!r}"
+                        obs.event("task.error",
+                                  task=_task_label(spec, tasks[tid]),
+                                  error=repr(error))
                         continue
                     if telemetry is not None:
                         if step_telemetry is not None and not step_merged[0]:
                             step_merged[0] = True
-                            telemetry.merge(*step_telemetry)
-                        telemetry.merge(counters, spans)
+                            telemetry.merge_export(step_telemetry)
+                        telemetry.merge_export(exported)
+                        queued = submitted.get(tid)
+                        if (telemetry.metrics is not None
+                                and queued is not None):
+                            telemetry.metrics.observe(
+                                "parallel.queue_wait.seconds",
+                                max(0.0, start_wall - queued),
+                            )
                     handle_outcome(tid, task, outcome)
                     # a settled NI assembly may have enqueued its check
                     for new_tid in sorted(unresolved - scheduled):
@@ -363,6 +428,7 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                             break
                         scheduled.add(new_tid)
                         pending[future] = new_tid
+                        submitted[new_tid] = time.time()
                 if broken:
                     return penalized  # survivors retried next generation
                 if timeout is not None:
@@ -376,6 +442,9 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                                 f"it exceeded the {timeout:g}s "
                                 f"task timeout"
                             )
+                            obs.event("task.timeout",
+                                      task=_task_label(spec, tasks[tid]),
+                                      timeout=timeout)
                         broken = True
                         return penalized
         finally:
@@ -399,6 +468,10 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             obs.incr("parallel.task_retry")
             if attempts[tid] > retries:
                 condemn(tid, reason)
+            else:
+                obs.event("task.retry",
+                          task=_task_label(spec, tasks[tid]),
+                          reason=reason, attempt=attempts[tid])
     for tid in sorted(unresolved):  # pragma: no cover - backstop only
         condemn(tid, "the scheduler gave up")
     return [results[index] for index in range(len(spec.properties))]

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from .. import obs
 from ..lang.errors import ProofSearchFailure
 from ..props.spec import NonInterference, Property, TraceProperty
 from .proofstore import digest, obligation_key
@@ -68,6 +69,7 @@ def plan_property(program: object, prop: Property, options: object,
     if program_digest is None:
         program_digest = digest(program)
     if isinstance(prop, TraceProperty):
+        obs.incr("plan.obligations")
         return (Obligation(
             TRACE, prop.name,
             obligation_key(program_digest, prop, options, None),
@@ -83,5 +85,6 @@ def plan_property(program: object, prop: Property, options: object,
                 obligation_key(program_digest, prop, options, part),
                 part,
             ))
+        obs.incr("plan.obligations", len(planned))
         return tuple(planned)
     raise ProofSearchFailure(f"unknown property form {prop!r}")

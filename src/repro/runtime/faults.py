@@ -46,6 +46,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..lang.values import ComponentInstance, VNum, VStr, Value
 from .world import World
 
@@ -232,9 +233,12 @@ class FaultyWorld:
                 if self._world.alive(c)]
         if not live:
             self.stats.skipped += 1
+            obs.event("fault.skipped", fault=spec.kind, step=spec.step)
             return None
         comp = live[spec.target % len(live)]
         self.stats.count(spec.kind)
+        obs.event("fault.injected", fault=spec.kind, step=spec.step,
+                  comp=f"{comp.ctype}#{comp.ident}")
         if spec.kind == "crash":
             self._world.kill_component(comp, exit_status=CRASH_EXIT_STATUS)
         elif spec.kind == "drop":

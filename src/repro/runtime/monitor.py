@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from .. import obs
 from ..lang.errors import ValidationError
 from .actions import Action
 from .interpreter import Interpreter, KernelState
@@ -158,6 +159,9 @@ class _PropertyState:
             position=position,
             binding=tuple(sorted(binding.items())),
         ))
+        obs.incr("monitor.violation")
+        obs.event("monitor.violation", property=self.prop.name,
+                  primitive=self.prop.primitive, position=position)
 
 
 class TraceMonitor:

@@ -38,6 +38,11 @@ from .interpreter import Interpreter, KernelState, _Scope
 PROTOCOL_EXIT_STATUS = 76
 
 
+def _ident(comp: ComponentInstance) -> str:
+    """Flight-recorder identity of a component (``Type#ident``)."""
+    return f"{comp.ctype}#{comp.ident}"
+
+
 @dataclass(frozen=True)
 class RestartPolicy:
     """How the supervisor treats one component type's failures.
@@ -97,15 +102,21 @@ class Supervisor:
         between a backed-off restart and quarantine."""
         self.crashes += 1
         obs.incr("supervisor.crash")
+        drained = 0
         for msg, payload in self.world.drain_component(comp):
             self.dead_letters.append((comp, msg, payload))
             obs.incr("supervisor.dead_letter")
+            drained += 1
+        obs.event("supervisor.crash", comp=_ident(comp), reason=reason,
+                  clock=clock, dead_letters=drained)
         policy = self.policy_for(comp)
         done = self._restarts.get(comp.ident, 0)
         if done >= policy.max_restarts:
             self._quarantined[comp.ident] = comp
             self._due.pop(comp.ident, None)
             obs.incr("supervisor.quarantine")
+            obs.event("supervisor.quarantine", comp=_ident(comp),
+                      clock=clock, restarts=done)
             return
         self._comps[comp.ident] = comp
         self._due[comp.ident] = clock + policy.delay(done)
@@ -122,6 +133,8 @@ class Supervisor:
             self.world.restart_component(comp)
             self._restarts[ident] = self._restarts.get(ident, 0) + 1
             obs.incr("supervisor.restart")
+            obs.event("supervisor.restart", comp=_ident(comp),
+                      clock=clock, restarts=self._restarts[ident])
             restarted.append(comp)
         return restarted
 
@@ -185,6 +198,8 @@ class SupervisedInterpreter(Interpreter):
             # Drop the connection and let the supervisor take over.
             self.protocol_faults += 1
             obs.incr("supervisor.protocol_fault")
+            obs.event("supervisor.protocol_fault", comp=_ident(comp),
+                      clock=self.clock, message=msg)
             state.trace.push(ACrash(comp, "protocol"))
             self.world.kill_component(
                 comp, exit_status=PROTOCOL_EXIT_STATUS

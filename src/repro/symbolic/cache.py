@@ -90,3 +90,24 @@ def sizes() -> Dict[str, int]:
     out.update(simplify_sizes())
     out.update(solver_sizes())
     return out
+
+
+def hit_ratios(counters: Dict[str, int]) -> Dict[str, float]:
+    """Hit ratios for every ``<cache>.hit``/``<cache>.miss`` counter pair
+    in ``counters`` (``<cache>.hit_ratio`` → hits / (hits + misses)).
+
+    The CLI folds these into the metrics gauges so ``repro report`` can
+    show cache effectiveness without re-deriving it from raw counters.
+    """
+    prefixes = {name[:-len(".hit")] for name in counters
+                if name.endswith(".hit")}
+    prefixes.update(name[:-len(".miss")] for name in counters
+                    if name.endswith(".miss"))
+    out: Dict[str, float] = {}
+    for prefix in sorted(prefixes):
+        hits = counters.get(f"{prefix}.hit", 0)
+        misses = counters.get(f"{prefix}.miss", 0)
+        total = hits + misses
+        if total:
+            out[f"{prefix}.hit_ratio"] = hits / total
+    return out

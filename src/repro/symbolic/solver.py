@@ -28,6 +28,7 @@ goal or fail (section 5.3: the automation is incomplete but never wrong).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
@@ -381,6 +382,19 @@ class Facts:
         inconsistent with the current facts.
         """
         obs.incr("solver.implies")
+        registry = obs.metrics_active()
+        if registry is None:
+            return self._implies_timed(t)
+        started = time.perf_counter()
+        try:
+            return self._implies_timed(t)
+        finally:
+            registry.observe("solver.query.seconds",
+                             time.perf_counter() - started)
+
+    def _implies_timed(self, t: Term) -> bool:
+        """The body of :meth:`implies` (split out so the latency
+        histogram can wrap it without a second code path)."""
         query = simplify(t)
         if _cache.enabled():
             key = ("implies", tuple(self._asserted), query)

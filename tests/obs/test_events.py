@@ -1,0 +1,126 @@
+"""Unit tests for the flight recorder (`repro.obs.events`)."""
+
+import json
+
+from repro.obs.events import Event, EventLog, read_jsonl
+
+
+class TestEmit:
+    """Ordering, stamping, and the envelope/field contract."""
+
+    def test_events_are_sequenced_in_emission_order(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", n=i)
+        assert [event.seq for event in log.events] == list(range(5))
+        assert [dict(event.fields)["n"] for event in log.events] \
+            == list(range(5))
+
+    def test_times_are_monotone_offsets(self):
+        log = EventLog()
+        first = log.emit("a")
+        second = log.emit("b")
+        assert 0.0 <= first.t <= second.t
+
+    def test_envelope_keys_win_over_fields(self):
+        """A field named like an envelope key (``kind``, ``seq``…) must
+        not clobber the event's identity in the JSON form."""
+        log = EventLog(worker="main")
+        log.emit("obligation.start", kind="shadowed", seq=999, t=-1.0)
+        record = log.events[0].to_dict()
+        assert record["kind"] == "obligation.start"
+        assert record["seq"] == 0
+        assert record["t"] >= 0.0
+        assert record["worker"] == "main"
+
+    def test_non_json_fields_are_stringified(self):
+        log = EventLog()
+        log.emit("x", comp=object())
+        json.dumps(log.events[0].to_dict())  # must not raise
+
+
+class TestMerge:
+    """Worker-log folding with re-stamping."""
+
+    def test_merge_restamps_seq_and_offsets_t(self):
+        parent, worker = EventLog(worker="main"), EventLog(worker="w1")
+        parent.emit("parent.first")
+        worker.emit("worker.event")
+        skew = 3.0  # pretend the worker epoch is 3s after the parent's
+        parent.merge(parent.epoch_wall + skew, worker.events)
+        merged = parent.events[-1]
+        assert merged.seq == len(parent.events) - 1
+        assert merged.worker == "w1"
+        assert merged.t >= skew
+
+    def test_merge_preserves_internal_order(self):
+        parent, worker = EventLog(), EventLog(worker="w1")
+        worker.emit("first")
+        worker.emit("second")
+        parent.merge(worker.epoch_wall, worker.events)
+        kinds = [event.kind for event in parent.events]
+        assert kinds == ["first", "second"]
+
+
+class TestFileBacking:
+    """bind/flush incremental writes and whole-log round trips."""
+
+    def test_flush_appends_only_unwritten_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path)
+        log.emit("one")
+        assert log.flush() == 1
+        log.emit("two")
+        log.emit("three")
+        assert log.flush() == 2
+        assert log.flush() == 0
+        kinds = [record["kind"] for record in read_jsonl(path)]
+        assert kinds == ["one", "two", "three"]
+
+    def test_bind_truncates_a_stale_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"stale": true}\n')
+        log = EventLog()
+        log.bind(str(path))
+        log.emit("fresh")
+        log.flush()
+        records = read_jsonl(str(path))
+        assert len(records) == 1
+        assert records[0]["kind"] == "fresh"
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.emit("fault.injected", fault="crash", step=2)
+        log.emit("supervisor.crash", comp="SshdSlave#3")
+        log.write_jsonl(path)
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] \
+            == ["fault.injected", "supervisor.crash"]
+        assert records[0]["fault"] == "crash"
+        assert records[1]["comp"] == "SshdSlave#3"
+
+    def test_flush_without_binding_is_a_noop(self):
+        log = EventLog()
+        log.emit("x")
+        assert log.flush() == 0
+
+
+class TestEventDataclass:
+    """The frozen record itself."""
+
+    def test_fields_are_sorted_in_to_dict_input(self):
+        log = EventLog()
+        log.emit("x", zebra=1, alpha=2)
+        assert [key for key, _ in log.events[0].fields] \
+            == ["alpha", "zebra"]
+
+    def test_event_is_immutable(self):
+        event = Event(seq=0, t=0.0, kind="x", worker="main")
+        try:
+            event.kind = "y"  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Event should be frozen")

@@ -1,0 +1,175 @@
+"""Unit tests for the exporters (`repro.obs.export`)."""
+
+import json
+
+from repro.obs.export import (
+    _union_seconds,
+    _worker_rows,
+    chrome_trace,
+    render_report,
+    validate_trace_tree,
+    write_chrome_trace,
+)
+
+
+def _span(name, span_id, parent_id, start, seconds, worker="main",
+          attrs=None):
+    return {
+        "name": name, "span_id": span_id, "parent_id": parent_id,
+        "start": start, "seconds": seconds, "worker": worker,
+        "attrs": attrs or {},
+    }
+
+
+def _sample_trace():
+    """A two-worker trace: a main root and a worker task with a child."""
+    return {
+        "run_id": "cafe0123", "worker": "main", "epoch_wall": 0.0,
+        "spans": [
+            _span("property", "main.1.1", None, 0.0, 1.0,
+                  attrs={"property": "NoLock"}),
+            _span("parallel.task", "w9.1.1", None, 0.1, 0.6, worker="w9"),
+            _span("obligation", "w9.1.2", "w9.1.1", 0.2, 0.4, worker="w9",
+                  attrs={"property": "NoLock", "kind": "ni_part"}),
+        ],
+    }
+
+
+class TestChromeTrace:
+    """The Perfetto-loadable trace-event form."""
+
+    def test_structure_and_timestamps(self):
+        payload = chrome_trace(_sample_trace())
+        json.dumps(payload)
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        obligation = next(e for e in spans if e["name"] == "obligation")
+        assert obligation["ts"] == 0.2 * 1e6
+        assert obligation["dur"] == 0.4 * 1e6
+        assert obligation["args"]["parent_id"] == "w9.1.1"
+        names = {e["args"]["name"] for e in metadata
+                 if e["name"] == "thread_name"}
+        assert names == {"main", "w9"}
+
+    def test_main_worker_gets_tid_zero(self):
+        payload = chrome_trace(_sample_trace())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_worker = {e["args"].get("span_id", "")[:2]: e["tid"]
+                     for e in spans}
+        assert by_worker["ma"] == 0
+        assert by_worker["w9"] == 1
+
+    def test_write_chrome_trace_accepts_a_run_payload(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, {"telemetry": {"trace": _sample_trace()}})
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["otherData"]["run_id"] == "cafe0123"
+
+
+class TestValidateTraceTree:
+    """The structural validator behind the acceptance test."""
+
+    def test_well_formed_tree_has_no_complaints(self):
+        assert validate_trace_tree(_sample_trace()) == []
+
+    def test_unknown_parent_is_flagged(self):
+        trace = _sample_trace()
+        trace["spans"].append(
+            _span("orphan", "w9.1.9", "w9.1.404", 0.3, 0.1, worker="w9"))
+        complaints = validate_trace_tree(trace)
+        assert len(complaints) == 1
+        assert "unknown parent" in complaints[0]
+
+    def test_child_outside_parent_interval_is_flagged(self):
+        trace = _sample_trace()
+        trace["spans"].append(
+            _span("late", "w9.1.3", "w9.1.1", 0.5, 0.9, worker="w9"))
+        complaints = validate_trace_tree(trace)
+        assert len(complaints) == 1
+        assert "outside parent" in complaints[0]
+
+
+class TestWorkerRows:
+    """Per-worker utilization from root spans."""
+
+    def test_union_seconds_merges_overlaps(self):
+        assert _union_seconds([(0.0, 1.0), (0.5, 1.5)]) == 1.5
+        assert _union_seconds([(0.0, 1.0), (2.0, 3.0)]) == 2.0
+        assert _union_seconds([(0.0, 1.0), (0.2, 0.8)]) == 1.0
+        assert _union_seconds([]) == 0.0
+
+    def test_overlapping_roots_do_not_exceed_the_window(self):
+        """Per-worker one-off work (e.g. the step build) is its own root
+        overlapping the task root; busy time must not double-count it."""
+        trace = {
+            "worker": "main",
+            "spans": [
+                _span("parallel.task", "w9.1.1", None, 0.0, 1.0,
+                      worker="w9"),
+                _span("step.build", "w9.2.1", None, 0.1, 0.8, worker="w9"),
+            ],
+        }
+        (row,) = _worker_rows(trace)
+        assert row["busy"] == 1.0
+        assert row["utilization"] <= 1.0 + 1e-9
+
+    def test_rows_count_child_spans_but_union_only_roots(self):
+        rows = _worker_rows(_sample_trace())
+        by_worker = {row["worker"]: row for row in rows}
+        assert rows[0]["worker"] == "main"  # parent track first
+        assert by_worker["w9"]["spans"] == 2
+        assert abs(by_worker["w9"]["busy"] - 0.6) < 1e-9
+
+
+class TestRenderReport:
+    """The text report."""
+
+    def test_report_names_slowest_obligation_and_utilization(self):
+        payload = {
+            "program": "ssh2",
+            "wall_seconds": 1.25,
+            "all_proved": True,
+            "telemetry": {
+                "run_id": "cafe0123",
+                "counters": {"proof.store.hit": 3, "proof.store.miss": 1},
+                "stage_seconds": {"search": 0.9, "plan": 0.1},
+                "trace": _sample_trace(),
+                "metrics": {
+                    "gauges": {"proof.store.hit_ratio": 0.75},
+                    "histograms": {
+                        "solver.query.seconds": {
+                            "count": 10, "total": 0.5, "mean": 0.05,
+                            "min": 0.01, "max": 0.09, "p50": 0.05,
+                            "p90": 0.08, "p99": 0.09, "buckets": {},
+                        },
+                    },
+                },
+                "events": [
+                    {"seq": 0, "t": 0.0, "kind": "obligation.start",
+                     "worker": "main"},
+                ],
+            },
+        }
+        report = render_report(payload)
+        assert "NoLock" in report
+        assert "ni_part" in report
+        assert "worker utilization" in report
+        assert "solver.query.seconds" in report
+        assert "proof.store" in report
+        assert "obligation.start" in report
+        assert "run cafe0123" in report
+        assert "ssh2" in report
+
+    def test_report_survives_a_bare_counters_payload(self):
+        report = render_report({"counters": {"solver.implies": 4}})
+        assert "no obligation spans recorded" in report
+
+    def test_stage_seconds_sorted_descending(self):
+        report = render_report({
+            "stage_seconds": {"plan": 0.1, "search": 0.9},
+            "counters": {},
+        })
+        assert report.index("search") < report.index("plan")

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry (`repro.obs.metrics`)."""
+
+import json
+
+from repro.obs.metrics import BASE, Histogram, MetricsRegistry, bucket_index
+
+
+class TestBucketIndex:
+    """The log-bucket mapping."""
+
+    def test_at_or_below_base_is_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(BASE) == 0
+        assert bucket_index(BASE / 2) == 0
+
+    def test_powers_of_two_land_on_their_boundary(self):
+        assert bucket_index(BASE * 2) == 1
+        assert bucket_index(BASE * 4) == 2
+        assert bucket_index(BASE * 1024) == 10
+
+    def test_values_between_boundaries_round_up(self):
+        assert bucket_index(BASE * 3) == 2  # (2*BASE, 4*BASE]
+
+
+class TestHistogram:
+    """Observation, quantiles, merging, export."""
+
+    def test_moments(self):
+        h = Histogram()
+        for value in (0.001, 0.002, 0.003):
+            h.observe(value)
+        assert h.count == 3
+        assert abs(h.total - 0.006) < 1e-12
+        assert h.min == 0.001
+        assert h.max == 0.003
+
+    def test_quantile_is_an_upper_bound(self):
+        h = Histogram()
+        values = [0.0001 * (i + 1) for i in range(100)]
+        for value in values:
+            h.observe(value)
+        assert h.quantile(0.5) >= sorted(values)[49]
+        assert h.quantile(0.99) >= sorted(values)[98]
+        assert h.quantile(1.0) == h.bucket_bound(max(h.buckets))
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.9) == 0.0
+
+    def test_merge_folds_counts_and_extremes(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.1)
+        b.observe(0.00001)
+        a.merge(b.export())
+        assert a.count == 3
+        assert a.min == 0.00001
+        assert a.max == 0.1
+        assert sum(a.buckets.values()) == 3
+
+    def test_merge_accepts_stringified_bucket_keys(self):
+        """Bucket keys may arrive as strings after a JSON round trip."""
+        a = Histogram()
+        exported = {"count": 1, "total": 0.004, "min": 0.004, "max": 0.004,
+                    "buckets": {"12": 1}}
+        a.merge(exported)
+        assert a.buckets == {12: 1}
+
+    def test_to_dict_is_json_ready_with_quantiles(self):
+        h = Histogram()
+        h.observe(0.01)
+        payload = h.to_dict()
+        json.dumps(payload)
+        assert payload["count"] == 1
+        for key in ("p50", "p90", "p99", "mean", "buckets"):
+            assert key in payload
+
+
+class TestRegistry:
+    """Counters, gauges, histograms and their merge semantics."""
+
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.incr("solver.implies", 3)
+        registry.gauge("cache.size", 17)
+        registry.observe("solver.query.seconds", 0.002)
+        assert registry.counters["solver.implies"] == 3
+        assert registry.gauges["cache.size"] == 17.0
+        assert registry.histograms["solver.query.seconds"].count == 1
+
+    def test_merge_folds_histograms_but_not_counters(self):
+        """Counters travel on the flat telemetry path (the facade aliases
+        the dict); merging them here too would double-count."""
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.incr("solver.implies", 5)
+        worker.observe("solver.query.seconds", 0.001)
+        parent.merge(worker.export())
+        assert "solver.implies" not in parent.counters
+        assert parent.histograms["solver.query.seconds"].count == 1
+
+    def test_merge_keeps_parent_gauges(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("cache.hit_ratio", 0.9)
+        worker.gauge("cache.hit_ratio", 0.1)
+        worker.gauge("worker.only", 3.0)
+        parent.merge(worker.export())
+        assert parent.gauges["cache.hit_ratio"] == 0.9
+        assert parent.gauges["worker.only"] == 3.0
+
+    def test_summaries_sorted_by_total_descending(self):
+        registry = MetricsRegistry()
+        registry.observe("small", 0.001)
+        registry.observe("large", 1.0)
+        registry.observe("medium", 0.1)
+        names = [name for name, _ in registry.summaries()]
+        assert names == ["large", "medium", "small"]

@@ -1,6 +1,9 @@
 """Tests for the telemetry sink: counters, spans, nesting, merging."""
 
 import json
+import multiprocessing
+
+import pytest
 
 from repro import obs
 
@@ -88,3 +91,135 @@ class TestMergeAndRender:
 
     def test_render_empty(self):
         assert "no events" in obs.Telemetry().render()
+
+    def test_render_sorts_by_magnitude_descending(self):
+        telemetry = obs.Telemetry()
+        telemetry.incr("rare", 1)
+        telemetry.incr("hot", 1000)
+        telemetry.record(obs.Span("fast", 0.01))
+        telemetry.record(obs.Span("slow", 2.0))
+        rendered = telemetry.render()
+        assert rendered.index("hot") < rendered.index("rare")
+        assert rendered.index("slow") < rendered.index("fast")
+
+
+class TestSpanCap:
+    """The raw-span retention cap (exact totals, top-K slowest kept)."""
+
+    def test_cap_keeps_the_slowest_and_counts_drops(self):
+        telemetry = obs.Telemetry(max_spans=3)
+        for i in range(6):
+            telemetry.record(obs.Span("stage", 0.1 * (i + 1)))
+        kept = sorted(s.seconds for s in telemetry.spans)
+        assert [round(s, 6) for s in kept] == [0.4, 0.5, 0.6]
+        payload = telemetry.to_dict()
+        assert payload["spans_total"] == 6
+        assert payload["spans_dropped"] == 3
+        assert [s["seconds"] for s in payload["spans"]] == [0.6, 0.5, 0.4]
+
+    def test_totals_stay_exact_after_eviction(self):
+        telemetry = obs.Telemetry(max_spans=2)
+        for seconds in (0.1, 0.2, 0.3, 0.4):
+            telemetry.record(obs.Span("search", seconds))
+        assert abs(telemetry.stage_seconds()["search"] - 1.0) < 1e-9
+        assert telemetry.span_counts() == {"search": 4}
+
+    def test_cap_configurable_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_MAX_SPANS", "5")
+        assert obs.Telemetry().max_spans == 5
+        monkeypatch.setenv("REPRO_PROFILE_MAX_SPANS", "not-a-number")
+        assert obs.Telemetry().max_spans == 256
+
+    def test_merge_export_respects_the_cap(self):
+        parent = obs.Telemetry(max_spans=2)
+        worker = obs.Telemetry(max_spans=16, worker="w1")
+        for seconds in (0.1, 0.5, 0.9):
+            worker.record(obs.Span("task", seconds))
+        parent.merge_export(worker.export())
+        assert len(parent.spans) == 2
+        payload = parent.to_dict()
+        assert payload["spans_total"] == 3
+        assert abs(payload["stage_seconds"]["task"] - 1.5) < 1e-9
+
+
+class TestSinkSwaps:
+    """Re-entrant `use` and mid-run sink swaps around open spans."""
+
+    def test_span_sticks_to_the_sink_captured_at_entry(self):
+        outer, inner = obs.Telemetry(), obs.Telemetry()
+        with obs.use(outer):
+            with obs.span("outer-work"):
+                with obs.use(inner):
+                    with obs.span("inner-work"):
+                        pass
+        assert [s.name for s in outer.spans] == ["outer-work"]
+        assert [s.name for s in inner.spans] == ["inner-work"]
+
+    def test_swapped_sink_does_not_adopt_foreign_parents(self):
+        """With tracing on, a span opened under sink B while sink A's
+        span is still open must become a root of B's trace, not a child
+        of A's span."""
+        outer = obs.Telemetry(trace=True)
+        inner = obs.Telemetry(trace=True)
+        with obs.use(outer):
+            with obs.span("outer-work"):
+                with obs.use(inner):
+                    with obs.span("inner-work"):
+                        pass
+        (inner_span,) = inner.tracer.spans
+        assert inner_span.parent_id is None
+        (outer_span,) = outer.tracer.spans
+        assert outer_span.name == "outer-work"
+
+    def test_nesting_resumes_after_a_swap(self):
+        sink = obs.Telemetry(trace=True)
+        with obs.use(sink):
+            with obs.span("parent"):
+                with obs.use(obs.Telemetry()):
+                    pass  # a swapped-in-and-out plain sink
+                with obs.span("child"):
+                    pass
+        by_name = {s.name: s for s in sink.tracer.spans}
+        assert by_name["child"].parent_id == by_name["parent"].span_id
+
+
+def _forked_worker_main(exported_queue):
+    """Runs in a forked child: install a fresh sink the way a pool
+    initializer does, do some work, ship the export home."""
+    sink = obs.Telemetry(trace=True, worker="w-child")
+    with obs.use(sink):
+        obs.incr("child.counter", 7)
+        with obs.span("child-task"):
+            pass
+    exported_queue.put(sink.export())
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestForkedWorkerSinks:
+    """Sink swaps across a forked worker initializer (the pool path)."""
+
+    def test_child_sink_is_isolated_from_the_parent(self):
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        parent = obs.Telemetry(trace=True, worker="main")
+        with obs.use(parent):
+            obs.incr("parent.counter")
+            with obs.span("parent-task"):
+                process = context.Process(
+                    target=_forked_worker_main, args=(queue,))
+                process.start()
+                exported = queue.get(timeout=30)
+                process.join(timeout=30)
+        # The fork inherited the parent's installed sink, but the
+        # child's own work landed only on the child's sink.
+        assert parent.counters == {"parent.counter": 1}
+        assert [s.name for s in parent.spans] == ["parent-task"]
+        assert exported["counters"] == {"child.counter": 7}
+        # Merging the shipped export works and keeps ids disjoint.
+        parent.merge_export(exported)
+        ids = [s.span_id for s in parent.tracer.spans]
+        assert len(ids) == len(set(ids)) == 2
+        assert parent.counters["child.counter"] == 7

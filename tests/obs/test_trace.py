@@ -1,0 +1,133 @@
+"""Unit tests for the hierarchical tracer (`repro.obs.trace`)."""
+
+import pickle
+
+from repro.obs.trace import Tracer, TraceSpan
+
+
+class TestPushPop:
+    """Span identity and parenting through push/pop."""
+
+    def test_nested_spans_record_parent_ids(self):
+        tracer = Tracer(worker="main")
+        outer = tracer.push("outer")
+        inner = tracer.push("inner")
+        inner_span = tracer.pop(inner)
+        outer_span = tracer.pop(outer)
+        assert outer_span.parent_id is None
+        assert inner_span.parent_id == outer_span.span_id
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        outer = tracer.push("outer")
+        first = tracer.pop(tracer.push("a"))
+        second = tracer.pop(tracer.push("b"))
+        outer_span = tracer.pop(outer)
+        assert first.parent_id == outer_span.span_id
+        assert second.parent_id == outer_span.span_id
+
+    def test_span_ids_are_unique_and_prefixed_by_worker(self):
+        tracer = Tracer(worker="w42")
+        spans = [tracer.pop(tracer.push(f"s{i}")) for i in range(8)]
+        ids = {span.span_id for span in spans}
+        assert len(ids) == len(spans)
+        assert all(span.span_id.startswith("w42.") for span in spans)
+
+    def test_two_tracers_in_one_process_never_collide(self):
+        a, b = Tracer(worker="main"), Tracer(worker="main")
+        span_a = a.pop(a.push("x"))
+        span_b = b.pop(b.push("x"))
+        assert span_a.span_id != span_b.span_id
+
+    def test_foreign_tracer_span_is_not_adopted_as_parent(self):
+        """A span opened under a *different* tracer (mid-run sink swap)
+        must not become the parent of this tracer's spans."""
+        old, new = Tracer(), Tracer()
+        old_open = old.push("old-outer")
+        fresh = new.pop(new.push("fresh"))
+        assert fresh.parent_id is None
+        old.pop(old_open)
+
+    def test_child_interval_nests_inside_parent(self):
+        tracer = Tracer()
+        outer = tracer.push("outer")
+        inner_span = tracer.pop(tracer.push("inner"))
+        outer_span = tracer.pop(outer)
+        assert outer_span.start <= inner_span.start
+        assert inner_span.end <= outer_span.end
+
+
+class TestMerge:
+    """Worker-tree merging with clock-offset normalization."""
+
+    def test_merge_offsets_worker_starts_onto_parent_epoch(self):
+        parent = Tracer(worker="main")
+        worker = Tracer(worker="w1")
+        worker_span = worker.pop(worker.push("task"))
+        skew = 5.0  # pretend the worker epoch is 5s after the parent's
+        parent.merge("w1", parent.epoch_wall + skew, worker.spans)
+        merged = parent.spans[-1]
+        assert merged.start == worker_span.start + skew
+        assert merged.seconds == worker_span.seconds
+        assert merged.worker == "w1"
+
+    def test_merge_preserves_ancestry(self):
+        parent = Tracer(worker="main")
+        worker = Tracer(worker="w1")
+        outer = worker.push("outer")
+        worker.pop(worker.push("inner"))
+        worker.pop(outer)
+        parent.merge("w1", worker.epoch_wall, worker.spans)
+        index = parent.span_index()
+        inner = next(s for s in parent.spans if s.name == "inner")
+        assert inner.parent_id in index
+        assert index[inner.parent_id].name == "outer"
+
+    def test_export_round_trips_through_pickle(self):
+        worker = Tracer(worker="w7")
+        worker.pop(worker.push("task", (("kind", "ni_part"),)))
+        shipped = pickle.loads(pickle.dumps(worker.export()))
+        parent = Tracer(worker="main")
+        parent.merge(shipped["worker"], shipped["epoch_wall"],
+                     shipped["spans"])
+        assert parent.spans[-1].attrs == (("kind", "ni_part"),)
+
+    def test_workers_lists_parent_first(self):
+        parent = Tracer(worker="main")
+        parent.pop(parent.push("top"))
+        for name in ("w9", "w2"):
+            worker = Tracer(worker=name)
+            worker.pop(worker.push("task"))
+            parent.merge(name, worker.epoch_wall, worker.spans)
+        assert parent.workers() == ["main", "w2", "w9"]
+
+
+class TestSerialization:
+    """TraceSpan dict round-tripping."""
+
+    def test_to_dict_from_dict_round_trip(self):
+        span = TraceSpan(
+            name="obligation", span_id="main.1.3", parent_id="main.1.1",
+            start=0.25, seconds=0.5, worker="main",
+            attrs=(("property", "NoReadAfterCrash"),),
+        )
+        rebuilt = TraceSpan.from_dict(span.to_dict())
+        assert rebuilt == span
+
+    def test_from_dict_defaults_optional_fields(self):
+        rebuilt = TraceSpan.from_dict({
+            "name": "x", "span_id": "a.1.1", "start": 0, "seconds": 1,
+        })
+        assert rebuilt.parent_id is None
+        assert rebuilt.worker == "main"
+        assert rebuilt.attrs == ()
+
+    def test_tracer_to_dict_is_json_ready(self):
+        import json
+
+        tracer = Tracer(worker="main")
+        tracer.pop(tracer.push("stage", (("n", "1"),)))
+        payload = tracer.to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["worker"] == "main"
+        assert payload["spans"][0]["name"] == "stage"
