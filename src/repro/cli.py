@@ -80,6 +80,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         syntactic_skip=not args.no_skip,
         check_proofs=not args.no_check,
         term_cache=not args.no_term_cache,
+        compile_plans=not args.no_compile,
         proof_store=args.store,
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
@@ -309,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-term-cache", action="store_true",
                         help="disable memoized simplification and solver "
                              "query caching (terms are still interned)")
+    verify.add_argument("--no-compile", action="store_true",
+                        help="disable compiled proof plans (interpret "
+                             "symbolic steps per obligation; escape hatch "
+                             "— verdicts and derivations are identical "
+                             "either way)")
     verify.add_argument("-c", "--counterexample", action="store_true",
                         help="print candidate counterexamples on failure")
     verify.add_argument("-e", "--explain", action="store_true",

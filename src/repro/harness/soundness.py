@@ -138,9 +138,10 @@ def check_session(session: FuzzSession, benchmark: str,
     )
 
 
-def run_soundness(seeds: range = range(10),
+def run_soundness(seeds: Optional[range] = None,
                   events: int = 40) -> List[SoundnessVerdict]:
     """The full sweep: every benchmark × every seed."""
+    seeds = range(10) if seeds is None else seeds
     verdicts: List[SoundnessVerdict] = []
     for benchmark in BENCHMARKS:
         for seed in seeds:

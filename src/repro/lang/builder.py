@@ -129,14 +129,15 @@ def call(bind: str, func: str, *args: object) -> ast.CallCmd:
     return ast.CallCmd(func, tuple(_expr(a) for a in args), bind)
 
 
-def lookup(bind: str, ctype: str, pred: ast.Expr,
-           found: ast.Cmd, missing: ast.Cmd = ast.Nop()) -> ast.LookupCmd:
-    return ast.LookupCmd(ctype, bind, pred, found, missing)
+def lookup(bind: str, ctype: str, pred: ast.Expr, found: ast.Cmd,
+           missing: Optional[ast.Cmd] = None) -> ast.LookupCmd:
+    return ast.LookupCmd(ctype, bind, pred, found,
+                         ast.Nop() if missing is None else missing)
 
 
 def ite(cond: ast.Expr, then: ast.Cmd,
-        otherwise: ast.Cmd = ast.Nop()) -> ast.If:
-    return ast.If(cond, then, otherwise)
+        otherwise: Optional[ast.Cmd] = None) -> ast.If:
+    return ast.If(cond, then, ast.Nop() if otherwise is None else otherwise)
 
 
 def block(*cmds: ast.Cmd) -> ast.Cmd:

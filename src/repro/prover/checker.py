@@ -30,6 +30,7 @@ from typing import List
 from ..lang.errors import ProofCheckFailure, ProofSearchFailure
 from ..symbolic.behabs import GenericStep
 from .derivation import (
+    BaseProof,
     PathProof,
     SkippedExchange,
     TracePropertyProof,
@@ -62,6 +63,24 @@ def trace_proof_complaints(step: GenericStep,
     scheme = expected_scheme
 
     # Base case coverage + justification validity.
+    complaints.extend(trace_base_complaints(step, scheme, proof.base))
+
+    # Inductive coverage.
+    recorded = record_step_proofs(proof.steps, complaints)
+    for ex in step.exchanges:
+        complaints.extend(
+            trace_exchange_complaints(step, scheme, ex, recorded)
+        )
+    return complaints
+
+
+def trace_base_complaints(step: GenericStep, scheme,
+                          base: BaseProof) -> List[str]:
+    """Validate the base case of a trace derivation in isolation.
+
+    Shared between :func:`trace_proof_complaints` and the engine's
+    fragment-grained proof reuse, which revalidates stored base-case
+    fragments before accepting them."""
     base_ctx = OccurrenceContext(
         step=step,
         scheme=scheme,
@@ -70,52 +89,64 @@ def trace_proof_complaints(step: GenericStep,
         lookup_facts=(),
         has_history=False,
     )
-    complaints.extend(_check_occurrence_list(
-        base_ctx, proof.base.occurrence_proofs, "base case"
-    ))
+    return _check_occurrence_list(
+        base_ctx, base.occurrence_proofs, "base case"
+    )
 
-    # Inductive coverage.
-    recorded = {}
-    for sp in proof.steps:
+
+def record_step_proofs(steps, complaints: List[str]) -> dict:
+    """Index step proofs by ``(exchange_key, path_index-or-None)``,
+    appending a complaint for records of unknown shape."""
+    recorded: dict = {}
+    for sp in steps:
         if isinstance(sp, SkippedExchange):
             recorded[(sp.exchange_key, None)] = sp
         elif isinstance(sp, PathProof):
             recorded[(sp.exchange_key, sp.path_index)] = sp
         else:
             complaints.append(f"unknown step proof {sp!r}")
+    return recorded
 
-    for ex in step.exchanges:
-        skip = recorded.get((ex.key, None))
-        if isinstance(skip, SkippedExchange):
-            body = ex.handler.body if ex.handler is not None else None
-            if not exchange_statically_silent(
-                [scheme.trigger], ex.ctype, ex.msg, body
-            ):
-                complaints.append(
-                    f"invalid syntactic skip of {ex.ctype}=>{ex.msg}"
-                )
-            continue
-        for path_index, path in enumerate(ex.paths):
-            path_proof = recorded.get((ex.key, path_index))
-            if not isinstance(path_proof, PathProof):
-                complaints.append(
-                    f"missing case for {ex.ctype}=>{ex.msg} "
-                    f"path {path_index}"
-                )
-                continue
-            ctx = OccurrenceContext(
-                step=step,
-                scheme=scheme,
-                actions=path.actions,
-                cond=path.cond,
-                lookup_facts=path.lookup_facts,
-                has_history=True,
-                sender=ex.sender,
+
+def trace_exchange_complaints(step: GenericStep, scheme, ex,
+                              recorded: dict) -> List[str]:
+    """Validate one exchange's inductive case in isolation.
+
+    ``recorded`` maps ``(exchange_key, path_index-or-None)`` to the
+    step proofs on offer (see :func:`record_step_proofs`).  Shared
+    between the whole-proof checker and the engine's fragment reuse."""
+    complaints: List[str] = []
+    skip = recorded.get((ex.key, None))
+    if isinstance(skip, SkippedExchange):
+        body = ex.handler.body if ex.handler is not None else None
+        if not exchange_statically_silent(
+            [scheme.trigger], ex.ctype, ex.msg, body
+        ):
+            complaints.append(
+                f"invalid syntactic skip of {ex.ctype}=>{ex.msg}"
             )
-            complaints.extend(_check_occurrence_list(
-                ctx, path_proof.occurrence_proofs,
-                f"{ex.ctype}=>{ex.msg} path {path_index}",
-            ))
+        return complaints
+    for path_index, path in enumerate(ex.paths):
+        path_proof = recorded.get((ex.key, path_index))
+        if not isinstance(path_proof, PathProof):
+            complaints.append(
+                f"missing case for {ex.ctype}=>{ex.msg} "
+                f"path {path_index}"
+            )
+            continue
+        ctx = OccurrenceContext(
+            step=step,
+            scheme=scheme,
+            actions=path.actions,
+            cond=path.cond,
+            lookup_facts=path.lookup_facts,
+            has_history=True,
+            sender=ex.sender,
+        )
+        complaints.extend(_check_occurrence_list(
+            ctx, path_proof.occurrence_proofs,
+            f"{ex.ctype}=>{ex.msg} path {path_index}",
+        ))
     return complaints
 
 

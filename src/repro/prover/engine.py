@@ -50,18 +50,25 @@ from ..props.spec import (
     TraceProperty,
 )
 from ..symbolic import cache as symcache
+from ..symbolic import compile as symcompile
+from ..symbolic import solver as symsolver
 from ..symbolic.behabs import GenericStep, generic_step
 from .checker import (
     check_ni_proof,
     check_trace_proof,
     ni_proof_complaints,
+    record_step_proofs,
+    trace_base_complaints,
+    trace_exchange_complaints,
     trace_proof_complaints,
 )
 from .derivation import (
+    BaseProof,
     BoundedProof,
     BoundedSpec,
     InvariantProof,
     InvariantSpec,
+    StepProof,
     TracePropertyProof,
 )
 from .invariants import prove_bounded, prove_invariant
@@ -73,15 +80,22 @@ from .ni import (
     check_ni_base,
     check_ni_exchange,
 )
+from .obligations import scheme_of
 from .pipeline import Obligation, plan_property
 from .proofstore import (
     ProofStore,
     StoreEntry,
+    dependency_digest,
     derivation_key,
     digest,
     obligation_key,
 )
-from .trace_tactics import TacticContext, prove_trace_property
+from .trace_tactics import (
+    TacticContext,
+    prove_trace_base,
+    prove_trace_exchange,
+    prove_trace_property,
+)
 
 
 @dataclass
@@ -100,6 +114,16 @@ class ProverOptions:
     #: memo, DNF memo, solver query cache — see docs/performance.md);
     #: semantically invisible, so it does not shape obligation keys
     term_cache: bool = True
+    #: execute compiled proof plans: the per-kernel compiled symbolic
+    #: step (closure form, reused across Verifier instances via
+    #: :mod:`repro.symbolic.compile`), the memoized obligation-key
+    #: table, the hot in-process result cache, and the solver's
+    #: prefix-batched fact construction.  Semantically invisible —
+    #: verdicts, derivations and obligation keys are bit-for-bit
+    #: identical with it off (``--no-compile`` on the CLI, asserted by
+    #: the compile differential tests) — so it does not shape
+    #: obligation keys.
+    compile_plans: bool = True
     proof_store: Optional[str] = None
     #: parallel runs only: wall-clock budget per obligation task, in
     #: seconds (``None`` disables the watchdog)
@@ -227,6 +251,11 @@ class Verifier:
         self._bounded_cache: Dict[BoundedSpec, BoundedProof] = {}
         self._labeling_cache: Dict[str, Labeling] = {}
         self._program_digest: Optional[str] = None
+        self._plan: Optional[symcompile.CompiledPlan] = None
+        #: set by the parallel worker initializer: workers serve hot
+        #: results seeded from the shared arena even though they run
+        #: under a telemetry sink (see :meth:`_hot_results`)
+        self._hot_results_override: Optional[bool] = None
         self._store: Optional[ProofStore] = (
             ProofStore(self.options.proof_store)
             if self.options.proof_store else None
@@ -234,13 +263,52 @@ class Verifier:
 
     # -- building blocks -------------------------------------------------------
 
+    def compiled_plan(self) -> symcompile.CompiledPlan:
+        """The process-wide compiled plan for this kernel (keyed by the
+        program content digest — see :mod:`repro.symbolic.compile`)."""
+        if self._plan is None:
+            self._plan = symcompile.plan_for(self.program_digest())
+        return self._plan
+
+    def _hot_results(self) -> bool:
+        """Whether the compiled plan's hot result cache may serve and
+        record obligation results.
+
+        Disabled while a telemetry sink is installed (unless a parallel
+        worker overrides it after arena seeding): serving a result
+        without re-running the search would silently change the
+        search-stage counters that the telemetry differential tests pin
+        down.
+        """
+        if not self.options.compile_plans:
+            return False
+        if self._hot_results_override is not None:
+            return self._hot_results_override
+        return obs.active() is None
+
     def generic_step(self) -> GenericStep:
-        """The symbolic inductive step (memoized per section 6.4)."""
+        """The symbolic inductive step (memoized per section 6.4).
+
+        With ``compile_plans`` the step is built by the compiled
+        executor and shared across Verifier instances through the
+        process-wide plan cache; plan-level reuse is bypassed under an
+        active telemetry sink so instrumented runs still observe the
+        build."""
         if self.options.memoize_step:
             if self._step_cache is None:
-                with obs.span("step.build", program=self.spec.name):
-                    self._step_cache = generic_step(self.spec.info)
+                if self.options.compile_plans and obs.active() is None:
+                    self._step_cache = \
+                        self.compiled_plan().step_for(self.spec.info)
+                else:
+                    with obs.span("step.build", program=self.spec.name):
+                        self._step_cache = self._build_step()
             return self._step_cache
+        return self._build_step()
+
+    def _build_step(self) -> GenericStep:
+        if self.options.compile_plans:
+            executor = symcompile.compiled_executor(self.spec.info)
+            return generic_step(self.spec.info, executor=executor)
         return generic_step(self.spec.info)
 
     def program_digest(self) -> str:
@@ -287,11 +355,29 @@ class Verifier:
 
     # -- pipeline: plan --------------------------------------------------------
 
+    def obligation_key_for(self, prop: Property,
+                           part: Optional[Tuple[str, str]]) -> str:
+        """The content address of one obligation, served from the
+        compiled plan's memo table when plans are enabled (the
+        fingerprint is the hot path of planning; the memoized value is
+        bit-for-bit the uncached one)."""
+        if self.options.compile_plans:
+            return self.compiled_plan().obligation_key_for(
+                prop, self.options.syntactic_skip, part,
+                lambda: obligation_key(
+                    self.program_digest(), prop, self.options, part
+                ),
+            )
+        return obligation_key(
+            self.program_digest(), prop, self.options, part
+        )
+
     def plan(self, prop: Property) -> Tuple[Obligation, ...]:
         """Pipeline stage one: the obligations of ``prop``, each with its
         content-addressed key."""
         return plan_property(
-            self.spec.program, prop, self.options, self.program_digest()
+            self.spec.program, prop, self.options, self.program_digest(),
+            key_for=lambda part: self.obligation_key_for(prop, part),
         )
 
     def ni_labeling(self, prop: NonInterference) -> Labeling:
@@ -340,14 +426,22 @@ class Verifier:
                        part: Optional[Tuple[str, str]], kind: str,
                        where: str) -> Tuple[object, bool]:
         """The uninstrumented body of :meth:`ni_part`."""
-        key = obligation_key(
-            self.program_digest(), prop, self.options, part
-        )
+        key = self.obligation_key_for(prop, part)
         if self._store is not None:
             entry = self._store.get(key)
             if (entry is not None and entry.kind == kind
                     and entry.checked):
                 return entry.payload, True
+        if self._hot_results():
+            hit = self.compiled_plan().cached_result(key)
+            if hit is not None and hit[0] == kind:
+                if self._store is not None:
+                    # Hot entries come from successful searches, whose
+                    # search *is* the check (see repro.prover.ni).
+                    self._store.put(
+                        StoreEntry(key, kind, hit[1], checked=True)
+                    )
+                return hit[1], False
         labeling = self.ni_labeling(prop)
         step = self.generic_step()
         with obs.span("search", property=prop.name, part=where):
@@ -361,6 +455,8 @@ class Verifier:
             # NI search *is* the check (see repro.prover.ni), so the
             # entry records checker approval in-band.
             self._store.put(StoreEntry(key, kind, payload, checked=True))
+        if self._hot_results():
+            self.compiled_plan().record_result(key, kind, payload)
         return payload, False
 
     # -- pipeline: check -------------------------------------------------------
@@ -422,16 +518,151 @@ class Verifier:
                 elif entry.checked:
                     # Checker approval recorded in-band at store time.
                     return proof, False, "store"
-        with obs.span("search", property=prop.name):
-            proof = prove_trace_property(self._tactic_context(), prop)
+        if self._hot_results():
+            hit = self.compiled_plan().cached_result(ob.key)
+            if hit is not None and hit[0] == "trace" \
+                    and isinstance(hit[1], TracePropertyProof) \
+                    and hit[1].property == prop:
+                proof = hit[1]
+                checked = False
+                if self.options.check_proofs:
+                    with obs.span("check", property=prop.name):
+                        check_trace_proof(self.generic_step(), proof)
+                    checked = True
+                if self._store is not None:
+                    self._store.put(
+                        StoreEntry(ob.key, "trace", proof, checked)
+                    )
+                    self._put_trace_fragments(prop, proof)
+                return proof, checked, "searched"
+        proof = self._search_trace(prop)
         checked = False
         if self.options.check_proofs:
             with obs.span("check", property=prop.name):
                 check_trace_proof(self.generic_step(), proof)
             checked = True
         if self._store is not None:
+            # The fragment-grained search already filed the per-fragment
+            # entries; the whole derivation is filed under the
+            # obligation key.
             self._store.put(StoreEntry(ob.key, "trace", proof, checked))
+        if self._hot_results():
+            self.compiled_plan().record_result(ob.key, "trace", proof)
         return proof, checked, "searched"
+
+    # -- fragment-grained trace search -----------------------------------------
+
+    def _fragment_key(self, prop: TraceProperty,
+                      part: Optional[Tuple[str, str]]) -> str:
+        """The content address of one trace-proof *fragment* (the base
+        case for ``part=None``, one exchange's inductive case
+        otherwise).  Scoped by :func:`dependency_digest` instead of the
+        whole-program digest, so editing one handler only re-keys the
+        fragments that syntactically depend on it.  Distinct from every
+        whole-obligation key: the ``part`` tag carries a ``trace-frag``
+        marker."""
+        tag = ("trace-frag",) if part is None \
+            else ("trace-frag",) + tuple(part)
+        return obligation_key(
+            dependency_digest(self.spec.program, part),
+            prop, self.options, tag,
+        )
+
+    def _search_trace(self, prop: TraceProperty) -> TracePropertyProof:
+        """The search stage for a trace property.
+
+        Without a proof store this is one monolithic
+        :func:`prove_trace_property` call.  With a store, the derivation
+        is searched *fragment by fragment* (base case + one fragment per
+        exchange), and each fragment is first looked up under its
+        dependency-scoped key and revalidated through the independent
+        checker before reuse — so an incremental edit to one handler
+        re-proves only the fragments whose dependency slice changed (or
+        whose revalidation fails, e.g. a stale secondary-induction
+        invariant)."""
+        if self._store is None:
+            with obs.span("search", property=prop.name):
+                return prove_trace_property(self._tactic_context(), prop)
+        scheme = scheme_of(prop)
+        step = self.generic_step()
+        tc = self._tactic_context()
+        with obs.span("search", property=prop.name):
+            base = self._fragment_base(tc, prop, scheme, step)
+            steps: List[StepProof] = []
+            for ex in step.exchanges:
+                steps.extend(
+                    self._fragment_exchange(tc, prop, scheme, step, ex)
+                )
+        return TracePropertyProof(
+            property=prop, scheme=scheme, base=base, steps=tuple(steps),
+        )
+
+    def _fragment_base(self, tc, prop: TraceProperty, scheme,
+                       step: GenericStep) -> BaseProof:
+        key = self._fragment_key(prop, None)
+        entry = self._store.get(key)
+        if (entry is not None and entry.kind == "trace-base"
+                and isinstance(entry.payload, BaseProof)):
+            if not trace_base_complaints(step, scheme, entry.payload):
+                obs.incr("trace.fragment.hit")
+                return entry.payload
+            obs.incr("trace.fragment.invalid")
+        obs.incr("trace.fragment.searched")
+        base = prove_trace_base(tc, prop, scheme)
+        self._store.put(StoreEntry(key, "trace-base", base, True))
+        return base
+
+    def _fragment_exchange(self, tc, prop: TraceProperty, scheme,
+                           step: GenericStep, ex) -> List[StepProof]:
+        key = self._fragment_key(prop, ex.key)
+        entry = self._store.get(key)
+        if (entry is not None and entry.kind == "trace-step"
+                and isinstance(entry.payload, tuple)):
+            complaints: List[str] = []
+            recorded = record_step_proofs(entry.payload, complaints)
+            if not complaints and not trace_exchange_complaints(
+                step, scheme, ex, recorded
+            ):
+                obs.incr("trace.fragment.hit")
+                return list(entry.payload)
+            obs.incr("trace.fragment.invalid")
+        obs.incr("trace.fragment.searched")
+        part = prove_trace_exchange(tc, prop, scheme, ex)
+        self._store.put(StoreEntry(key, "trace-step", tuple(part), True))
+        return part
+
+    def _put_trace_fragments(self, prop: TraceProperty,
+                             proof: TracePropertyProof) -> None:
+        """File a whole trace derivation's fragments under their
+        dependency-scoped keys (used when the proof was obtained without
+        the fragment search: hot-cache replays and incremental
+        revalidation adoption)."""
+        if self._store is None:
+            return
+        self._store.put(StoreEntry(
+            self._fragment_key(prop, None), "trace-base",
+            proof.base, True,
+        ))
+        by_exchange: Dict[Tuple[str, str], List[StepProof]] = {}
+        for sp in proof.steps:
+            by_exchange.setdefault(sp.exchange_key, []).append(sp)
+        for ex_key, parts in by_exchange.items():
+            self._store.put(StoreEntry(
+                self._fragment_key(prop, ex_key), "trace-step",
+                tuple(parts), True,
+            ))
+
+    def adopt_trace_proof(self, prop: TraceProperty,
+                          proof: TracePropertyProof,
+                          checked: bool) -> None:
+        """Persist an externally validated derivation (the incremental
+        harness's revalidation path) under the current obligation and
+        fragment keys, so later runs serve it from the store."""
+        if self._store is None:
+            return
+        (ob,) = self.plan(prop)
+        self._store.put(StoreEntry(ob.key, "trace", proof, checked))
+        self._put_trace_fragments(prop, proof)
 
     def _prove_ni(self, prop: NonInterference
                   ) -> Tuple[NIProof, bool, str]:
@@ -469,7 +700,8 @@ class Verifier:
         ``ProverOptions.term_cache``; caching never changes the verdict,
         the derivation, or its key (asserted by the differential tests).
         """
-        with symcache.scope(self.options.term_cache):
+        with symcache.scope(self.options.term_cache), \
+                symsolver.prefix_scope(self.options.compile_plans):
             with obs.span("property", property=prop.name):
                 result = self._prove_property_inner(prop)
         registry = obs.metrics_active()

@@ -152,6 +152,12 @@ class IncrementalVerifier:
             obs.incr("incremental.revalidation.rejected")
             return None
         obs.incr("incremental.revalidated")
+        # File the revalidated derivation (whole proof + per-exchange
+        # fragments) under the *new* program's keys: the next round — or a
+        # fresh process sharing the proof store — serves it without
+        # re-entering this replay path, and an edit that dodges revalidation
+        # still reuses every fragment whose dependency key is unchanged.
+        verifier.adopt_trace_proof(prop, old_result.proof, checked=True)
         return PropertyResult(
             property=prop,
             status="proved",

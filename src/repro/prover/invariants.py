@@ -41,7 +41,7 @@ from ..symbolic.expr import (
     substitute,
 )
 from ..symbolic.simplify import simplify
-from ..symbolic.solver import Facts
+from ..symbolic.solver import Facts, extend_facts, facts_for
 from ..symbolic.templates import Template
 from ..symbolic.unify import SymBinding
 from .derivation import (
@@ -197,12 +197,9 @@ def _post_substitution(step: GenericStep,
 
 
 def _guard_facts(cond: Sequence[Term], guard_terms: Sequence[Term]) -> Facts:
-    facts = Facts()
-    for literal in cond:
-        facts.assert_term(literal)
-    for g in guard_terms:
-        facts.assert_term(g)
-    return facts
+    # Paths of one exchange share their condition prefix; build on the
+    # prefix-cached Facts rather than re-asserting from scratch.
+    return extend_facts(cond, guard_terms)
 
 
 def _entailed_match(facts: Facts, inst: InstPattern,
@@ -210,7 +207,8 @@ def _entailed_match(facts: Facts, inst: InstPattern,
     m = inst.match(template)
     if m is None:
         return False
-    return all(facts.implies(c) for c in m.constraints)
+    results = facts.implies_all(m.constraints, stop_on_failure=True)
+    return len(results) == len(m.constraints) and all(results)
 
 
 def _refute_matches(facts: Facts, inst: InstPattern,
@@ -391,9 +389,7 @@ def _bounded_case_ok(step: GenericStep, spec, path) -> bool:
     from ..symbolic.expr import SOp
     from ..symbolic.templates import TSpawn
 
-    facts = Facts()
-    for literal in path.cond:
-        facts.assert_term(literal)
+    facts = facts_for(path.cond)
     if facts.inconsistent():
         return True
     post_bound = path.env_dict()[_bound_var_name(step, spec)]

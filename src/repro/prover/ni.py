@@ -63,7 +63,12 @@ from ..symbolic.expr import (
 )
 from ..symbolic.seval import FoundFact, MissingFact, SymPath, eval_sexpr
 from ..symbolic.simplify import dnf, simplify
-from ..symbolic.solver import Facts
+from ..symbolic.solver import (
+    Facts,
+    entail_batch,
+    extend_facts,
+    prefix_enabled,
+)
 from ..symbolic.templates import TSend, TSpawn
 from ..symbolic.unify import match_comp_term
 
@@ -226,11 +231,7 @@ def feasible_ni_triples(labeling: Labeling,
     triples: List[Tuple[Tuple[str, str], int, str]] = []
     for case, cube in ni_case_cubes(labeling, ex):
         for path_index, path in enumerate(ex.paths):
-            facts = Facts()
-            for literal in path.cond:
-                facts.assert_term(literal)
-            for literal in cube:
-                facts.assert_term(literal)
+            facts = extend_facts(path.cond, cube)
             if facts.inconsistent():
                 continue
             triples.append((ex.key, path_index, case))
@@ -244,16 +245,14 @@ def check_ni_exchange(step: GenericStep, labeling: Labeling,
     verdicts: List[PathVerdict] = []
     for case, cube in ni_case_cubes(labeling, ex):
         for path_index, path in enumerate(ex.paths):
-            facts = Facts()
-            for literal in path.cond:
-                facts.assert_term(literal)
-            for literal in cube:
-                facts.assert_term(literal)
+            facts = extend_facts(path.cond, cube)
             if facts.inconsistent():
                 continue
             obs.incr("ni.path_case")
+            prefix = tuple(path.cond) + tuple(cube)
             if case == "low":
-                notes = _check_nilo(step, labeling, ex, path, facts)
+                notes = _check_nilo(step, labeling, ex, path, facts,
+                                    prefix)
             else:
                 notes = _check_nihi(step, labeling, ex, path, facts)
             verdicts.append(PathVerdict(
@@ -266,18 +265,33 @@ def check_ni_exchange(step: GenericStep, labeling: Labeling,
 
 
 def _check_nilo(step: GenericStep, labeling: Labeling, ex: Exchange,
-                path: SymPath, facts: Facts) -> List[str]:
+                path: SymPath, facts: Facts,
+                prefix: Tuple[Term, ...] = ()) -> List[str]:
     """A low sender's handler must not touch anything high."""
     notes: List[str] = []
     where = f"{labeling.prop.name}: NIlo at {ex.ctype}=>{ex.msg}"
     pre_env = step.pre_env_dict()
-    for name, post in path.env:
-        if not labeling.is_high_var(name):
-            continue
-        if not facts.implies(SOp("eq", (post, pre_env[name]))):
-            raise ProofSearchFailure(
-                f"{where}: low handler may update high variable {name}"
-            )
+    frame = [
+        (name, SOp("eq", (post, pre_env[name])))
+        for name, post in path.env if labeling.is_high_var(name)
+    ]
+    if frame:
+        queries = [query for _name, query in frame]
+        # The high-variable frame conditions of one path form one query
+        # batch over the path's asserted prefix; without the prefix
+        # cache the shared Facts discharges them directly (identical
+        # answers either way — pinned by the batch equivalence test).
+        if prefix and prefix_enabled():
+            results = entail_batch(prefix, queries,
+                                   stop_on_failure=True)
+        else:
+            results = facts.implies_all(queries, stop_on_failure=True)
+        for (name, _query), entailed in zip(frame, results):
+            if not entailed:
+                raise ProofSearchFailure(
+                    f"{where}: low handler may update high variable "
+                    f"{name}"
+                )
     for action in path.actions:
         if isinstance(action, TSend):
             if not facts.implies(snot(labeling.high_condition(action.comp))):

@@ -65,16 +65,29 @@ _STEP_TELEMETRY = None
 #: subsystems its task sinks should enable, and the shared run id).
 _OBS_CONFIG = None
 
+#: The hot obligation results seeded from the parent's arena snapshot
+#: (key → (kind, payload)); lets ``ni-part`` tasks ship a key reference
+#: back instead of re-pickling the verdict payload.
+_ARENA_RESULTS: Dict[str, tuple] = {}
+
 
 def _init_worker(payload: bytes,
-                 obs_config: Optional[dict] = None) -> None:
+                 obs_config: Optional[dict] = None,
+                 arena_ref: Optional[tuple] = None) -> None:
     """Pool initializer: build this worker's Verifier from the pickled
     ``(spec, options)`` pair, on a fresh intern table (terms unpickled
     from the payload re-intern into it) with the symbolic caches set per
     ``options.term_cache``; remember the parent's observability config
-    for the per-task sinks."""
-    global _WORKER, _STEP_TELEMETRY, _OBS_CONFIG
+    for the per-task sinks.
+
+    With ``arena_ref`` the worker attaches the parent's shared arena
+    (see :mod:`repro.prover.shared`) and seeds its compiled plan from
+    the snapshot — symbolic step and hot obligation results — instead
+    of re-deriving them; any attach or decode failure silently degrades
+    to the legacy rebuild."""
+    global _WORKER, _STEP_TELEMETRY, _OBS_CONFIG, _ARENA_RESULTS
     from ..symbolic import cache as symcache
+    from ..symbolic import solver as symsolver
     from ..symbolic.expr import reset_interning
     from .engine import Verifier
 
@@ -82,12 +95,48 @@ def _init_worker(payload: bytes,
     symcache.clear_all()
     spec, options = pickle.loads(payload)
     symcache.set_enabled(getattr(options, "term_cache", True))
+    symsolver.set_prefix_enabled(
+        getattr(options, "compile_plans", True)
+    )
     _WORKER = Verifier(spec, options)
     _STEP_TELEMETRY = None
     _OBS_CONFIG = obs_config
+    _ARENA_RESULTS = {}
+    if arena_ref is not None:
+        _attach_arena(arena_ref)
     # Route the verifier's step accessor through the instrumented build so
     # its one-off cost lands in _STEP_TELEMETRY, not in some task's sink.
     _WORKER.generic_step = _instrumented_step
+
+
+def _attach_arena(arena_ref: tuple) -> None:
+    """Seed this worker from the parent's arena snapshot (best effort).
+
+    Unpickling re-interns every term of the snapshot into this worker's
+    fresh intern table; the digest guard makes a stale or foreign arena
+    a no-op rather than a wrong answer."""
+    global _ARENA_RESULTS
+    from . import shared
+
+    try:
+        snapshot = pickle.loads(shared.load(arena_ref))
+        digest = snapshot["digest"]
+        step = snapshot["step"]
+        results = dict(snapshot.get("results") or {})
+    except Exception:  # noqa: BLE001 - arena is an optimization only
+        return
+    if digest != _WORKER.program_digest():
+        return
+    _WORKER._step_cache = step
+    plan = _WORKER.compiled_plan()
+    plan.seed_step(step)
+    if results:
+        plan.seed_results(results)
+        _ARENA_RESULTS = results
+        # Tasks run under per-task telemetry sinks, which would
+        # normally suppress hot-result serving; the arena seed is
+        # explicitly sanctioned by the parent.
+        _WORKER._hot_results_override = True
 
 
 def _task_sink() -> "obs.Telemetry":
@@ -140,6 +189,14 @@ def _execute(task: tuple) -> tuple:
             payload, from_store = _WORKER.ni_part(prop, part)
         except ProofSearchFailure as failure:
             return ("fail", str(failure), time.perf_counter() - start)
+        if _ARENA_RESULTS:
+            # Ship a verdict summary instead of re-pickling the payload
+            # when the parent's arena already holds the identical one.
+            key = _WORKER.obligation_key_for(prop, part)
+            hit = _ARENA_RESULTS.get(key)
+            if hit is not None and hit[1] == payload:
+                return ("okref", key, from_store,
+                        time.perf_counter() - start)
         return ("ok", payload, from_store, time.perf_counter() - start)
     if kind == "ni-check":
         index, proof = task[1], task[2]
@@ -279,6 +336,8 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
     attempts: Dict[int, int] = {tid: 0 for tid in tasks}
     unresolved: Set[int] = set(tasks)
     payload = pickle.dumps((spec, options))
+    arena, arena_results = _build_arena(spec, options, telemetry)
+    arena_ref = None if arena is None else arena.ref
 
     def settle_assembly(index: int) -> None:
         """An NI assembly with every obligation reported: produce the
@@ -305,7 +364,13 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                 assembly.failures[part] = outcome[1]
                 assembly.seconds += outcome[2]
             else:
-                assembly.payloads[part] = outcome[1]
+                if outcome[0] == "okref":
+                    # Verdict summary: the worker confirmed its payload
+                    # equals the arena entry, so rehydrate locally.
+                    obs.incr("parallel.arena.okref")
+                    assembly.payloads[part] = arena_results[outcome[1]][1]
+                else:
+                    assembly.payloads[part] = outcome[1]
                 assembly.from_store = (
                     assembly.from_store and outcome[2]
                 )
@@ -363,7 +428,7 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             max_workers=jobs,
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=(payload, obs_config),
+            initargs=(payload, obs_config, arena_ref),
         )
         pending: Dict[object, int] = {}
         scheduled: Set[int] = set()
@@ -458,23 +523,79 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
     # task survives at most ``retries`` penalties — so this terminates;
     # the cap is a belt-and-braces backstop against scheduler bugs.
     generation_cap = len(tasks) * (retries + 2) + 2
-    for _ in range(generation_cap):
-        if not unresolved:
-            break
-        for tid, reason in sorted(run_generation().items()):
-            if tid not in unresolved:
-                continue
-            attempts[tid] += 1
-            obs.incr("parallel.task_retry")
-            if attempts[tid] > retries:
-                condemn(tid, reason)
-            else:
-                obs.event("task.retry",
-                          task=_task_label(spec, tasks[tid]),
-                          reason=reason, attempt=attempts[tid])
+    try:
+        for _ in range(generation_cap):
+            if not unresolved:
+                break
+            for tid, reason in sorted(run_generation().items()):
+                if tid not in unresolved:
+                    continue
+                attempts[tid] += 1
+                obs.incr("parallel.task_retry")
+                if attempts[tid] > retries:
+                    condemn(tid, reason)
+                else:
+                    obs.event("task.retry",
+                              task=_task_label(spec, tasks[tid]),
+                              reason=reason, attempt=attempts[tid])
+    finally:
+        if arena is not None:
+            arena.close()
     for tid in sorted(unresolved):  # pragma: no cover - backstop only
         condemn(tid, "the scheduler gave up")
     return [results[index] for index in range(len(spec.properties))]
+
+
+def _build_arena(spec, options, telemetry):
+    """Publish the parent's snapshot — compiled symbolic step plus hot
+    obligation results — for workers to attach (see
+    :mod:`repro.prover.shared`).  Returns ``(arena, results)``;
+    ``(None, {})`` disables seeding (plans off, or arena creation
+    failed).
+
+    Hot results ride along only when the parent runs uninstrumented:
+    under a telemetry sink, workers serving pre-cooked verdicts would
+    skip their search stages and break the serial/parallel counter
+    parity the telemetry differential tests pin down.  The step itself
+    always ships — with a sink active the parent builds it under the
+    same ``step.build`` span a serial run records (and seeded workers
+    skip their own builds, so the build still lands exactly once).
+    """
+    if not (getattr(options, "compile_plans", False)
+            and getattr(options, "memoize_step", True)):
+        # The step ablation (memoize_step=False) measures per-use build
+        # cost; seeding workers would defeat the measurement.
+        return None, {}
+    from ..symbolic import cache as symcache
+    from ..symbolic import solver as symsolver
+    from . import shared
+    from .engine import Verifier
+
+    parent = Verifier(spec, options)
+    # The same cache scopes the serial engine applies around its step
+    # build: without them the parent build emits cache counters a
+    # serial run (term_cache=False) would not.
+    with symcache.scope(getattr(options, "term_cache", True)), \
+            symsolver.prefix_scope(
+                getattr(options, "compile_plans", True)):
+        step = parent.generic_step()
+    results = {}
+    if telemetry is None:
+        results = parent.compiled_plan().exportable_results()
+    blob = pickle.dumps({
+        "digest": parent.program_digest(),
+        "step": step,
+        "results": results,
+    })
+    try:
+        arena = shared.SharedArena.create(blob)
+    except Exception:  # noqa: BLE001 - workers rebuild instead
+        obs.incr("parallel.arena.error")
+        return None, {}
+    obs.incr("parallel.arena.build")
+    obs.event("arena.built", bytes=len(blob),
+              backing=arena.ref[0], results=len(results))
+    return arena, results
 
 
 def _finish_ni(spec, options, assembly: _NIAssembly):

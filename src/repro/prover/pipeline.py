@@ -25,7 +25,7 @@ persistent proof store files its result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from .. import obs
 from ..lang.errors import ProofSearchFailure
@@ -58,32 +58,35 @@ class Obligation:
 
 
 def plan_property(program: object, prop: Property, options: object,
-                  program_digest: Optional[str] = None
-                  ) -> Tuple[Obligation, ...]:
+                  program_digest: Optional[str] = None,
+                  key_for: Optional[
+                      Callable[[Optional[Tuple[str, str]]], str]
+                  ] = None) -> Tuple[Obligation, ...]:
     """Enumerate the obligations of ``prop`` against ``program``.
 
     ``program_digest`` (the :func:`repro.prover.proofstore.digest` of the
     program AST) may be passed in to avoid re-fingerprinting the program
-    for every property; it is computed on demand otherwise.
+    for every property; it is computed on demand otherwise.  ``key_for``
+    may supply a memoized obligation-key computation (the compiled plan's
+    key table — see :mod:`repro.symbolic.compile`); it must return
+    exactly what :func:`~repro.prover.proofstore.obligation_key` would.
     """
-    if program_digest is None:
-        program_digest = digest(program)
+    if key_for is None:
+        if program_digest is None:
+            program_digest = digest(program)
+        pd = program_digest
+
+        def key_for(part: Optional[Tuple[str, str]]) -> str:
+            return obligation_key(pd, prop, options, part)
+
     if isinstance(prop, TraceProperty):
         obs.incr("plan.obligations")
-        return (Obligation(
-            TRACE, prop.name,
-            obligation_key(program_digest, prop, options, None),
-        ),)
+        return (Obligation(TRACE, prop.name, key_for(None)),)
     if isinstance(prop, NonInterference):
-        planned = [Obligation(
-            NI_BASE, prop.name,
-            obligation_key(program_digest, prop, options, None),
-        )]
+        planned = [Obligation(NI_BASE, prop.name, key_for(None))]
         for part in program.exchange_keys():
             planned.append(Obligation(
-                NI_EXCHANGE, prop.name,
-                obligation_key(program_digest, prop, options, part),
-                part,
+                NI_EXCHANGE, prop.name, key_for(part), part,
             ))
         obs.incr("plan.obligations", len(planned))
         return tuple(planned)

@@ -121,6 +121,38 @@ def obligation_key(program_digest: str, prop: object, options: object,
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def dependency_digest(program: object, part: Optional[Tuple[str, str]]) -> str:
+    """Digest of the program slice one trace-proof *fragment* depends on.
+
+    Fragment keys (see ``Verifier._fragment_key``) substitute this for
+    the whole-program digest so that editing one handler only re-keys the
+    fragments whose slice actually changed: the base case depends on the
+    declarations and the Init block; an exchange's inductive case depends
+    on those plus its own handler.
+
+    This is an *invalidation heuristic*, not a soundness boundary — a
+    fragment may also lean on other handlers through secondary-induction
+    invariants, which is why every fragment loaded from the store is
+    replayed through the independent checker against the current
+    abstraction before it is accepted (and re-proved when rejected).
+    """
+    components = getattr(program, "components", ())
+    messages = getattr(program, "messages", ())
+    init = getattr(program, "init", None)
+    name = getattr(program, "name", "")
+    if part is None:
+        scope: Tuple[object, ...] = (
+            "scope", "base", name, components, messages, init,
+        )
+    else:
+        ctype, msg = part
+        scope = (
+            "scope", ctype, msg, name, components, messages, init,
+            program.handler_for(ctype, msg),
+        )
+    return digest(scope)
+
+
 def derivation_key(proof: object) -> str:
     """The content address of a derivation (any proof object).
 
@@ -146,7 +178,7 @@ class StoreEntry:
     """
 
     key: str
-    kind: str  # "trace" | "ni-base" | "ni-exchange"
+    kind: str  # "trace" | "ni-base" | "ni-exchange" | "trace-base" | "trace-step"
     payload: object
     checked: bool
 

@@ -1,0 +1,123 @@
+"""A shared read-only arena for pool workers.
+
+``verify_all(jobs=N)`` used to make every worker rebuild the symbolic
+:class:`~repro.symbolic.behabs.GenericStep` from scratch — the single
+most expensive piece of per-worker start-up.  The parent now serializes
+one snapshot (the step built by the compiled plan, plus the plan's hot
+obligation results, keyed by the kernel's content digest) into a shared
+read-only arena; workers attach, copy the bytes out, and unpickle into
+their own fresh intern table instead of re-deriving everything.
+
+Two backings, tried in order:
+
+* ``multiprocessing.shared_memory`` — a named POSIX segment; zero
+  filesystem traffic.  With the preferred ``fork`` pool context every
+  process shares the parent's resource tracker, whose registry is a
+  set — worker attachments are idempotent re-registrations, and the
+  parent's ``unlink`` retires the name exactly once.
+* a temporary file — the fallback when shared memory is unavailable
+  (some containers mount no ``/dev/shm``).
+
+The arena is an optimization, never a correctness dependency: any
+failure to create, attach, or decode degrades to the legacy per-worker
+rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Tuple
+
+#: ``("shm", name, size)`` or ``("file", path, size)``.
+ArenaRef = Tuple[str, str, int]
+
+
+class SharedArena:
+    """One read-only blob shared with pool workers.
+
+    Created (and eventually unlinked) by the parent; workers use the
+    :func:`load` module function with the picklable :data:`ArenaRef`.
+    """
+
+    def __init__(self, ref: ArenaRef, shm: Optional[object]) -> None:
+        self.ref = ref
+        self._shm = shm
+
+    @classmethod
+    def create(cls, data: bytes) -> "SharedArena":
+        """Publish ``data``; raises :class:`OSError` when neither
+        backing works."""
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(data))
+            )
+        except Exception:  # noqa: BLE001 - fall back to a temp file
+            return cls._create_file(data)
+        try:
+            shm.buf[: len(data)] = data
+        except Exception:  # noqa: BLE001 - never leak the segment
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+            return cls._create_file(data)
+        return cls(("shm", shm.name, len(data)), shm)
+
+    @classmethod
+    def _create_file(cls, data: bytes) -> "SharedArena":
+        handle, path = tempfile.mkstemp(prefix="repro-arena-",
+                                        suffix=".bin")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        return cls(("file", path, len(data)), None)
+
+    def close(self) -> None:
+        """Release the arena (parent side, after the last generation)."""
+        backing, name, _size = self.ref
+        if backing == "shm" and self._shm is not None:
+            try:
+                self._shm.close()
+            except Exception:  # noqa: BLE001
+                pass
+            try:
+                self._shm.unlink()
+            except Exception:  # noqa: BLE001 - already gone
+                pass
+            self._shm = None
+        elif backing == "file":
+            try:
+                os.unlink(name)
+            except OSError:
+                pass
+
+
+def load(ref: ArenaRef) -> bytes:
+    """Copy the arena bytes out (worker side).  Raises on any failure;
+    callers degrade to the legacy rebuild."""
+    backing, name, size = ref
+    if backing == "shm":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            return bytes(shm.buf[:size])
+        finally:
+            shm.close()
+    if backing == "file":
+        with open(name, "rb") as stream:
+            data = stream.read(size)
+        if len(data) != size:
+            raise OSError(f"arena file truncated: {len(data)} < {size}")
+        return data
+    raise ValueError(f"unknown arena backing {backing!r}")

@@ -24,7 +24,7 @@ from ..props.spec import TraceProperty
 from ..symbolic.behabs import Exchange, GenericStep
 from ..symbolic.expr import FreshNames, SComp, Term
 from ..symbolic.seval import FoundFact, MissingFact, SymPath, eval_sexpr
-from ..symbolic.solver import Facts
+from ..symbolic.solver import Facts, extend_facts
 from ..symbolic.templates import Template
 from ..symbolic.unify import match_comp_term, match_template
 from .derivation import (
@@ -97,13 +97,13 @@ class OccurrenceContext:
 
     def occurrence_facts(self, occ: Occurrence) -> Facts:
         """Solver facts: path condition plus the occurrence's match
-        constraints."""
-        facts = Facts()
-        for literal in self.cond:
-            facts.assert_term(literal)
-        for constraint in occ.match.constraints:
-            facts.assert_term(constraint)
-        return facts
+        constraints.
+
+        Paths sharing a condition prefix (the common case after ``dnf``)
+        reuse the prefix-cached :class:`Facts` instead of re-asserting
+        every literal from scratch.
+        """
+        return extend_facts(self.cond, occ.match.constraints)
 
 
 # ---------------------------------------------------------------------------
@@ -116,9 +116,21 @@ def prove_trace_property(
     prop: TraceProperty,
 ) -> TracePropertyProof:
     """Find a derivation for ``prop`` or raise :class:`ProofSearchFailure`."""
-    step = tc.step
     scheme = scheme_of(prop)
+    base = prove_trace_base(tc, prop, scheme)
+    steps: List[StepProof] = []
+    for ex in tc.step.exchanges:
+        steps.extend(prove_trace_exchange(tc, prop, scheme, ex))
+    return TracePropertyProof(
+        property=prop, scheme=scheme, base=base, steps=tuple(steps),
+    )
 
+
+def prove_trace_base(tc: TacticContext, prop: TraceProperty,
+                     scheme: Scheme) -> BaseProof:
+    """The base case of the induction: justify every trigger occurrence
+    of the Init trace (one storable derivation fragment)."""
+    step = tc.step
     base_ctx = OccurrenceContext(
         step=step,
         scheme=scheme,
@@ -150,59 +162,61 @@ def prove_trace_property(
                 residual=list(failure.residual),
                 counterexample=candidate,
             ) from failure
-    base_proofs = tuple(base_proofs)
+    return BaseProof(tuple(base_proofs))
 
+
+def prove_trace_exchange(tc: TacticContext, prop: TraceProperty,
+                         scheme: Scheme,
+                         ex: Exchange) -> List[StepProof]:
+    """The inductive case for one exchange: a syntactic skip, or one
+    :class:`PathProof` per symbolic path (one storable fragment)."""
+    step = tc.step
+    body = ex.handler.body if ex.handler is not None else None
+    if tc.syntactic_skip and exchange_statically_silent(
+        [scheme.trigger], ex.ctype, ex.msg, body
+    ):
+        obs.incr("tactic.exchange.skipped")
+        return [SkippedExchange(
+            ex.key, "trigger cannot match anything this exchange emits"
+        )]
+    obs.incr("tactic.exchange.expanded")
     steps: List[StepProof] = []
-    for ex in step.exchanges:
-        body = ex.handler.body if ex.handler is not None else None
-        if tc.syntactic_skip and exchange_statically_silent(
-            [scheme.trigger], ex.ctype, ex.msg, body
-        ):
-            obs.incr("tactic.exchange.skipped")
-            steps.append(SkippedExchange(
-                ex.key, "trigger cannot match anything this exchange emits"
-            ))
-            continue
-        obs.incr("tactic.exchange.expanded")
-        for path_index, path in enumerate(ex.paths):
-            obs.incr("tactic.path")
-            ctx = OccurrenceContext(
-                step=step,
-                scheme=scheme,
-                actions=path.actions,
-                cond=path.cond,
-                lookup_facts=path.lookup_facts,
-                has_history=True,
-                sender=ex.sender,
-            )
-            proofs = []
-            for occ in occurrences(scheme.trigger, path.actions):
-                try:
-                    proofs.append(OccurrenceProof(
-                        occ, _justify(tc, ctx, occ)
-                    ))
-                except ProofSearchFailure as failure:
-                    from .counterexample import build_candidate
+    for path_index, path in enumerate(ex.paths):
+        obs.incr("tactic.path")
+        ctx = OccurrenceContext(
+            step=step,
+            scheme=scheme,
+            actions=path.actions,
+            cond=path.cond,
+            lookup_facts=path.lookup_facts,
+            has_history=True,
+            sender=ex.sender,
+        )
+        proofs = []
+        for occ in occurrences(scheme.trigger, path.actions):
+            try:
+                proofs.append(OccurrenceProof(
+                    occ, _justify(tc, ctx, occ)
+                ))
+            except ProofSearchFailure as failure:
+                from .counterexample import build_candidate
 
-                    candidate = failure.counterexample or build_candidate(
-                        exchange_name=f"{ex.ctype}=>{ex.msg}",
-                        cond=path.cond,
-                        match_constraints=occ.match.constraints,
-                        actions=path.actions,
-                        trigger_index=occ.index,
-                        reason=str(failure),
-                    )
-                    raise ProofSearchFailure(
-                        f"property {prop.name}: cannot justify {occ} in "
-                        f"{ex.ctype}=>{ex.msg} path {path_index}: {failure}",
-                        residual=[str(path)] + list(failure.residual),
-                        counterexample=candidate,
-                    ) from failure
-            steps.append(PathProof(ex.key, path_index, tuple(proofs)))
-    return TracePropertyProof(
-        property=prop, scheme=scheme, base=BaseProof(base_proofs),
-        steps=tuple(steps),
-    )
+                candidate = failure.counterexample or build_candidate(
+                    exchange_name=f"{ex.ctype}=>{ex.msg}",
+                    cond=path.cond,
+                    match_constraints=occ.match.constraints,
+                    actions=path.actions,
+                    trigger_index=occ.index,
+                    reason=str(failure),
+                )
+                raise ProofSearchFailure(
+                    f"property {prop.name}: cannot justify {occ} in "
+                    f"{ex.ctype}=>{ex.msg} path {path_index}: {failure}",
+                    residual=[str(path)] + list(failure.residual),
+                    counterexample=candidate,
+                ) from failure
+        steps.append(PathProof(ex.key, path_index, tuple(proofs)))
+    return steps
 
 
 def _justify(tc: TacticContext, ctx: OccurrenceContext,
@@ -228,7 +242,8 @@ def _entailed_required_match(ctx: OccurrenceContext, occ: Occurrence,
                        occ.match.binding_dict())
     if m is None:
         return False
-    return all(facts.implies(c) for c in m.constraints)
+    results = facts.implies_all(m.constraints, stop_on_failure=True)
+    return len(results) == len(m.constraints) and all(results)
 
 
 def _justify_imm(ctx: OccurrenceContext, occ: Occurrence, facts: Facts,

@@ -180,13 +180,19 @@ def arbitrary_pre_env(info: ProgramInfo, init: InitSummary,
 
 
 def generic_step(info: ProgramInfo,
-                 fresh: Optional[FreshNames] = None) -> GenericStep:
+                 fresh: Optional[FreshNames] = None,
+                 executor=None) -> GenericStep:
     """Build the inductive step for ``info``.
 
     Deterministic, and *locally* so: the Init summary, the pre-state
     environment, and each exchange draw from their own prefixed name
     supplies, so editing one handler leaves every other exchange's terms
     unchanged — the property the incremental verifier relies on.
+
+    ``executor`` selects the symbolic evaluator for handler bodies
+    (``sym_exec``-compatible); the default walks the AST, while
+    :func:`repro.symbolic.compile.compiled_executor` runs pre-compiled
+    step programs.  Both produce identical terms in identical order.
     """
     init = init_summary(info, fresh or FreshNames("init:"))
     pre_env = arbitrary_pre_env(info, init, FreshNames("pre:"))
@@ -195,6 +201,7 @@ def generic_step(info: ProgramInfo,
         exchanges.append(build_exchange(
             info, ctype, msg, pre_env, init.comps,
             FreshNames(f"{ctype}.{msg}:"),
+            executor=executor,
         ))
     return GenericStep(
         info=info,
@@ -206,7 +213,7 @@ def generic_step(info: ProgramInfo,
 
 def build_exchange(info: ProgramInfo, ctype: str, msg: str,
                    pre_env: Dict[str, Term], known: Tuple[SComp, ...],
-                   fresh: FreshNames) -> Exchange:
+                   fresh: FreshNames, executor=None) -> Exchange:
     """Symbolically evaluate one (component type, message type) exchange."""
     decl = info.comp_table[ctype]
     msg_decl = info.msg_table[msg]
@@ -239,7 +246,8 @@ def build_exchange(info: ProgramInfo, ctype: str, msg: str,
         TSelect(sender),
         TRecv(sender, msg, payload),
     )
-    paths = sym_exec(
+    run = executor if executor is not None else sym_exec
+    paths = run(
         info, body, pre_env, params, sender, known, fresh,
         base_actions=boundary,
     )

@@ -38,6 +38,9 @@ SIMPLIFY_CACHE_SIZE = _env_size("REPRO_SIMPLIFY_CACHE_SIZE", 65536)
 DNF_CACHE_SIZE = _env_size("REPRO_DNF_CACHE_SIZE", 16384)
 #: Maximum entries in the solver query cache.
 SOLVER_CACHE_SIZE = _env_size("REPRO_SOLVER_CACHE_SIZE", 32768)
+#: Maximum entries in the solver prefix cache (built ``Facts`` states
+#: keyed on their asserted-literal sequence; see ``facts_for``).
+PREFIX_CACHE_SIZE = _env_size("REPRO_PREFIX_CACHE_SIZE", 4096)
 
 #: The process-wide switch (``True`` = memoize).  Interning itself is
 #: independent of this flag — identity fast paths stay sound either way.
@@ -89,6 +92,9 @@ def sizes() -> Dict[str, int]:
     out = {"term.intern.size": intern_table_size()}
     out.update(simplify_sizes())
     out.update(solver_sizes())
+    from . import compile as _compile
+
+    out.update(_compile.cache_sizes())
     return out
 
 

@@ -100,6 +100,12 @@ def reset_interning() -> None:
     for singleton in (S_TRUE, S_FALSE):
         _TABLE[(SConst, (singleton.value,))] = singleton
     _cache.clear_all()
+    # Compiled plans pin whole term graphs (the memoized GenericStep and
+    # hot verdict payloads); letting them outlive the table would mix
+    # pre- and post-reset term generations, so they are dropped with it.
+    from . import compile as _compile
+
+    _compile.clear_plans()
 
 
 def _feed_hash(h, value) -> None:

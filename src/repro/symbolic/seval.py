@@ -41,7 +41,7 @@ from .expr import (
     lift_value,
 )
 from .simplify import dnf, simplify
-from .solver import Facts
+from .solver import Facts, facts_for
 from .templates import Template, TCall, TSend, TSpawn
 
 
@@ -95,11 +95,9 @@ class SymPath:
         return dict(self.env)
 
     def facts(self) -> Facts:
-        """A solver context pre-loaded with this path's condition."""
-        f = Facts()
-        for literal in self.cond:
-            f.assert_term(literal)
-        return f
+        """A solver context pre-loaded with this path's condition (served
+        through the prefix cache; always a private copy)."""
+        return facts_for(self.cond)
 
     def __str__(self) -> str:
         cond = " and ".join(str(c) for c in self.cond) or "true"
@@ -133,10 +131,7 @@ class _EvalState:
         )
 
     def feasible(self) -> bool:
-        f = Facts()
-        for literal in self.cond:
-            f.assert_term(literal)
-        return not f.inconsistent()
+        return not facts_for(self.cond).inconsistent()
 
 
 # ---------------------------------------------------------------------------

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from fractions import Fraction
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from ..lang import types as ty
@@ -56,15 +57,61 @@ from .simplify import (
 #: :mod:`repro.symbolic.cache` owns the size knob and the on/off switch.
 _QUERY_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
 
+#: The process-wide *prefix* cache: built :class:`Facts` states keyed on
+#: the exact literal sequence asserted into them.  A :class:`Facts` is a
+#: deterministic fold over its assertion log, so a cached state for a
+#: prefix can be copied and extended instead of re-folding the whole
+#: sequence — the compiled-pipeline hot path (path feasibility, NI case
+#: analysis, occurrence facts) asks for the same prefixes thousands of
+#: times.  Entries are never handed out directly: :func:`facts_for`
+#: returns copies, so cached states stay frozen.
+_PREFIX_CACHE: "OrderedDict[Tuple[Term, ...], Facts]" = OrderedDict()
+
+#: Switch for the prefix cache, independent of the query-cache switch so
+#: the ``--no-compile`` escape hatch can restore the pre-compiled-plan
+#: solver behavior exactly (see :mod:`repro.symbolic.compile`).
+_PREFIX_ENABLED = True
+
 
 def clear_caches() -> None:
-    """Empty the solver query cache."""
+    """Empty the solver query cache and the prefix cache."""
     _QUERY_CACHE.clear()
+    _PREFIX_CACHE.clear()
 
 
 def cache_sizes() -> Dict[str, int]:
-    """Current entry count of the solver query cache."""
-    return {"solver.cache.size": len(_QUERY_CACHE)}
+    """Current entry counts of the solver caches."""
+    return {
+        "solver.cache.size": len(_QUERY_CACHE),
+        "solver.prefix.size": len(_PREFIX_CACHE),
+    }
+
+
+def set_prefix_enabled(value: bool) -> None:
+    """Enable or disable the prefix cache (driven by
+    ``ProverOptions.compile_plans``; the batched entailment API still
+    works with it off, just without cross-call reuse)."""
+    global _PREFIX_ENABLED
+    _PREFIX_ENABLED = bool(value)
+
+
+def prefix_enabled() -> bool:
+    """Whether :func:`facts_for` may consult the prefix cache."""
+    return _PREFIX_ENABLED and _cache.enabled()
+
+
+@contextmanager
+def prefix_scope(value: bool):
+    """Temporarily force the prefix cache on or off (used by the engine
+    so ``--no-compile`` restores the exact pre-compiled solver
+    behavior)."""
+    global _PREFIX_ENABLED
+    saved = _PREFIX_ENABLED
+    _PREFIX_ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _PREFIX_ENABLED = saved
 
 
 def _query_cache_get(key: tuple) -> Optional[bool]:
@@ -416,9 +463,102 @@ class Facts:
                 return False
         return True
 
+    def implies_all(self, queries: Iterable[Term],
+                    stop_on_failure: bool = False) -> List[bool]:
+        """Entailment for a batch of queries against one built state.
+
+        Element-wise identical to calling :meth:`implies` per query (the
+        property tests assert exactly that).  With ``stop_on_failure``
+        the remaining queries after the first ``False`` are skipped and
+        the result list is truncated — the short-circuit the tactics use
+        when only the conjunction of the batch matters.
+        """
+        results: List[bool] = []
+        for query in queries:
+            result = self.implies(query)
+            results.append(result)
+            if stop_on_failure and not result:
+                break
+        return results
+
     def equal(self, a: Term, b: Term) -> bool:
         """Sound when ``True``: facts entail ``a == b``."""
         return self.implies(SOp("eq", (simplify(a), simplify(b))))
+
+
+# ---------------------------------------------------------------------------
+# Prefix-batched entailment
+# ---------------------------------------------------------------------------
+
+
+def _prefix_cache_put(key: Tuple[Term, ...], facts: Facts) -> None:
+    _PREFIX_CACHE[key] = facts
+    limit = _cache.PREFIX_CACHE_SIZE
+    while len(_PREFIX_CACHE) > limit:
+        _PREFIX_CACHE.popitem(last=False)
+
+
+def facts_for(literals: Sequence[Term]) -> Facts:
+    """A :class:`Facts` state with ``literals`` asserted in order.
+
+    Semantically identical to folding ``assert_term`` over the sequence
+    on a fresh state.  With the prefix cache enabled, the state is served
+    from (or seeded into) the process-wide cache: an exact hit returns a
+    copy of the cached state; otherwise the longest cached proper prefix
+    is copied and only the suffix literals are discharged incrementally.
+    The returned state is always a private copy — callers may assert
+    further facts into it freely.
+    """
+    key = tuple(literals)
+    if not prefix_enabled():
+        facts = Facts()
+        for literal in key:
+            facts.assert_term(literal)
+        return facts
+    cached = _PREFIX_CACHE.get(key)
+    if cached is not None:
+        obs.incr("solver.prefix.hit")
+        _PREFIX_CACHE.move_to_end(key)
+        return cached.copy()
+    obs.incr("solver.prefix.miss")
+    facts = None
+    suffix: Tuple[Term, ...] = key
+    for cut in range(len(key) - 1, 0, -1):
+        base = _PREFIX_CACHE.get(key[:cut])
+        if base is not None:
+            facts = base.copy()
+            suffix = key[cut:]
+            break
+    if facts is None:
+        facts = Facts()
+    for literal in suffix:
+        facts.assert_term(literal)
+    _prefix_cache_put(key, facts.copy())
+    return facts
+
+
+def extend_facts(prefix: Sequence[Term], extra: Sequence[Term]) -> Facts:
+    """``facts_for(prefix + extra)`` — the common "shared path condition
+    plus a few local constraints" shape, spelled so call sites keep the
+    prefix/suffix split visible."""
+    return facts_for(tuple(prefix) + tuple(extra))
+
+
+def entail_batch(prefix: Sequence[Term], queries: Sequence[Term],
+                 stop_on_failure: bool = False) -> List[bool]:
+    """Discharge a batch of entailment queries sharing an asserted prefix.
+
+    The ``Facts`` state for ``prefix`` is built (or served from the
+    prefix cache) once and every query is decided against it — results
+    are element-wise identical to building a fresh state per query.
+    """
+    obs.incr("solver.batch")
+    obs.incr("solver.batch.queries", len(queries))
+    registry = obs.metrics_active()
+    if registry is not None:
+        registry.observe("solver.batch.size", len(queries))
+    facts = facts_for(prefix)
+    return facts.implies_all(queries, stop_on_failure=stop_on_failure)
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ from repro.props import (
     specify,
 )
 from repro.prover import ProverOptions, Verifier, prove, verify
+from repro.symbolic import compile as symcompile
 
 
 def props():
@@ -74,6 +75,10 @@ class TestOptionConfigurations:
         assert verifier.generic_step() is not verifier.generic_step()
 
     def test_subproof_cache_populated(self, ssh_info):
+        # Drop the process-wide compiled plans: their hot result cache
+        # (warmed by earlier tests) would serve the derivation without
+        # searching, leaving the subproof cache legitimately empty.
+        symcompile.clear_plans()
         verifier = Verifier(specify(ssh_info, props()[0]))
         verifier.verify_all()
         assert verifier._invariant_cache  # the SSH invariant was cached

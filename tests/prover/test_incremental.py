@@ -10,7 +10,7 @@ import pytest
 from repro.frontend import parse_program
 from repro.prover import ProverOptions
 from repro.prover.incremental import IncrementalVerifier
-from repro.systems import browser, car
+from repro.systems import browser, car, ssh2
 
 
 class TestCaching:
@@ -100,6 +100,70 @@ class TestBreakingEdit:
         by_name = {e.result.property.name: e for e in report.entries}
         assert by_name["NoLockAfterCrash"].how == "searched"
         assert not by_name["NoLockAfterCrash"].proved
+
+
+class TestFragmentInvalidation:
+    """Dependency-tracked invalidation: editing one handler re-proves only
+    the fragments whose dependency-scoped keys changed; every other
+    fragment is served from the proof store (after checker revalidation).
+    """
+
+    EDIT = 'send(CT, CountReq(user, pass));'
+    EDITED = 'send(CT, CountReq(user, pass ++ ""));'
+
+    def edited_ssh2(self):
+        source = ssh2.SOURCE.replace(self.EDIT, self.EDITED)
+        assert source != ssh2.SOURCE
+        return parse_program(source)
+
+    def test_handler_edit_reproves_only_dependent_fragments(self, tmp_path):
+        from repro import obs
+        from repro.prover.engine import Verifier
+        from repro.symbolic import compile as symcompile
+
+        opts = ProverOptions(proof_store=str(tmp_path))
+        assert Verifier(ssh2.load(), opts).verify_all().all_proved
+
+        # Fresh process-level caches: the second round must go through the
+        # store, not the in-process compiled-plan hot results.
+        symcompile.clear_plans()
+        telemetry = obs.Telemetry()
+        with obs.use(telemetry):
+            report = Verifier(self.edited_ssh2(), opts).verify_all()
+        assert report.all_proved
+        counters = telemetry.counters
+        # One fragment per property covers the edited Connection=>ReqAuth
+        # handler; only those two are re-searched.  Every other fragment
+        # keeps its dependency key and revalidates from the store.
+        assert counters.get("trace.fragment.searched") == 2
+        assert counters.get("trace.fragment.hit", 0) >= 70
+        assert "trace.fragment.invalid" not in counters
+
+    def test_unedited_program_serves_whole_proofs_from_store(self, tmp_path):
+        from repro.prover.engine import Verifier
+        from repro.symbolic import compile as symcompile
+
+        opts = ProverOptions(proof_store=str(tmp_path))
+        Verifier(ssh2.load(), opts).verify_all()
+        symcompile.clear_plans()
+        again = Verifier(ssh2.load(), opts).verify_all()
+        assert all(r.source == "store" for r in again.results)
+
+    def test_revalidation_adopts_proofs_into_store(self, tmp_path):
+        """A revalidated derivation is re-filed under the *new* program's
+        keys, so a later cold run never repeats the replay."""
+        from repro.prover.engine import Verifier
+        from repro.symbolic import compile as symcompile
+
+        opts = ProverOptions(proof_store=str(tmp_path))
+        iv = IncrementalVerifier(opts)
+        iv.verify(ssh2.load())
+        report = iv.verify(self.edited_ssh2())
+        assert report.counts()["revalidated"] == 2
+
+        symcompile.clear_plans()
+        cold = Verifier(self.edited_ssh2(), opts).verify_all()
+        assert all(r.source == "store" for r in cold.results)
 
 
 class TestRendering:

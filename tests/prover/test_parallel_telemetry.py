@@ -10,8 +10,9 @@ double-counting hazards are pinned here:
 * a retried task must contribute exactly one (winning) sink.
 
 Counters prefixed ``parallel.`` (retry bookkeeping, meaningless
-serially) and ``term.intern.`` (per-process intern tables) are excluded
-from the comparison by design.
+serially), ``term.intern.`` (per-process intern tables) and
+``compile.`` (per-process compiled-plan memo tables) are excluded from
+the comparison by design.
 """
 
 import multiprocessing
@@ -38,7 +39,11 @@ def _require_fork():
 
 def _comparable(counters):
     """The counters that must agree between serial and parallel runs."""
-    excluded = ("parallel.", "term.intern.")
+    # compile.* is excluded for the same reason as term.intern.*: the
+    # compiled-plan memo tables (obligation keys, plan cache) are
+    # per-process, so their hit/miss tallies depend on how many
+    # processes participate and on what ran earlier in each.
+    excluded = ("parallel.", "term.intern.", "compile.")
     return {name: count for name, count in counters.items()
             if not name.startswith(excluded)}
 

@@ -115,6 +115,41 @@ class TestResetSafety:
         finally:
             reset_interning()
 
+    def test_pool_worker_reinterning_round_trip(self):
+        """The pool-worker contract end to end: terms pickled in the
+        parent (warm table, warm compiled plans) must unpickle in a
+        worker that reset its table into representatives with identical
+        structure, ``hash`` and ``term_hash`` — and the reset must not
+        leave a compiled plan pinning the parent generation's term
+        graph (the regression: stale plans mixed pre- and post-reset
+        representatives, so "equal" terms stopped being identical)."""
+        from repro.symbolic import compile as symcompile
+        from repro.systems import ssh2
+
+        spec = ssh2.load()
+        digest = pickle.dumps(spec.program).hex()[:16]
+        plan = symcompile.plan_for(digest)
+        plan.seed_step(object())  # pin something plan-side, as a parent does
+        shipped = [pickle.dumps(t) for t in _samples()]
+        expected = [(t, hash(t), t.term_hash) for t in _samples()]
+
+        reset_interning()  # what _init_worker does in the pool
+        try:
+            assert symcompile.cache_sizes()["compile.plans.size"] == 0
+            # A plan fetched after the reset is a fresh object: nothing
+            # from the old term generation survives behind the digest.
+            assert symcompile.plan_for(digest) is not plan
+            for blob, (term, h, sh) in zip(shipped, expected):
+                revived = pickle.loads(blob)
+                assert revived == term
+                assert hash(revived) == h
+                assert revived.term_hash == sh
+                # Unpickling re-interned it: building the same shape
+                # again yields the *same object*, not a lookalike.
+                assert pickle.loads(blob) is revived
+        finally:
+            reset_interning()
+
 
 _HASH_SCRIPT = """
 from repro.lang import types as ty
