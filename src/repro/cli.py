@@ -12,12 +12,17 @@ The pushbutton workflow of the paper as a tool::
     python -m repro bench --figure6            # regenerate Figure 6
     python -m repro chaos --kernel car         # fault-inject + monitor
     python -m repro chaos --events-out c.jsonl  # + flight-recorder log
+    python -m repro soak --kernel car --instances 1000 \\
+        --messages 1000000                     # production-scale soak
     python -m repro report run.json            # post-mortem text report
 
 Exit status: 0 on success (all requested properties proved / the file is
 well-formed), 1 on verification failure, 2 on syntax or validation errors
 — suitable for CI gating, which is exactly how the paper's authors used
-the automation (re-run on every modification, section 6.3/6.4).
+the automation (re-run on every modification, section 6.3/6.4).  The
+``soak`` command additionally distinguishes a resource-watchdog trip
+(exit 3) from a property violation (exit 1), so CI can tell a leak from
+a soundness failure.
 """
 
 from __future__ import annotations
@@ -165,6 +170,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _validate_ranges(*checks: tuple) -> Optional[str]:
+    """Range-check CLI integers/floats; each check is ``(flag, value,
+    low, high)`` with ``None`` bounds open.  Returns the first complaint
+    (for exit status 2) or ``None``."""
+    for flag, value, low, high in checks:
+        if low is not None and value < low:
+            return f"{flag} must be >= {low}, got {value}"
+        if high is not None and value > high:
+            return f"{flag} must be <= {high}, got {value}"
+    return None
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .harness import chaos
 
@@ -178,6 +195,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{', '.join(BENCHMARKS)} or 'all'",
             file=sys.stderr,
         )
+        return 2
+    complaint = _validate_ranges(
+        ("--schedules", args.schedules, 1, None),
+        ("--rounds", args.rounds, 1, None),
+        ("--faults", args.faults, 0, None),
+        ("--max-steps", args.max_steps, 1, None),
+    )
+    if complaint is not None:
+        print(f"error: {complaint}", file=sys.stderr)
         return 2
     telemetry = obs.Telemetry(
         metrics=bool(args.profile),
@@ -212,6 +238,77 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if telemetry is not None and args.profile:
             print(telemetry.render())
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .harness import soak
+    from .systems import BENCHMARKS
+
+    if args.kernel not in BENCHMARKS:
+        print(
+            f"error: unknown kernel {args.kernel!r}; choose one of "
+            f"{', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    complaint = _validate_ranges(
+        ("--instances", args.instances, 1, None),
+        ("--messages", args.messages, 1, None),
+        ("--sample-rate", args.sample_rate, 0.0, 1.0),
+        ("--escalation-window", args.escalation_window, 1, None),
+        ("--trace-capacity", args.trace_capacity, 1, None),
+        ("--quantum", args.quantum, 1, None),
+    )
+    if complaint is None and args.max_rss_mb is not None:
+        complaint = _validate_ranges(
+            ("--max-rss-mb", args.max_rss_mb, 1, None),
+        )
+    if complaint is not None:
+        print(f"error: {complaint}", file=sys.stderr)
+        return 2
+    telemetry = obs.Telemetry(
+        metrics=bool(args.profile),
+        events=bool(args.events_out),
+    ) if (args.profile or args.events_out) else None
+    if telemetry is not None and args.events_out:
+        # Bind before the run: the harness flushes and compacts once
+        # per round, so a crash mid-soak still leaves a log on disk.
+        telemetry.events.bind(args.events_out)
+    scope = obs.use(telemetry) if telemetry is not None \
+        else contextlib.nullcontext()
+    with scope:
+        report = soak.run_soak(
+            kernel=args.kernel,
+            instances=args.instances,
+            messages=args.messages,
+            seed=args.seed,
+            sample_rate=args.sample_rate,
+            escalation_window=args.escalation_window,
+            trace_capacity=args.trace_capacity,
+            quantum=args.quantum,
+            max_rss_mb=args.max_rss_mb,
+            snapshot_out=args.snapshot_out,
+        )
+    if telemetry is not None and args.events_out:
+        telemetry.events.flush()
+        print(f"flight recorder written to {args.events_out}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_out}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        payload = report.to_dict()
+        if telemetry is not None and args.profile:
+            payload["telemetry"] = telemetry.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(soak.render_soak(report))
+        if telemetry is not None and args.profile:
+            print(telemetry.render())
+    return soak.exit_code(report)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -370,6 +467,47 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the reports (and profile) as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="soak a fleet of multiplexed kernel instances under phased "
+             "fault storms with sampled monitoring",
+    )
+    soak.add_argument("--kernel", default="car",
+                      help="a builtin benchmark name")
+    soak.add_argument("--instances", type=int, default=100,
+                      help="kernel instances multiplexed in-process")
+    soak.add_argument("--messages", type=int, default=10_000,
+                      help="total exchanges to soak through")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="master seed; fixes the whole fleet and the "
+                           "report bit for bit")
+    soak.add_argument("--sample-rate", type=float, default=0.05,
+                      help="fraction of instances under full online "
+                           "monitoring (others escalate on suspicion)")
+    soak.add_argument("--escalation-window", type=int, default=256,
+                      help="boundaries an escalated instance stays fully "
+                           "checked after its last suspicion signal")
+    soak.add_argument("--trace-capacity", type=int, default=256,
+                      help="ghost-trace ring capacity per instance")
+    soak.add_argument("--quantum", type=int, default=8,
+                      help="fair-share exchange quantum per turn")
+    soak.add_argument("--max-rss-mb", type=int, default=None,
+                      help="watchdog ceiling on peak process RSS (MiB)")
+    soak.add_argument("--events-out", metavar="FILE",
+                      help="write the flight-recorder event log as JSON "
+                           "Lines, flushed and compacted once per round")
+    soak.add_argument("--report-out", metavar="FILE",
+                      help="write the canonical JSON report (bit-for-bit "
+                           "reproducible for a fixed seed)")
+    soak.add_argument("--snapshot-out", metavar="FILE",
+                      help="write a forensic JSON snapshot on the first "
+                           "violation or watchdog trip")
+    soak.add_argument("--profile", action="store_true",
+                      help="collect and report fleet counters")
+    soak.add_argument("--json", action="store_true",
+                      help="emit the report (and profile) as JSON")
+    soak.set_defaults(func=_cmd_soak)
 
     report = sub.add_parser(
         "report",

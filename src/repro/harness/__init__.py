@@ -12,6 +12,8 @@ Module                  Regenerates
 ``harness.ni_testing``  section 4.2's relational NI definition, dynamically
 ``harness.mutation``    section 6.3 extension: mutation-testing the kernels
 ``harness.chaos``       robustness: verified properties under fault injection
+``harness.soak``        production-scale soak: multiplexed fleet, sampled
+                        monitoring, resource watchdogs
 =====================  =====================================================
 
 Each module is runnable (``python -m repro.harness.figure6``) and is also
@@ -25,6 +27,7 @@ from . import (
     figure6,
     mutation,
     ni_testing,
+    soak,
     soundness,
     table1,
     utility,
@@ -37,6 +40,7 @@ __all__ = [
     "figure6",
     "mutation",
     "ni_testing",
+    "soak",
     "soundness",
     "table1",
     "utility",

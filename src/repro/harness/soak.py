@@ -1,0 +1,598 @@
+"""The soak harness: a production-scale fleet under sustained chaos.
+
+The chaos harness answers "do the verified properties survive one
+faulted episode"; this harness answers the operational question behind a
+real deployment: *does a fleet of thousands of verified kernel
+instances, soaked for millions of messages under continuous fault
+storms, restart storms and lifecycle churn, stay violation-free with
+bounded resources?*  It drives a
+:class:`~repro.runtime.scheduler.SoakScheduler` through a phased fault
+schedule:
+
+``warmup``
+    clean traffic only — the fleet reaches steady state;
+``fault-storm``
+    every fault kind fires continuously at a configured rate;
+``restart-storm``
+    crash faults plus scheduler-level instance churn (kill + respawn);
+``quarantine-churn``
+    instances are quarantined and later released while faults continue;
+``drain``
+    faults stop, quarantined instances are released, traffic drains.
+
+A :class:`ResourceWatchdog` asserts the soak's memory story after every
+round: trace rings, dead-letter rings and the flight-recorder's
+in-memory residency must all stay within their configured bounds, and
+(optionally) the process's peak RSS under a ceiling.  On the first
+property violation or watchdog trip the harness writes a forensic
+snapshot — fleet state, per-instance state, violations — for the
+post-mortem.
+
+Reports are bit-for-bit reproducible for a fixed seed: the
+:meth:`SoakReport.to_dict` payload contains only deterministic counters
+(no wall times, no RSS values — those travel via the flight recorder).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..props.spec import TraceProperty
+from ..runtime.faults import FAULT_KINDS
+from ..runtime.monitor import SamplingPolicy
+from ..runtime.scheduler import (
+    DEFAULT_QUANTUM,
+    DEFAULT_TRACE_CAPACITY,
+    SoakScheduler,
+)
+from ..seeds import derive_rng
+
+#: Rounds a quarantined instance sits out before the churn releases it.
+QUARANTINE_ROUNDS = 3
+
+#: Consecutive all-idle rounds after which the soak declares a stall.
+STALL_ROUNDS = 5
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SoakPhase:
+    """One phase of the soak's fault schedule.
+
+    ``weight`` is the fraction of the total message budget spent in the
+    phase; ``fault_rate`` / ``churn_rate`` / ``quarantine_rate`` are
+    per-instance per-round probabilities; ``fault_kinds`` restricts what
+    the phase injects; ``release_all`` frees every quarantined instance
+    on phase entry (the drain).
+    """
+
+    name: str
+    weight: float
+    fault_rate: float = 0.0
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    churn_rate: float = 0.0
+    quarantine_rate: float = 0.0
+    release_all: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(
+                f"phase weight must be in (0, 1], got {self.weight}"
+            )
+        for rate_name in ("fault_rate", "churn_rate", "quarantine_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{rate_name} must be in [0, 1], got {rate}"
+                )
+        for kind in self.fault_kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+
+
+#: The default phased schedule (weights sum to 1).
+DEFAULT_PHASES: Tuple[SoakPhase, ...] = (
+    SoakPhase("warmup", weight=0.15),
+    SoakPhase("fault-storm", weight=0.35, fault_rate=0.05),
+    SoakPhase("restart-storm", weight=0.25, fault_rate=0.02,
+              fault_kinds=("crash",), churn_rate=0.02),
+    SoakPhase("quarantine-churn", weight=0.15, fault_rate=0.01,
+              quarantine_rate=0.02),
+    SoakPhase("drain", weight=0.10, release_all=True),
+)
+
+
+# ---------------------------------------------------------------------------
+# Resource watchdog
+# ---------------------------------------------------------------------------
+
+
+class ResourceWatchdog:
+    """Asserts the soak's bounded-resource story after every round.
+
+    Checks, in order: ghost-trace residency (each ring retains at most
+    ``2 * capacity`` actions, so the fleet-wide bound is
+    ``instances * 2 * capacity``), dead-letter residency (two rings per
+    instance, each strictly capped), flight-recorder in-memory residency
+    (events must be flushed and compacted, not hoarded), and — when a
+    ceiling is configured — the process's peak RSS.  The first breached
+    bound trips the watchdog; :attr:`tripped` latches the reason.
+    """
+
+    #: in-memory event-log residency bound (post-compaction slack)
+    MAX_EVENT_RESIDENCY = 100_000
+
+    def __init__(self, scheduler: SoakScheduler,
+                 max_rss_mb: Optional[int] = None) -> None:
+        self.scheduler = scheduler
+        self.max_rss_mb = max_rss_mb
+        self.tripped: Optional[str] = None
+
+    def max_retained_actions(self) -> int:
+        """Fleet-wide ghost-trace retention bound."""
+        return (len(self.scheduler.instances)
+                * 2 * self.scheduler.trace_capacity)
+
+    def max_dead_letters(self) -> int:
+        """Fleet-wide dead-letter retention bound."""
+        bound = 0
+        for inst in self.scheduler.instances.values():
+            bound += (inst.supervisor.dead_letters.capacity
+                      + inst.world.dead_letters.capacity)
+        return bound
+
+    def rss_mb(self) -> Optional[float]:
+        """Peak RSS of this process in MiB (``None`` when the platform
+        offers no ``resource`` module)."""
+        try:
+            import resource
+        except ImportError:  # pragma: no cover - non-POSIX
+            return None
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        import sys
+
+        if sys.platform == "darwin":  # pragma: no cover - mac only
+            return peak / (1024 * 1024)
+        return peak / 1024
+
+    def check(self) -> Optional[str]:
+        """Run every bound; latches and returns the trip reason (or
+        ``None``).  Once tripped, the watchdog stays tripped."""
+        if self.tripped is not None:
+            return self.tripped
+        reason = self._breach()
+        if reason is not None:
+            self.tripped = reason
+            obs.incr("soak.watchdog.trip")
+            obs.event("soak.watchdog.trip", reason=reason)
+        return self.tripped
+
+    def _breach(self) -> Optional[str]:
+        retained = self.scheduler.retained_actions()
+        bound = self.max_retained_actions()
+        if retained > bound:
+            return (f"trace residency {retained} exceeds bound {bound} "
+                    f"(ring eviction is broken)")
+        letters = self.scheduler.dead_letter_accounting()["retained"]
+        bound = self.max_dead_letters()
+        if letters > bound:
+            return (f"dead-letter residency {letters} exceeds bound "
+                    f"{bound} (ring eviction is broken)")
+        sink = obs.active()
+        if sink is not None and sink.events is not None:
+            resident = len(sink.events.events)
+            if resident > self.MAX_EVENT_RESIDENCY:
+                return (f"flight-recorder residency {resident} exceeds "
+                        f"{self.MAX_EVENT_RESIDENCY} (flush/compact "
+                        f"is not keeping up)")
+        if self.max_rss_mb is not None:
+            rss = self.rss_mb()
+            if rss is not None and rss > self.max_rss_mb:
+                return (f"peak RSS {rss:.0f} MiB exceeds ceiling "
+                        f"{self.max_rss_mb} MiB")
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhaseStats:
+    """Deterministic counters for one completed soak phase."""
+
+    name: str
+    rounds: int = 0
+    exchanges: int = 0
+    stimuli: int = 0
+    faults: int = 0
+    churned: int = 0
+    quarantined: int = 0
+    released: int = 0
+    respawned: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "exchanges": self.exchanges,
+            "stimuli": self.stimuli,
+            "faults": self.faults,
+            "churned": self.churned,
+            "quarantined": self.quarantined,
+            "released": self.released,
+            "respawned": self.respawned,
+        }
+
+
+@dataclass
+class SoakReport:
+    """The outcome of one soak run — deterministic for a fixed seed."""
+
+    kernel: str
+    seed: int
+    instances: int
+    messages_requested: int
+    monitored: int = 0
+    unproved: int = 0
+    ni_excluded: int = 0
+    sampled_instances: int = 0
+    phases: List[PhaseStats] = field(default_factory=list)
+    fleet: Dict[str, object] = field(default_factory=dict)
+    violations: Tuple[str, ...] = ()
+    watchdog_tripped: Optional[str] = None
+    stalled: bool = False
+
+    @property
+    def exchanges(self) -> int:
+        """Messages (exchanges) actually processed across all phases."""
+        return sum(p.exchanges for p in self.phases)
+
+    @property
+    def ok(self) -> bool:
+        """Zero violations, watchdog never tripped, budget completed."""
+        return (not self.violations and self.watchdog_tripped is None
+                and not self.stalled)
+
+    def to_dict(self) -> dict:
+        """The canonical, bit-for-bit reproducible report payload (no
+        wall times, no RSS values)."""
+        return {
+            "kernel": self.kernel,
+            "seed": self.seed,
+            "instances": self.instances,
+            "messages_requested": self.messages_requested,
+            "messages_processed": self.exchanges,
+            "monitored_properties": self.monitored,
+            "unproved_properties": self.unproved,
+            "ni_excluded": self.ni_excluded,
+            "sampled_instances": self.sampled_instances,
+            "phases": [p.to_dict() for p in self.phases],
+            "fleet": self.fleet,
+            "violations": list(self.violations),
+            "watchdog_tripped": self.watchdog_tripped,
+            "stalled": self.stalled,
+            "ok": self.ok,
+        }
+
+
+def exit_code(report: SoakReport) -> int:
+    """The CLI contract: 0 clean, 1 property violation (or stall),
+    3 watchdog trip.  Violations outrank the watchdog — a soundness
+    failure is always the headline."""
+    if report.violations or report.stalled:
+        return 1
+    if report.watchdog_tripped is not None:
+        return 3
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Driving
+# ---------------------------------------------------------------------------
+
+
+def _verify_properties(spec) -> Tuple[List[TraceProperty], int, int]:
+    """Prove the spec's properties; returns (proved trace properties,
+    unproved count, NI-excluded count)."""
+    from ..prover import Verifier
+
+    proved: List[TraceProperty] = []
+    unproved = ni_excluded = 0
+    for result in Verifier(spec).verify_all().results:
+        if not isinstance(result.property, TraceProperty):
+            ni_excluded += 1
+        elif result.proved:
+            proved.append(result.property)
+        else:
+            unproved += 1
+    return proved, unproved, ni_excluded
+
+
+def _write_snapshot(path: str, reason: str, phase: str, round_no: int,
+                    scheduler: SoakScheduler) -> None:
+    """Dump the forensic snapshot: fleet summary, every instance that
+    found a violation (plus a bounded sample of the rest), and the
+    violations themselves."""
+    violations = scheduler.violations()
+    flagged = sorted({ident for ident, _, _ in violations})
+    sample = [i for i in sorted(scheduler.instances) if i not in flagged]
+    snapshot = {
+        "reason": reason,
+        "phase": phase,
+        "round": round_no,
+        "fleet": scheduler.to_dict(),
+        "violations": [
+            {"instance": ident, "incarnation": incarnation,
+             "violation": str(violation),
+             "property": violation.property_name,
+             "primitive": violation.primitive,
+             "position": violation.position}
+            for ident, incarnation, violation in violations
+        ],
+        "flagged_instances": [
+            scheduler.instances[i].to_dict() for i in flagged
+        ],
+        "sampled_instances": [
+            scheduler.instances[i].to_dict() for i in sample[:16]
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+    obs.event("soak.snapshot", path=path, reason=reason)
+
+
+def _phase_budgets(messages: int,
+                   phases: Sequence[SoakPhase]) -> List[int]:
+    """Split the message budget across phases by weight (the last phase
+    absorbs rounding so the budgets sum exactly)."""
+    budgets = [int(messages * phase.weight) for phase in phases[:-1]]
+    budgets.append(messages - sum(budgets))
+    return budgets
+
+
+def run_soak(kernel: str = "car", instances: int = 100,
+             messages: int = 10_000, seed: int = 0,
+             sample_rate: float = 0.05, escalation_window: int = 256,
+             trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+             quantum: int = DEFAULT_QUANTUM,
+             max_rss_mb: Optional[int] = None,
+             phases: Sequence[SoakPhase] = DEFAULT_PHASES,
+             snapshot_out: Optional[str] = None,
+             specs: Optional[Tuple[object, Callable[[object], None],
+                                   Sequence[TraceProperty]]] = None,
+             ) -> SoakReport:
+    """Soak ``instances`` multiplexed kernel instances through
+    ``messages`` exchanges under the phased fault schedule.
+
+    Properties are proved first and only prover-verified trace
+    properties are monitored (the production configuration).  ``specs``
+    is the test hook: a ``(spec, register, properties)`` triple bypasses
+    loading and verification so differential tests can monitor
+    deliberately unproved properties on buggy kernels.
+
+    Deterministic for fixed arguments: every stream — per-instance
+    worlds, stimulus traffic, monitor sampling, per-phase churn — is an
+    independent derived stream of ``seed``.
+    """
+    total_weight = sum(phase.weight for phase in phases)
+    if abs(total_weight - 1.0) > 1e-9:
+        raise ValueError(
+            f"phase weights must sum to 1, got {total_weight}"
+        )
+    if specs is not None:
+        spec, register, properties = specs
+        proved = list(properties)
+        unproved = ni_excluded = 0
+    else:
+        from ..systems import BENCHMARKS
+
+        module = BENCHMARKS[kernel]
+        spec = module.load()
+        register = module.register_components
+        proved, unproved, ni_excluded = _verify_properties(spec)
+    policy = SamplingPolicy(rate=sample_rate,
+                            escalation_window=escalation_window,
+                            seed=seed)
+    scheduler = SoakScheduler(
+        spec, register, proved, seed=seed, policy=policy,
+        trace_capacity=trace_capacity, quantum=quantum,
+    )
+    report = SoakReport(kernel=spec.name, seed=seed, instances=instances,
+                        messages_requested=messages, monitored=len(proved),
+                        unproved=unproved, ni_excluded=ni_excluded)
+    watchdog = ResourceWatchdog(scheduler, max_rss_mb=max_rss_mb)
+    snapshot_written = False
+
+    def forensics(reason: str, phase_name: str, round_no: int) -> None:
+        nonlocal snapshot_written
+        if snapshot_written:
+            return
+        snapshot_written = True
+        obs.flush_events()
+        if snapshot_out is not None:
+            _write_snapshot(snapshot_out, reason, phase_name, round_no,
+                            scheduler)
+
+    with obs.span("soak.run", kernel=spec.name):
+        scheduler.spawn_fleet(instances)
+        report.sampled_instances = sum(
+            1 for ident in scheduler.instances if policy.samples(ident)
+        )
+        budgets = _phase_budgets(messages, phases)
+        round_no = 0
+        known_violations = 0
+        for phase, budget in zip(phases, budgets):
+            stats = PhaseStats(name=phase.name)
+            report.phases.append(stats)
+            rng = derive_rng(seed, "soak-phase", phase.name)
+            quarantined_at: Dict[int, int] = {}
+            if phase.release_all:
+                for ident in sorted(scheduler.instances):
+                    if scheduler.instances[ident].status == "quarantined":
+                        scheduler.release(ident)
+                        stats.released += 1
+            obs.event("soak.phase.start", phase=phase.name, budget=budget)
+            idle_rounds = 0
+            while stats.exchanges < budget:
+                round_no += 1
+                stats.rounds += 1
+                # -- lifecycle churn ------------------------------------
+                for ident in scheduler.runnable():
+                    if (phase.churn_rate
+                            and rng.random() < phase.churn_rate):
+                        scheduler.kill(ident)
+                        scheduler.restart(ident)
+                        stats.churned += 1
+                    elif (phase.quarantine_rate
+                            and rng.random() < phase.quarantine_rate):
+                        scheduler.quarantine(ident)
+                        quarantined_at[ident] = round_no
+                for ident, since in sorted(quarantined_at.items()):
+                    if round_no - since >= QUARANTINE_ROUNDS:
+                        scheduler.release(ident)
+                        del quarantined_at[ident]
+                        stats.released += 1
+                # -- fault storm ----------------------------------------
+                if phase.fault_rate:
+                    for ident in scheduler.runnable():
+                        if rng.random() < phase.fault_rate:
+                            kind = phase.fault_kinds[
+                                rng.randrange(len(phase.fault_kinds))
+                            ]
+                            record = scheduler.inject_fault(
+                                ident, kind,
+                                target=rng.randrange(1 << 16),
+                            )
+                            if record is not None:
+                                stats.faults += 1
+                # -- stimulate + pump -----------------------------------
+                for ident in scheduler.runnable():
+                    if scheduler.stimulate(ident):
+                        stats.stimuli += 1
+                    else:
+                        # Every component is dead and quarantined: a
+                        # production fleet replaces the instance.
+                        scheduler.restart(ident)
+                        stats.respawned += 1
+                        if scheduler.stimulate(ident):
+                            stats.stimuli += 1
+                done = scheduler.pump(budget - stats.exchanges)
+                stats.exchanges += done
+                idle_rounds = idle_rounds + 1 if done == 0 else 0
+                # -- bookkeeping, bounds, forensics ---------------------
+                obs.flush_events()
+                sink = obs.active()
+                if sink is not None and sink.events is not None:
+                    sink.events.compact()
+                tripped = watchdog.check()
+                if (tripped is not None
+                        and report.watchdog_tripped is None):
+                    report.watchdog_tripped = tripped
+                    forensics(f"watchdog: {tripped}", phase.name,
+                              round_no)
+                fleet_violations = scheduler.violations()
+                if (len(fleet_violations) > known_violations
+                        and known_violations == 0):
+                    forensics("violation", phase.name, round_no)
+                known_violations = len(fleet_violations)
+                if idle_rounds >= STALL_ROUNDS:
+                    report.stalled = True
+                    forensics("stall", phase.name, round_no)
+                    break
+            stats.quarantined = len(quarantined_at)
+            obs.event("soak.phase.end", phase=phase.name,
+                      rounds=stats.rounds, exchanges=stats.exchanges,
+                      faults=stats.faults)
+            if report.stalled:
+                break
+        report.fleet = scheduler.to_dict()
+        report.violations = tuple(
+            f"instance {ident} (incarnation {incarnation}): {violation}"
+            for ident, incarnation, violation in scheduler.violations()
+        )
+        obs.incr("soak.exchanges", report.exchanges)
+        obs.incr("soak.violations", len(report.violations))
+        obs.flush_events()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_soak(report: SoakReport) -> str:
+    """The human-readable soak report (deterministic: no wall times)."""
+    lines: List[str] = []
+    lines.append(
+        f"soak: {report.kernel}  instances={report.instances}  "
+        f"seed={report.seed}  messages={report.exchanges}"
+        f"/{report.messages_requested}"
+    )
+    lines.append(
+        f"monitoring: {report.monitored} verified trace properties, "
+        f"{report.sampled_instances} instances base-sampled, "
+        f"{report.fleet.get('escalations', 0)} escalations"
+    )
+    header = (
+        f"{'phase':<18} {'rounds':>6} {'exch':>8} {'stim':>8} "
+        f"{'fault':>6} {'churn':>6} {'resp':>5} {'rel':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stats in report.phases:
+        lines.append(
+            f"{stats.name:<18} {stats.rounds:>6} {stats.exchanges:>8} "
+            f"{stats.stimuli:>8} {stats.faults:>6} {stats.churned:>6} "
+            f"{stats.respawned:>5} {stats.released:>4}"
+        )
+    fleet = report.fleet
+    if fleet:
+        dead = fleet.get("dead_letters", {})
+        lines.append(
+            f"fleet: crashes-contained via {fleet.get('restarts', 0)} "
+            f"respawns, {fleet.get('retained_actions', 0)} trace actions "
+            f"retained ({fleet.get('dropped_actions', 0)} ring-evicted), "
+            f"dead letters total={dead.get('total', 0)} "
+            f"retained={dead.get('retained', 0)} "
+            f"dropped={dead.get('dropped', 0)}"
+        )
+    if report.watchdog_tripped is not None:
+        lines.append(f"WATCHDOG TRIPPED: {report.watchdog_tripped}")
+    else:
+        lines.append("watchdog: all resource bounds held")
+    if report.stalled:
+        lines.append("STALLED: the fleet went idle before the budget "
+                     "was spent")
+    if report.violations:
+        lines.append(f"VIOLATIONS: {len(report.violations)}")
+        for violation in report.violations:
+            lines.append(f"  {violation}")
+    else:
+        lines.append(
+            f"violations of verified properties: none across "
+            f"{report.exchanges} messages"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.harness.soak``"""
+    report = run_soak()
+    print(render_soak(report))
+    return exit_code(report)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

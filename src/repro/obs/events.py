@@ -70,6 +70,15 @@ class EventLog:
         self.events: List[Event] = []
         self._path: Optional[str] = None
         self._flushed = 0
+        #: next sequence number — independent of ``len(events)`` so
+        #: :meth:`compact` cannot re-issue a sequence number
+        self._seq = 0
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events compacted out of memory (they remain on disk)."""
+        return self._dropped
 
     def emit(self, kind: str, /, **fields: object) -> Event:
         """Append one event, stamped with the current time offset.
@@ -78,7 +87,7 @@ class EventLog:
         ``kind`` (obligation events use it for the obligation kind).
         """
         event = Event(
-            seq=len(self.events),
+            seq=self._seq,
             t=time.perf_counter() - self._epoch_perf,
             kind=kind,
             worker=self.worker,
@@ -86,6 +95,7 @@ class EventLog:
                 (key, _jsonable(value)) for key, value in fields.items()
             )),
         )
+        self._seq += 1
         self.events.append(event)
         return event
 
@@ -98,12 +108,13 @@ class EventLog:
         offset = epoch_wall - self.epoch_wall
         for event in events:
             self.events.append(Event(
-                seq=len(self.events),
+                seq=self._seq,
                 t=event.t + offset,
                 kind=event.kind,
                 worker=event.worker,
                 fields=event.fields,
             ))
+            self._seq += 1
 
     def export(self) -> dict:
         """Pickle-friendly snapshot a worker ships to the parent."""
@@ -135,6 +146,21 @@ class EventLog:
                                         sort_keys=True) + "\n")
         self._flushed = len(self.events)
         return len(pending)
+
+    def compact(self) -> int:
+        """Drop already-flushed events from memory; returns how many.
+
+        A soak emitting millions of events cannot hold them all: after
+        each :meth:`flush` the written prefix is safe on disk, so
+        compaction frees it while :attr:`dropped` keeps the accounting
+        exact.  Unflushed (or unbound) events are never dropped."""
+        if self._flushed == 0:
+            return 0
+        dropped = self._flushed
+        del self.events[:dropped]
+        self._dropped += dropped
+        self._flushed = 0
+        return dropped
 
     def write_jsonl(self, path: str) -> None:
         """Write the whole log to ``path`` as JSON Lines."""

@@ -25,10 +25,23 @@ from .components import (
     RecordingBehavior,
     ScriptedBehavior,
 )
-from .faults import FaultPlan, FaultRecord, FaultSpec, FaultyWorld
+from .faults import (
+    DeadLetterRing,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+    FaultyWorld,
+)
 from .interpreter import Interpreter, KernelState, run_program
-from .monitor import MonitoredInterpreter, MonitorViolation, TraceMonitor
+from .monitor import (
+    MonitoredInterpreter,
+    MonitorViolation,
+    SampledMonitor,
+    SamplingPolicy,
+    TraceMonitor,
+)
 from .render import render_sequence
+from .scheduler import KernelInstance, SoakScheduler
 from .supervisor import RestartPolicy, SupervisedInterpreter, Supervisor
 from .trace import Trace
 from .world import World, make_call_table
@@ -43,6 +56,7 @@ __all__ = [
     "ASpawn",
     "Action",
     "kind",
+    "DeadLetterRing",
     "FaultPlan",
     "FaultRecord",
     "FaultSpec",
@@ -61,8 +75,12 @@ __all__ = [
     "run_program",
     "MonitoredInterpreter",
     "MonitorViolation",
+    "SampledMonitor",
+    "SamplingPolicy",
     "TraceMonitor",
     "render_sequence",
+    "KernelInstance",
+    "SoakScheduler",
     "Trace",
     "World",
     "make_call_table",

@@ -43,11 +43,13 @@ injection composes with the paired-execution NI harness.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..lang.values import ComponentInstance, VNum, VStr, Value
+from ..seeds import derive_rng
 from .world import World
 
 #: The injectable fault kinds, in report order.
@@ -58,6 +60,84 @@ CRASH_EXIT_STATUS = 137
 
 #: An undeclared message name no kernel can parse.
 GARBAGE_MESSAGE = "__garbled__"
+
+#: Default dead-letter retention: enough for any post-mortem, bounded so
+#: a sustained crash/garble schedule cannot masquerade as a memory leak.
+DEAD_LETTER_CAPACITY = 4096
+
+#: A dead letter: the addressee and the message that could not reach it.
+DeadLetter = Tuple[ComponentInstance, str, Tuple[Value, ...]]
+
+
+class DeadLetterRing:
+    """A bounded dead-letter queue with exact drop accounting.
+
+    Supervisors and fault-injecting worlds park undeliverable messages
+    here.  Under a sustained crash/garble schedule the queue would grow
+    without limit — which a long soak cannot distinguish from a real
+    leak — so the ring keeps only the newest ``capacity`` letters,
+    counts every eviction in :attr:`dropped` (surfaced through the
+    ``counter`` obs metric), and tracks the monotone :attr:`total` so
+    reports stay exact even after eviction.
+    """
+
+    __slots__ = ("_items", "_capacity", "_counter", "dropped", "total")
+
+    def __init__(self, capacity: int = DEAD_LETTER_CAPACITY,
+                 counter: str = "dead_letter.dropped") -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"dead-letter capacity must be >= 1, got {capacity}"
+            )
+        self._items: deque = deque()
+        self._capacity = capacity
+        self._counter = counter
+        #: letters evicted to honor the bound
+        self.dropped = 0
+        #: letters ever appended (retained + dropped)
+        self.total = 0
+
+    @property
+    def capacity(self) -> int:
+        """The configured retention bound."""
+        return self._capacity
+
+    def append(self, letter: DeadLetter) -> None:
+        """Park one undeliverable message, evicting the oldest letter
+        (and counting the eviction) when the ring is full."""
+        self.total += 1
+        if len(self._items) >= self._capacity:
+            self._items.popleft()
+            self.dropped += 1
+            obs.incr(self._counter)
+        self._items.append(letter)
+
+    def to_dict(self) -> dict:
+        """Deterministic accounting summary for reports."""
+        return {
+            "retained": len(self),
+            "dropped": self.dropped,
+            "total": self.total,
+            "capacity": self._capacity,
+        }
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        """Retained letters, oldest first."""
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeadLetterRing):
+            return list(self) == list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"DeadLetterRing(<{len(self)} letters, "
+                f"{self.dropped} dropped>)")
 
 
 @dataclass(frozen=True)
@@ -115,16 +195,23 @@ class FaultPlan:
     def generate(cls, seed: int, horizon: int = 32, count: int = 6,
                  kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
         """A pseudo-random plan of ``count`` events over ``horizon``
-        interpreter steps — same seed, same plan, always."""
-        rng = random.Random(seed)
-        events = [
-            FaultSpec(
-                step=rng.randrange(max(1, horizon)),
-                kind=rng.choice(tuple(kinds)),
-                target=rng.randrange(1 << 16),
-            )
-            for _ in range(count)
-        ]
+        interpreter steps — same seed, same plan, always.
+
+        Each event draws from its own derived RNG stream, and the kind is
+        picked *after* step and target: enlarging or reordering the kind
+        vocabulary can change which kind an event injects, but never
+        perturbs any event's step or target — so fault-model growth cannot
+        silently re-randomize existing schedules (pinned by the RNG
+        hygiene regression tests).
+        """
+        kinds = tuple(kinds)
+        events = []
+        for index in range(count):
+            rng = derive_rng(seed, "fault-event", index)
+            step = rng.randrange(max(1, horizon))
+            target = rng.randrange(1 << 16)
+            kind = kinds[rng.randrange(len(kinds))]
+            events.append(FaultSpec(step=step, kind=kind, target=target))
         return cls(events, seed=seed)
 
     def __len__(self) -> int:
@@ -189,7 +276,8 @@ class FaultyWorld:
     """
 
     def __init__(self, world: World,
-                 plan: Optional[FaultPlan] = None) -> None:
+                 plan: Optional[FaultPlan] = None,
+                 dead_letter_capacity: int = DEAD_LETTER_CAPACITY) -> None:
         self._world = world
         self.plan = plan if plan is not None else FaultPlan.empty()
         self._rng = random.Random(self.plan.seed ^ 0x5EED_FA17)
@@ -200,10 +288,12 @@ class FaultyWorld:
         self._dup: Dict[int, int] = {}
         self._garble: Dict[int, int] = {}
         self.stats = FaultStats()
-        #: kernel→dead-component messages, kept for the coverage report
-        self.dead_letters: List[
-            Tuple[ComponentInstance, str, Tuple[Value, ...]]
-        ] = []
+        #: kernel→dead-component messages, kept (bounded) for the
+        #: coverage report
+        self.dead_letters = DeadLetterRing(
+            capacity=dead_letter_capacity,
+            counter="fault.dead_letter.dropped",
+        )
 
     # -- delegation ----------------------------------------------------------
 
@@ -253,6 +343,17 @@ class FaultyWorld:
         elif spec.kind == "garble":
             self._garble[comp.ident] = self._garble.get(comp.ident, 0) + 1
         return FaultRecord(spec.step, spec.kind, comp)
+
+    def fire_now(self, kind: str, target: int = 0) -> Optional[FaultRecord]:
+        """Inject one fault immediately, outside any plan — the hook a
+        driving scheduler uses for phased fault storms.  ``target`` is the
+        same abstract slot a plan event carries (resolved mod the live
+        component count); returns the record, or ``None`` when no live
+        component could be targeted.  The caller is responsible for
+        surfacing a ``crash`` record to its supervisor, exactly as it is
+        for records returned by :meth:`begin_step`."""
+        return self._fire(FaultSpec(step=self._clock, kind=kind,
+                                    target=target))
 
     # -- intercepted primitives ----------------------------------------------
 

@@ -19,15 +19,36 @@ obligation discharged only in a *later* exchange satisfies the final
 trace but violates the intermediate state — the monitor flags it, the
 final-trace oracle does not, and the prover (correctly) refuses to prove
 such a property.  ``tests/runtime/test_monitor.py`` pins this down.
+
+At soak scale (thousands of instances, millions of messages) full online
+checking of every instance does not survive the throughput, so this
+module also provides *sampled* monitoring: a seeded
+:class:`SamplingPolicy` picks a base subset of instances for full
+checking, and a per-instance :class:`SampledMonitor` escalates any other
+instance to full checking for a window whenever something suspicious
+happens (a fault, crash, restart, dead letter), replaying the instance's
+retained trace ring so the escalated monitor judges history, not just
+the future.  See ``docs/runtime.md`` for the soundness contract of
+partial (truncated-ring) replays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .. import obs
 from ..lang.errors import ValidationError
+from ..seeds import derive_seed
 from .actions import Action
 from .interpreter import Interpreter, KernelState
 
@@ -268,3 +289,196 @@ class MonitoredInterpreter:
         for action in actions[self._fed:]:
             self.monitor.observe(action)
         self._fed = len(actions)
+
+
+# ---------------------------------------------------------------------------
+# Sampled monitoring (the soak scheduler's soundness oracle)
+# ---------------------------------------------------------------------------
+
+#: Property modes that may report a *false* violation when the monitor
+#: attaches mid-stream with an evicted prefix: an ``Enables``-style
+#: obligation whose enabling action fell off the ring looks unmet, and an
+#: ``ImmBefore`` trigger whose predecessor was evicted looks orphaned.
+#: Every other mode can only *miss* on a truncated replay, never lie.
+TRUNCATION_UNSAFE_MODES = frozenset({"before", "imm_before"})
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Which instances get full online checking, and for how long a
+    suspicion escalation lasts.
+
+    ``rate`` is the seeded base-sampling probability (0 disables base
+    sampling, 1 checks everything); ``escalation_window`` is how many
+    boundaries an escalated instance stays fully checked after its last
+    suspicion signal.  Sampling is a pure function of ``(seed, ident)``
+    — the same fleet samples the same instances on every run.
+    """
+
+    rate: float = 0.05
+    escalation_window: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"sampling rate must be in [0, 1], got {self.rate}"
+            )
+        if self.escalation_window < 1:
+            raise ValueError(
+                f"escalation window must be >= 1, "
+                f"got {self.escalation_window}"
+            )
+
+    def samples(self, ident: int) -> bool:
+        """True when instance ``ident`` is base-sampled for full
+        checking (deterministic for a fixed policy seed)."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        draw = derive_seed(self.seed, "sample", ident) % (1 << 53)
+        return draw < self.rate * (1 << 53)
+
+
+class SampledMonitor:
+    """Sampled online checking for one multiplexed kernel instance.
+
+    Two modes: *full* — a live :class:`TraceMonitor` is fed every action
+    and boundary; *standby* — nothing is matched online (the instance's
+    bounded trace ring is the only record).  A suspicion signal
+    (:meth:`escalate`) promotes a standby instance to full checking for
+    ``window`` boundaries by replaying the retained ring into a fresh
+    monitor; when nothing was ever evicted the replay is the complete
+    history, so the escalated verdicts coincide with always-on checking
+    (the sampling-soundness differential pins this).  When the ring *has*
+    dropped actions, properties whose modes could produce false alarms
+    from the missing prefix (:data:`TRUNCATION_UNSAFE_MODES`) are left
+    out of the escalated monitor and counted in :attr:`partial_checks` —
+    partial checking never reports a spurious violation.
+
+    Violations are deduplicated across escalation cycles by their global
+    trace position, so re-escalating over the same retained history does
+    not double-report.
+    """
+
+    def __init__(self, properties: Sequence, sampled: bool,
+                 window: int = 512) -> None:
+        self._properties = tuple(properties)
+        #: base-sampled instances never de-escalate
+        self.always = sampled
+        self.window = window
+        self.monitor: Optional[TraceMonitor] = (
+            TraceMonitor(self._properties) if sampled else None
+        )
+        #: global index of the first action the live monitor was fed
+        self._offset = 0
+        self._boundaries = 0
+        self._relax_at: Optional[int] = None
+        #: (property, primitive, global position) → violation
+        self._found: Dict[Tuple[str, str, int], MonitorViolation] = {}
+        self.escalations = 0
+        self.truncated_replays = 0
+        #: properties excluded from escalated monitors because the
+        #: retained ring was truncated (summed over escalations)
+        self.partial_checks = 0
+
+    @property
+    def checking(self) -> bool:
+        """True while a live monitor is attached (full mode)."""
+        return self.monitor is not None
+
+    # -- feeding (mirrors TraceMonitor's observe/boundary) -------------------
+
+    def observe(self, action: Action) -> None:
+        """Feed one action; a no-op in standby mode."""
+        if self.monitor is not None:
+            self.monitor.observe(action)
+
+    def boundary(self) -> None:
+        """Mark a reachable state; de-escalates once the window since the
+        last suspicion has elapsed (base-sampled instances stay full)."""
+        self._boundaries += 1
+        if self.monitor is None:
+            return
+        self.monitor.boundary()
+        if (not self.always and self._relax_at is not None
+                and self._boundaries >= self._relax_at):
+            self._retire()
+
+    # -- escalation ----------------------------------------------------------
+
+    def escalate(self, reason: str, history: Sequence[Action],
+                 boundaries: Iterable[int], offset: int) -> bool:
+        """Promote to full checking for the next ``window`` boundaries.
+
+        ``history`` is the instance's retained trace (oldest first),
+        ``offset`` the global index of its first action (> 0 means the
+        ring evicted a prefix — a truncated replay), and ``boundaries``
+        the global action counts at which the instance was at a reachable
+        state.  Returns True when this call attached a monitor (False
+        when one was already live; the window is refreshed either way).
+        """
+        self._relax_at = self._boundaries + self.window
+        if self.monitor is not None:
+            return False
+        self.escalations += 1
+        properties = self._properties
+        truncated = offset > 0
+        if truncated:
+            from ..prover.obligations import scheme_of
+
+            self.truncated_replays += 1
+            properties = tuple(
+                p for p in properties
+                if scheme_of(p).mode not in TRUNCATION_UNSAFE_MODES
+            )
+            self.partial_checks += len(self._properties) - len(properties)
+        monitor = TraceMonitor(properties)
+        boundary_set = set(boundaries)
+        for index, action in enumerate(history):
+            monitor.observe(action)
+            if offset + index + 1 in boundary_set:
+                monitor.boundary()
+        self.monitor = monitor
+        self._offset = offset
+        obs.incr("monitor.escalation")
+        obs.event("monitor.escalate", reason=reason, offset=offset,
+                  truncated=truncated, replayed=len(history))
+        return True
+
+    def _retire(self) -> None:
+        """Drop back to standby, harvesting the monitor's verdicts."""
+        self._harvest()
+        self.monitor = None
+        self._relax_at = None
+        obs.incr("monitor.deescalation")
+
+    def _harvest(self) -> None:
+        if self.monitor is None:
+            return
+        for violation in self.monitor.violations:
+            adjusted = MonitorViolation(
+                property_name=violation.property_name,
+                primitive=violation.primitive,
+                position=violation.position + self._offset,
+                binding=violation.binding,
+            )
+            key = (adjusted.property_name, adjusted.primitive,
+                   adjusted.position)
+            self._found.setdefault(key, adjusted)
+
+    # -- verdicts ------------------------------------------------------------
+
+    @property
+    def violations(self) -> List[MonitorViolation]:
+        """All violations found so far (live + harvested), ordered by
+        global trace position; positions are global trace indices."""
+        self._harvest()
+        return sorted(self._found.values(),
+                      key=lambda v: (v.position, v.property_name))
+
+    @property
+    def ok(self) -> bool:
+        """True while no violation has been found."""
+        return not self.violations

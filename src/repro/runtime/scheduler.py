@@ -1,0 +1,489 @@
+"""A multiplexed soak runtime: thousands of kernel instances, one process.
+
+The chaos harness (:mod:`repro.harness.chaos`) drives one supervised
+kernel at a time.  A production deployment looks different: many
+independent instances of the same verified kernel run side by side
+(one per tenant, per connection, per tab), faults arrive continuously
+rather than on a per-episode schedule, and nobody can afford full online
+monitoring of every instance.  This module is that shape, multiplexed
+cooperatively inside one process:
+
+* each :class:`KernelInstance` owns a full isolated stack — clean
+  :class:`~repro.runtime.world.World` wrapped by a
+  :class:`~repro.runtime.faults.FaultyWorld` (for immediate fault
+  injection), a :class:`~repro.runtime.supervisor.Supervisor`, a
+  :class:`~repro.runtime.supervisor.SupervisedInterpreter`, a
+  ring-bounded ghost :class:`~repro.runtime.trace.Trace`, and a
+  :class:`~repro.runtime.monitor.SampledMonitor`;
+* the :class:`SoakScheduler` multiplexes them fairly — a round-robin
+  run queue with a per-turn exchange ``quantum`` — and manages their
+  lifecycle: :meth:`~SoakScheduler.spawn`, :meth:`~SoakScheduler.kill`,
+  :meth:`~SoakScheduler.restart` (a fresh incarnation under the same
+  identity), :meth:`~SoakScheduler.quarantine` and
+  :meth:`~SoakScheduler.release`;
+* every seeded stream (per-instance world nondeterminism, stimulus
+  traffic, monitor sampling) is derived via :mod:`repro.seeds`, so a
+  whole fleet replays bit for bit from one master seed.
+
+Suspicion-triggered escalation: after every exchange the scheduler diffs
+each instance's failure signals (crashes, protocol faults, restarts,
+quarantines, dead letters, injected faults) and escalates the instance's
+monitor on any increase, replaying its retained trace ring — see
+:class:`~repro.runtime.monitor.SampledMonitor` for the soundness
+contract of truncated replays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..seeds import derive_rng, derive_seed
+from .actions import ACrash
+from .faults import FaultPlan, FaultRecord, FaultyWorld
+from .monitor import MonitorViolation, SampledMonitor, SamplingPolicy
+from .supervisor import SupervisedInterpreter, Supervisor
+from .trace import Trace
+from .world import World
+
+#: Default ghost-trace ring capacity per instance: deep enough to replay
+#: a meaningful history on escalation, small enough that a fleet of
+#: thousands stays bounded.
+DEFAULT_TRACE_CAPACITY = 256
+
+#: Default fair-share quantum: exchanges one instance may run before the
+#: scheduler moves on to the next runnable instance.
+DEFAULT_QUANTUM = 8
+
+#: Lifecycle states of a multiplexed instance.
+INSTANCE_STATUSES = ("running", "killed", "quarantined")
+
+
+@dataclass
+class KernelInstance:
+    """One multiplexed kernel instance and all of its isolated state.
+
+    ``ident`` is stable across restarts; ``incarnation`` counts respawns
+    (a restarted instance gets a fresh world, supervisor, interpreter,
+    trace ring and stimulus stream, all re-derived from the master seed
+    and the new incarnation number).
+    """
+
+    ident: int
+    incarnation: int
+    world: FaultyWorld
+    supervisor: Supervisor
+    interpreter: SupervisedInterpreter
+    state: object  # KernelState
+    monitor: SampledMonitor
+    rng: object  # random.Random — the instance's stimulus stream
+    status: str = "running"
+    #: global action count the monitor has been fed up to
+    fed: int = 0
+    #: global action counts of reachable-state boundaries still inside
+    #: the retained ring (trimmed as the ring evicts)
+    boundaries: Deque[int] = field(default_factory=deque)
+    #: last-seen failure-signal values, diffed for suspicion
+    signals: Tuple[int, ...] = ()
+    exchanges: int = 0
+    stimuli: int = 0
+    queued: bool = False
+
+    def to_dict(self) -> dict:
+        """Deterministic per-instance summary for reports/forensics."""
+        return {
+            "ident": self.ident,
+            "incarnation": self.incarnation,
+            "status": self.status,
+            "exchanges": self.exchanges,
+            "stimuli": self.stimuli,
+            "checking": self.monitor.checking,
+            "escalations": self.monitor.escalations,
+            "truncated_replays": self.monitor.truncated_replays,
+            "trace_retained": len(self.state.trace),
+            "trace_dropped": self.state.trace.dropped,
+            "crashes": self.supervisor.crashes,
+            "restarts": self.supervisor.restarts_total,
+            "quarantined_components": len(self.supervisor.quarantined),
+            "protocol_faults": self.interpreter.protocol_faults,
+            "dead_letters_total": (self.supervisor.dead_letters.total
+                                   + self.world.dead_letters.total),
+            "violations": len(self.monitor.violations),
+        }
+
+
+class SoakScheduler:
+    """A cooperative event-loop scheduler over many kernel instances.
+
+    Construction wires nothing; :meth:`spawn` builds instances on
+    demand.  The driving harness alternates :meth:`stimulate_all` (or
+    targeted :meth:`stimulate`) with :meth:`pump`, and injects faults /
+    churns lifecycle between pumps.  Everything is deterministic for a
+    fixed ``seed``: per-instance worlds and stimulus streams are
+    independent derived streams, so fleet size and spawn order do not
+    perturb any single instance's behavior.
+    """
+
+    def __init__(self, spec, register: Callable[[object], None],
+                 properties, seed: int = 0,
+                 policy: Optional[SamplingPolicy] = None,
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+                 quantum: int = DEFAULT_QUANTUM) -> None:
+        if trace_capacity < 1:
+            raise ValueError(
+                f"trace capacity must be >= 1, got {trace_capacity}"
+            )
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.spec = spec
+        self._register = register
+        self.properties = tuple(properties)
+        self.seed = seed
+        self.policy = policy if policy is not None else SamplingPolicy()
+        self.trace_capacity = trace_capacity
+        self.quantum = quantum
+        self.instances: Dict[int, KernelInstance] = {}
+        self._queue: Deque[int] = deque()
+        self._next_ident = 0
+        #: violations harvested from retired incarnations:
+        #: (ident, incarnation, violation)
+        self._archive: List[Tuple[int, int, MonitorViolation]] = []
+        # -- fleet counters (monotone, deterministic) --
+        self.exchanges = 0
+        self.stimuli = 0
+        self.spawns = 0
+        self.kills = 0
+        self.restarts = 0
+        self.quarantines = 0
+        self.releases = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def spawn(self) -> KernelInstance:
+        """Create, initialize and enqueue a fresh kernel instance."""
+        ident = self._next_ident
+        self._next_ident += 1
+        inst = self._build(ident, incarnation=0)
+        self.instances[ident] = inst
+        self._enqueue(inst)
+        self.spawns += 1
+        obs.incr("scheduler.spawn")
+        return inst
+
+    def spawn_fleet(self, count: int) -> List[KernelInstance]:
+        """Spawn ``count`` instances (the soak's warmup)."""
+        return [self.spawn() for _ in range(count)]
+
+    def kill(self, ident: int) -> None:
+        """Remove an instance from scheduling (its state is retained for
+        forensics until :meth:`restart` replaces it)."""
+        inst = self._require(ident)
+        if inst.status == "killed":
+            return
+        inst.status = "killed"
+        self.kills += 1
+        obs.incr("scheduler.kill")
+
+    def restart(self, ident: int) -> KernelInstance:
+        """Respawn an instance as a fresh incarnation under the same
+        identity; the old incarnation's verdicts are archived first so
+        no violation is ever lost to a restart."""
+        old = self._require(ident)
+        for violation in old.monitor.violations:
+            self._archive.append((ident, old.incarnation, violation))
+        inst = self._build(ident, incarnation=old.incarnation + 1)
+        inst.exchanges = old.exchanges
+        inst.stimuli = old.stimuli
+        # Inherit the old incarnation's run-queue membership: its deque
+        # entry (if any) now serves the new incarnation, and enqueueing
+        # again would hand the ident a double scheduling share.
+        inst.queued = old.queued
+        self.instances[ident] = inst
+        self._enqueue(inst)
+        self.restarts += 1
+        obs.incr("scheduler.restart")
+        return inst
+
+    def quarantine(self, ident: int) -> None:
+        """Park an instance: it stays alive (state intact) but is not
+        scheduled until :meth:`release`."""
+        inst = self._require(ident)
+        if inst.status == "quarantined":
+            return
+        inst.status = "quarantined"
+        self.quarantines += 1
+        obs.incr("scheduler.quarantine")
+
+    def release(self, ident: int) -> None:
+        """Return a quarantined (or killed-but-retained) instance to the
+        run queue."""
+        inst = self._require(ident)
+        if inst.status == "running":
+            return
+        inst.status = "running"
+        self._enqueue(inst)
+        self.releases += 1
+        obs.incr("scheduler.release")
+
+    def runnable(self) -> List[int]:
+        """Identities of currently schedulable instances, in order."""
+        return [i for i, inst in sorted(self.instances.items())
+                if inst.status == "running"]
+
+    # -- driving -------------------------------------------------------------
+
+    def stimulate(self, ident: int) -> bool:
+        """Inject one pseudo-random well-typed stimulus into the
+        instance (a live component speaks to its kernel); returns False
+        when the instance has no live component left to speak."""
+        from ..harness.chaos import random_stimulus
+
+        inst = self._require(ident)
+        world = inst.world
+        live = [c for c in world.components() if world.alive(c)]
+        if not live:
+            return False
+        comp = live[inst.rng.randrange(len(live))]
+        msg, payload = random_stimulus(self.spec.info, inst.rng)
+        world.stimulate(comp, msg, *payload)
+        inst.stimuli += 1
+        self.stimuli += 1
+        return True
+
+    def stimulate_all(self) -> int:
+        """One stimulus per runnable instance; returns how many landed."""
+        return sum(1 for ident in self.runnable() if self.stimulate(ident))
+
+    def pump(self, budget: int) -> int:
+        """Run up to ``budget`` exchanges across the fleet, fair-share.
+
+        Round-robin over the run queue, at most :attr:`quantum`
+        exchanges per instance per turn; returns the exchanges actually
+        performed (less than ``budget`` when the whole fleet idles).
+        """
+        done = 0
+        idle_streak = 0
+        while done < budget and self._queue and idle_streak < len(self._queue):
+            ident = self._queue.popleft()
+            inst = self.instances.get(ident)
+            if inst is None or inst.status != "running":
+                if inst is not None:
+                    inst.queued = False
+                continue
+            ran = 0
+            quantum = min(self.quantum, budget - done)
+            while ran < quantum and self._step(inst):
+                ran += 1
+            self._queue.append(ident)
+            done += ran
+            idle_streak = 0 if ran else idle_streak + 1
+        return done
+
+    def inject_fault(self, ident: int, kind: str,
+                     target: int = 0) -> Optional[FaultRecord]:
+        """Fire one fault immediately at an instance (phased fault
+        storms use this instead of pre-computed plans).  A ``crash``
+        record is surfaced to the instance's supervisor and trace, and
+        any resulting suspicion escalates its monitor."""
+        inst = self._require(ident)
+        record = inst.world.fire_now(kind, target)
+        if record is not None and record.kind == "crash":
+            inst.state.trace.push(ACrash(record.comp, "fault"))
+            inst.supervisor.on_crash(record.comp, inst.interpreter.clock,
+                                     reason="fault")
+        self._feed(inst)
+        self._check_signals(inst)
+        return record
+
+    # -- fleet accounting ----------------------------------------------------
+
+    def violations(self) -> List[Tuple[int, int, MonitorViolation]]:
+        """Every violation found so far across the whole fleet —
+        archived incarnations included — as deterministic
+        ``(ident, incarnation, violation)`` triples."""
+        out = list(self._archive)
+        for ident, inst in self.instances.items():
+            for violation in inst.monitor.violations:
+                out.append((ident, inst.incarnation, violation))
+        out.sort(key=lambda t: (t[0], t[1], t[2].position,
+                                t[2].property_name))
+        return out
+
+    def checking_count(self) -> int:
+        """Instances currently under full (live-monitor) checking."""
+        return sum(1 for inst in self.instances.values()
+                   if inst.monitor.checking)
+
+    def escalations_total(self) -> int:
+        """Suspicion escalations performed across the fleet so far."""
+        return sum(inst.monitor.escalations
+                   for inst in self.instances.values())
+
+    def retained_actions(self) -> int:
+        """Ghost-trace actions currently held across all rings — the
+        quantity the resource watchdog bounds."""
+        return sum(len(inst.state.trace)
+                   for inst in self.instances.values())
+
+    def dropped_actions(self) -> int:
+        """Ghost-trace actions evicted by ring bounds, fleet-wide."""
+        return sum(inst.state.trace.dropped
+                   for inst in self.instances.values())
+
+    def dead_letter_accounting(self) -> dict:
+        """Fleet-wide dead-letter retention/total/drop accounting."""
+        retained = dropped = total = 0
+        for inst in self.instances.values():
+            for ring in (inst.supervisor.dead_letters,
+                         inst.world.dead_letters):
+                retained += len(ring)
+                dropped += ring.dropped
+                total += ring.total
+        return {"retained": retained, "dropped": dropped, "total": total}
+
+    def to_dict(self) -> dict:
+        """Deterministic fleet summary (no wall times, no RSS)."""
+        statuses = {status: 0 for status in INSTANCE_STATUSES}
+        for inst in self.instances.values():
+            statuses[inst.status] += 1
+        return {
+            "instances": len(self.instances),
+            "statuses": statuses,
+            "exchanges": self.exchanges,
+            "stimuli": self.stimuli,
+            "spawns": self.spawns,
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "quarantines": self.quarantines,
+            "releases": self.releases,
+            "checking": self.checking_count(),
+            "escalations": self.escalations_total(),
+            "retained_actions": self.retained_actions(),
+            "dropped_actions": self.dropped_actions(),
+            "dead_letters": self.dead_letter_accounting(),
+            "violations": len(self.violations()),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _build(self, ident: int, incarnation: int) -> KernelInstance:
+        """Construct one instance's full stack from derived seeds."""
+        world = FaultyWorld(
+            World(seed=derive_seed(self.seed, "world", ident, incarnation)),
+            FaultPlan.empty(),
+        )
+        self._register(world)
+        supervisor = Supervisor(world)
+        interpreter = SupervisedInterpreter(self.spec.info, world,
+                                            supervisor=supervisor)
+        state = interpreter.run_init()
+        # Swap the unbounded init trace for a ring: the soak cannot hold
+        # full histories for thousands of long-lived instances.
+        state.trace = Trace(state.trace.chronological(),
+                            capacity=self.trace_capacity)
+        monitor = SampledMonitor(
+            self.properties,
+            sampled=self.policy.samples(ident),
+            window=self.policy.escalation_window,
+        )
+        inst = KernelInstance(
+            ident=ident, incarnation=incarnation, world=world,
+            supervisor=supervisor, interpreter=interpreter, state=state,
+            monitor=monitor,
+            rng=derive_rng(self.seed, "stimulus", ident, incarnation),
+        )
+        self._feed(inst)
+        inst.monitor.boundary()
+        inst.boundaries.append(state.trace.total)
+        inst.signals = tuple(v for _, v in self._signals(inst))
+        return inst
+
+    def _enqueue(self, inst: KernelInstance) -> None:
+        """Add to the run queue unless a (possibly stale) entry exists."""
+        if not inst.queued:
+            inst.queued = True
+            self._queue.append(inst.ident)
+
+    def _require(self, ident: int) -> KernelInstance:
+        inst = self.instances.get(ident)
+        if inst is None:
+            raise KeyError(f"unknown instance {ident}")
+        return inst
+
+    def _step(self, inst: KernelInstance) -> bool:
+        """One supervised exchange plus monitor/suspicion bookkeeping."""
+        progressed = inst.interpreter.step(inst.state)
+        self._feed(inst)
+        if progressed:
+            inst.monitor.boundary()
+            inst.boundaries.append(inst.state.trace.total)
+            self._trim_boundaries(inst)
+            inst.exchanges += 1
+            self.exchanges += 1
+        self._check_signals(inst)
+        return progressed
+
+    def _feed(self, inst: KernelInstance) -> None:
+        """Feed the live monitor the actions appended since last visit
+        (standby monitors are not fed — escalation replays the ring)."""
+        trace = inst.state.trace
+        if inst.monitor.checking:
+            for action in trace.since(inst.fed):
+                inst.monitor.observe(action)
+        inst.fed = trace.total
+
+    def _trim_boundaries(self, inst: KernelInstance) -> None:
+        """Forget boundary marks that fell off the retained ring."""
+        dropped = inst.state.trace.dropped
+        boundaries = inst.boundaries
+        while boundaries and boundaries[0] <= dropped:
+            boundaries.popleft()
+
+    #: suspicion-signal names, in report order (parallel to
+    #: :meth:`_signals` values)
+    SIGNAL_NAMES = ("crash", "protocol_fault", "restart", "quarantine",
+                    "dead_letter", "fault")
+
+    def _signals(self, inst: KernelInstance) -> List[Tuple[str, int]]:
+        """Current failure-signal counters for one instance."""
+        supervisor = inst.supervisor
+        world = inst.world
+        return [
+            ("crash", supervisor.crashes),
+            ("protocol_fault", inst.interpreter.protocol_faults),
+            ("restart", supervisor.restarts_total),
+            ("quarantine", len(supervisor.quarantined)),
+            ("dead_letter", (supervisor.dead_letters.total
+                             + world.dead_letters.total)),
+            ("fault", sum(world.stats.injected.values())),
+        ]
+
+    def _check_signals(self, inst: KernelInstance) -> None:
+        """Diff failure signals; any increase is suspicion and escalates
+        (or re-arms) the instance's monitor."""
+        current = self._signals(inst)
+        values = tuple(v for _, v in current)
+        if inst.signals and values != inst.signals:
+            reason = next(name for (name, v), old in
+                          zip(current, inst.signals) if v != old)
+            inst.signals = values
+            self._suspect(inst, reason)
+        else:
+            inst.signals = values
+
+    def _suspect(self, inst: KernelInstance, reason: str) -> None:
+        """Escalate the instance's monitor, replaying its retained ring
+        (the monitor refuses to lie on truncated replays — see
+        :class:`~repro.runtime.monitor.SampledMonitor`)."""
+        trace = inst.state.trace
+        inst.monitor.escalate(
+            reason=reason,
+            history=trace.chronological(),
+            boundaries=inst.boundaries,
+            offset=trace.dropped,
+        )
+        # An escalated monitor starts at the ring's current edge; it was
+        # replayed everything retained, so the feed cursor is the total.
+        inst.fed = trace.total

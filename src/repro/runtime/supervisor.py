@@ -29,8 +29,9 @@ from typing import Dict, List, Optional, Tuple
 from .. import obs
 from ..lang.errors import WorldError
 from ..lang.validate import ProgramInfo
-from ..lang.values import ComponentInstance, Value
+from ..lang.values import ComponentInstance
 from .actions import ACrash, ARestart
+from .faults import DEAD_LETTER_CAPACITY, DeadLetterRing
 from .interpreter import Interpreter, KernelState, _Scope
 
 #: Exit status recorded when the kernel drops a protocol-violating
@@ -75,6 +76,7 @@ class Supervisor:
     def __init__(self, world,
                  policy: Optional[RestartPolicy] = None,
                  policies: Optional[Dict[str, RestartPolicy]] = None,
+                 dead_letter_capacity: int = DEAD_LETTER_CAPACITY,
                  ) -> None:
         self.world = world
         self._default_policy = policy or RestartPolicy()
@@ -83,10 +85,13 @@ class Supervisor:
         self._due: Dict[int, int] = {}  # ident → step the restart is due
         self._comps: Dict[int, ComponentInstance] = {}
         self._quarantined: Dict[int, ComponentInstance] = {}
-        #: undeliverable component→kernel messages of dead components
-        self.dead_letters: List[
-            Tuple[ComponentInstance, str, Tuple[Value, ...]]
-        ] = []
+        #: undeliverable component→kernel messages of dead components,
+        #: ring-bounded with drop accounting so a sustained crash/garble
+        #: schedule cannot grow supervisor state without limit
+        self.dead_letters = DeadLetterRing(
+            capacity=dead_letter_capacity,
+            counter="supervisor.dead_letter.dropped",
+        )
         self.crashes = 0
 
     def policy_for(self, comp: ComponentInstance) -> RestartPolicy:
@@ -156,6 +161,8 @@ class Supervisor:
             "restarts": self.restarts_total,
             "quarantined": [str(c) for c in self.quarantined],
             "dead_letters": len(self.dead_letters),
+            "dead_letters_total": self.dead_letters.total,
+            "dead_letters_dropped": self.dead_letters.dropped,
         }
 
 

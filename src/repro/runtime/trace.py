@@ -9,48 +9,115 @@ are consistent.
 
 Traces are ghost state: the interpreter threads them for verification and
 observation, and they never influence execution.
+
+Long-running instances (the soak scheduler multiplexes thousands over one
+process) cannot afford unbounded ghost traces, so a ``Trace`` may be
+constructed with a ``capacity``: it then keeps only the newest actions as
+a ring, with exact drop accounting (:attr:`dropped`, :attr:`total`) and
+an incremental-consumer view (:meth:`since`) so online monitors can read
+just the actions appended since their last visit without re-copying the
+whole history.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .actions import Action
 
 
 class Trace:
-    """An append-only sequence of actions.
+    """An append-only sequence of actions, optionally ring-bounded.
 
     ``Trace`` objects are cheap to snapshot (:meth:`snapshot` returns an
     immutable tuple) and support the suffix/prefix decompositions the trace
     predicates quantify over.
+
+    With ``capacity=None`` (the default) the trace grows without bound and
+    behaves exactly as the paper's ghost list.  With a capacity, the oldest
+    actions are evicted once the trace overshoots: at least ``capacity``
+    and at most ``2 * capacity`` of the newest actions are retained
+    (eviction is amortized O(1) by compacting in blocks), and every
+    eviction is counted in :attr:`dropped`.
     """
 
-    __slots__ = ("_chron",)
+    __slots__ = ("_chron", "_capacity", "_dropped")
 
-    def __init__(self, actions: Iterable[Action] = ()) -> None:
-        #: chronological order: ``_chron[0]`` is the oldest action.
+    def __init__(self, actions: Iterable[Action] = (),
+                 capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        #: chronological order: ``_chron[0]`` is the oldest *retained*
+        #: action.
         self._chron: List[Action] = list(actions)
+        self._capacity = capacity
+        self._dropped = 0
+        self._enforce_capacity()
 
     # -- construction -------------------------------------------------------
 
     def push(self, action: Action) -> None:
         """Record ``action`` as the newest event."""
         self._chron.append(action)
+        if self._capacity is not None:
+            self._enforce_capacity()
 
     def extend(self, actions: Iterable[Action]) -> None:
         """Record several actions, oldest first."""
         self._chron.extend(actions)
+        if self._capacity is not None:
+            self._enforce_capacity()
+
+    def _enforce_capacity(self) -> None:
+        """Evict the oldest actions once the ring overshoots 2x capacity."""
+        capacity = self._capacity
+        if capacity is None or len(self._chron) <= 2 * capacity:
+            return
+        evict = len(self._chron) - capacity
+        del self._chron[:evict]
+        self._dropped += evict
 
     @classmethod
     def from_newest_first(cls, actions: Sequence[Action]) -> "Trace":
         """Build a trace from the paper's reverse-chronological view."""
         return cls(reversed(actions))
 
+    # -- ring accounting -----------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The configured ring capacity (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """How many of the oldest actions have been evicted so far; the
+        global index of the oldest retained action."""
+        return self._dropped
+
+    @property
+    def total(self) -> int:
+        """Actions ever recorded (retained + dropped) — the monotone
+        global clock incremental consumers track."""
+        return self._dropped + len(self._chron)
+
+    def since(self, seen: int) -> Tuple[Action, ...]:
+        """The actions with global index ``>= seen`` (i.e. everything a
+        consumer who has already seen ``seen`` actions has not).  Callers
+        that might have fallen behind a ring's eviction should check
+        :meth:`truncated_before` first."""
+        start = max(0, seen - self._dropped)
+        return tuple(self._chron[start:])
+
+    def truncated_before(self, seen: int) -> bool:
+        """True when actions the consumer has *not* seen were evicted
+        (``seen`` lags the ring): :meth:`since` would silently skip them."""
+        return seen < self._dropped
+
     # -- views ---------------------------------------------------------------
 
     def chronological(self) -> Tuple[Action, ...]:
-        """Oldest-first view."""
+        """Oldest-first view (of the retained actions, for a ring)."""
         return tuple(self._chron)
 
     def newest_first(self) -> Tuple[Action, ...]:
@@ -58,7 +125,8 @@ class Trace:
         return tuple(reversed(self._chron))
 
     def snapshot(self) -> "Trace":
-        """An independent copy (the original may keep growing)."""
+        """An independent, unbounded copy of the retained actions (the
+        original may keep growing)."""
         return Trace(self._chron)
 
     # -- protocol ------------------------------------------------------------
@@ -90,6 +158,9 @@ class Trace:
         )
 
     def __repr__(self) -> str:
+        if self._dropped:
+            return (f"Trace(<{len(self)} actions, "
+                    f"{self._dropped} dropped>)")
         return f"Trace(<{len(self)} actions>)"
 
     # -- queries used by oracles and examples --------------------------------

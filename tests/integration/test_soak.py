@@ -1,0 +1,226 @@
+"""Integration tests for the production-scale soak harness.
+
+Three contracts are pinned here: (1) a clean verified kernel soaks to
+zero violations with every resource bound held and a bit-for-bit
+reproducible report; (2) **sampling soundness** — sampled monitoring
+plus suspicion escalation finds exactly the violations always-on full
+checking finds on a deliberately buggy kernel; (3) the CLI's exit-code
+and artifact contract (0 clean / 1 violation / 2 usage / 3 watchdog).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.frontend import parse_program
+from repro.harness import soak
+from repro.harness.soak import (
+    DEFAULT_PHASES,
+    SoakPhase,
+    SoakReport,
+    exit_code,
+    run_soak,
+)
+from repro.harness.utility import buggy_car_source
+from repro.systems import car
+
+CAR_SPEC = car.load()
+
+
+def car_specs():
+    """The clean car kernel with its (all-provable) trace properties —
+    the specs hook skips re-verification in every test."""
+    return (CAR_SPEC, car.register_components,
+            CAR_SPEC.trace_properties())
+
+
+def buggy_specs():
+    """The crash-latch-dropping car kernel: NoLockAfterCrash is now
+    false and violations are reachable under crash faults."""
+    spec = parse_program(buggy_car_source()[0])
+    return (spec, car.register_components, spec.trace_properties())
+
+
+class TestCleanSoak:
+    def test_zero_violations_with_bounds_held(self):
+        report = run_soak(instances=12, messages=2_000, seed=7,
+                          sample_rate=0.25, trace_capacity=64,
+                          specs=car_specs())
+        assert report.ok
+        assert exit_code(report) == 0
+        assert report.violations == ()
+        assert report.watchdog_tripped is None
+        assert not report.stalled
+        assert report.exchanges == 2_000
+        assert [p.name for p in report.phases] \
+            == [phase.name for phase in DEFAULT_PHASES]
+        # The storm phases actually stormed.
+        by_name = {p.name: p for p in report.phases}
+        assert by_name["fault-storm"].faults > 0
+        assert by_name["restart-storm"].churned > 0
+        assert by_name["warmup"].faults == 0
+
+    def test_report_is_bit_for_bit_reproducible(self):
+        def payload():
+            report = run_soak(instances=10, messages=1_500, seed=21,
+                              trace_capacity=64, specs=car_specs())
+            return json.dumps(report.to_dict(), sort_keys=True)
+
+        assert payload() == payload()
+
+    def test_different_seeds_give_different_soaks(self):
+        def fleet(seed):
+            return run_soak(instances=8, messages=1_000, seed=seed,
+                            trace_capacity=64,
+                            specs=car_specs()).to_dict()["fleet"]
+
+        assert fleet(1) != fleet(2)
+
+
+class TestSamplingSoundness:
+    """The differential the sampled-monitoring design stands on."""
+
+    def run_with_rate(self, rate, window=1_024):
+        return run_soak(instances=12, messages=3_000, seed=3,
+                        sample_rate=rate, escalation_window=window,
+                        trace_capacity=256, specs=buggy_specs())
+
+    def test_escalation_only_matches_full_checking_on_a_buggy_kernel(self):
+        """With an escalation window covering the soak, the first
+        suspicion arms every faulted instance for good — sampled
+        checking must then find *exactly* what full checking finds."""
+        full = self.run_with_rate(1.0)      # every instance always-on
+        sampled = self.run_with_rate(0.0)   # escalation is the only path
+        assert full.violations, "the buggy kernel must actually violate"
+        assert sampled.violations == full.violations
+        assert all("NoLockAfterCrash" in v for v in full.violations)
+        assert exit_code(full) == exit_code(sampled) == 1
+
+    def test_small_windows_may_miss_but_never_false_alarm(self):
+        """De-escalation trades coverage for cost; it must never trade
+        soundness: everything a sampled run reports, full checking
+        reports too."""
+        full = self.run_with_rate(1.0)
+        sampled = self.run_with_rate(0.0, window=16)
+        assert set(sampled.violations) <= set(full.violations)
+
+    def test_clean_kernel_agrees_at_every_rate(self):
+        for rate in (0.0, 0.3, 1.0):
+            report = run_soak(instances=8, messages=1_000, seed=5,
+                              sample_rate=rate, trace_capacity=64,
+                              specs=car_specs())
+            assert report.violations == ()
+            assert report.ok
+
+    def test_escalations_actually_fired_in_the_sampled_run(self):
+        sampled = self.run_with_rate(0.0)
+        assert sampled.fleet["escalations"] > 0
+        assert sampled.sampled_instances == 0
+
+
+class TestWatchdogAndForensics:
+    def test_rss_ceiling_trips_the_watchdog(self):
+        report = run_soak(instances=6, messages=600, seed=0,
+                          max_rss_mb=1, specs=car_specs())
+        assert report.watchdog_tripped is not None
+        assert "RSS" in report.watchdog_tripped
+        assert not report.ok
+        assert exit_code(report) == 3
+
+    def test_violations_outrank_the_watchdog_in_the_exit_code(self):
+        report = SoakReport(kernel="car", seed=0, instances=1,
+                            messages_requested=1,
+                            violations=("boom",),
+                            watchdog_tripped="also tripped")
+        assert exit_code(report) == 1
+
+    def test_snapshot_is_written_on_first_violation(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        run_soak(instances=12, messages=3_000, seed=3,
+                 sample_rate=1.0, trace_capacity=128,
+                 snapshot_out=str(path), specs=buggy_specs())
+        snapshot = json.loads(path.read_text())
+        assert snapshot["reason"] == "violation"
+        assert snapshot["violations"]
+        assert snapshot["flagged_instances"]
+        assert {v["property"] for v in snapshot["violations"]} \
+            == {"NoLockAfterCrash"}
+        assert snapshot["fleet"]["instances"] == 12
+
+    def test_no_snapshot_on_a_clean_run(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        report = run_soak(instances=6, messages=600, seed=7,
+                          snapshot_out=str(path), specs=car_specs())
+        assert report.ok
+        assert not path.exists()
+
+
+class TestPhases:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            run_soak(instances=2, messages=100,
+                     phases=(SoakPhase("only", weight=0.5),),
+                     specs=car_specs())
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            SoakPhase("bad", weight=0.0)
+        with pytest.raises(ValueError):
+            SoakPhase("bad", weight=0.5, fault_rate=1.5)
+        with pytest.raises(ValueError):
+            SoakPhase("bad", weight=0.5, fault_kinds=("gremlin",))
+
+    def test_budgets_split_exactly(self):
+        budgets = soak._phase_budgets(1_000_003, DEFAULT_PHASES)
+        assert sum(budgets) == 1_000_003
+        assert all(b > 0 for b in budgets)
+
+    def test_render_mentions_the_verdict(self):
+        report = run_soak(instances=4, messages=300, seed=1,
+                          specs=car_specs())
+        text = soak.render_soak(report)
+        assert "violations of verified properties: none" in text
+        assert "watchdog: all resource bounds held" in text
+        for phase in DEFAULT_PHASES:
+            assert phase.name in text
+
+
+class TestSoakCLI:
+    def test_usage_errors_exit_2(self, capsys):
+        assert main(["soak", "--instances", "0"]) == 2
+        assert main(["soak", "--sample-rate", "1.5"]) == 2
+        assert main(["soak", "--kernel", "toaster"]) == 2
+        assert main(["soak", "--max-rss-mb", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_clean_run_writes_artifacts_and_exits_0(self, tmp_path,
+                                                    capsys):
+        report_path = tmp_path / "report.json"
+        events_path = tmp_path / "events.jsonl"
+        code = main([
+            "soak", "--kernel", "car", "--instances", "4",
+            "--messages", "300", "--seed", "1", "--json",
+            "--report-out", str(report_path),
+            "--events-out", str(events_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["messages_processed"] == 300
+        # The report artifact is exactly the JSON payload.
+        assert json.loads(report_path.read_text()) == payload
+        # The flight recorder landed with phase markers inside.
+        kinds = {json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()}
+        assert "soak.phase.start" in kinds
+
+    def test_watchdog_trip_exits_3(self, tmp_path, capsys):
+        code = main([
+            "soak", "--kernel", "car", "--instances", "4",
+            "--messages", "200", "--seed", "1", "--max-rss-mb", "1",
+        ])
+        assert code == 3
+        assert "WATCHDOG TRIPPED" in capsys.readouterr().out

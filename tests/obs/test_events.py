@@ -107,6 +107,56 @@ class TestFileBacking:
         assert log.flush() == 0
 
 
+class TestCompact:
+    """In-memory residency: flushed events can be dropped from memory."""
+
+    def test_compact_drops_only_flushed_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path)
+        log.emit("one")
+        log.emit("two")
+        log.flush()
+        log.emit("three")  # not yet flushed: must survive compaction
+        assert log.compact() == 2
+        assert [event.kind for event in log.events] == ["three"]
+        assert log.dropped == 2
+        log.flush()
+        kinds = [record["kind"] for record in read_jsonl(path)]
+        assert kinds == ["one", "two", "three"]
+
+    def test_compact_without_flush_is_a_noop(self):
+        log = EventLog()
+        log.emit("x")
+        assert log.compact() == 0
+        assert len(log.events) == 1
+
+    def test_seq_survives_compaction(self, tmp_path):
+        """Sequence numbers are globally unique across compactions —
+        a post-mortem can still order the on-disk log."""
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path)
+        for round_no in range(3):
+            log.emit("tick", round=round_no)
+            log.flush()
+            log.compact()
+        log.flush()
+        seqs = [record["seq"] for record in read_jsonl(path)]
+        assert seqs == [0, 1, 2]
+
+    def test_merge_after_compaction_continues_seq(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        parent, worker = EventLog(), EventLog(worker="w1")
+        parent.bind(path)
+        parent.emit("parent.first")
+        parent.flush()
+        parent.compact()
+        worker.emit("worker.event")
+        parent.merge(parent.epoch_wall, worker.events)
+        assert parent.events[-1].seq == 1
+
+
 class TestEventDataclass:
     """The frozen record itself."""
 

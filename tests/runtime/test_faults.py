@@ -7,7 +7,9 @@ from repro.lang.values import vstr
 from repro.runtime.components import RecordingBehavior
 from repro.runtime.faults import (
     CRASH_EXIT_STATUS,
+    FAULT_KINDS,
     GARBAGE_MESSAGE,
+    DeadLetterRing,
     FaultPlan,
     FaultSpec,
     FaultyWorld,
@@ -53,6 +55,24 @@ class TestPlans:
         assert not FaultPlan.empty()
         assert len(FaultPlan.empty()) == 0
         assert FaultPlan.generate(seed=0, count=3)
+
+    def test_kind_vocabulary_does_not_perturb_steps_or_targets(self):
+        """RNG hygiene: each event's step/target draw happens before its
+        kind draw on an independent per-event stream, so growing the
+        fault model cannot silently re-randomize existing schedules."""
+        full = FaultPlan.generate(seed=11, horizon=40, count=8,
+                                  kinds=FAULT_KINDS)
+        narrow = FaultPlan.generate(seed=11, horizon=40, count=8,
+                                    kinds=("crash", "drop"))
+        assert ({(e.step, e.target) for e in full.events}
+                == {(e.step, e.target) for e in narrow.events})
+        assert all(e.kind in ("crash", "drop") for e in narrow.events)
+
+    def test_event_streams_are_independent_of_count(self):
+        """Asking for more events must not change the earlier ones."""
+        small = FaultPlan.generate(seed=2, horizon=40, count=4)
+        large = FaultPlan.generate(seed=2, horizon=40, count=9)
+        assert set(small.events) <= set(large.events)
 
 
 class TestTransparency:
@@ -165,6 +185,20 @@ class TestGracefulDegradation:
         world.stimulate(comp, "M", "x")  # no WorldError
         assert world.stats.suppressed_stimuli == 1
 
+    def test_dead_letters_are_ring_bounded(self):
+        world = FaultyWorld(World(), dead_letter_capacity=3)
+        world.register_executable("a.py", RecordingBehavior)
+        comp = world.spawn(DECL, ())
+        world.kill_component(comp)
+        for i in range(10):
+            world.send(comp, "M", (vstr(str(i)),))
+        assert len(world.dead_letters) == 3
+        assert world.dead_letters.dropped == 7
+        assert world.dead_letters.total == 10
+        # The newest letters are retained, oldest first.
+        assert [payload[0] for _, _, payload in world.dead_letters] \
+            == [vstr("7"), vstr("8"), vstr("9")]
+
     def test_bare_world_still_raises(self):
         """The graceful paths live in the wrapper only — the clean model
         keeps the paper's strict preconditions."""
@@ -174,3 +208,39 @@ class TestGracefulDegradation:
         world.kill_component(comp)
         with pytest.raises(WorldError):
             world.send(comp, "M", (vstr("x"),))
+
+
+class TestDeadLetterRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeadLetterRing(capacity=0)
+
+    def test_accounting_dict(self):
+        ring = DeadLetterRing(capacity=2)
+        for i in range(5):
+            ring.append((None, "M", (vstr(str(i)),)))
+        assert ring.to_dict() == {
+            "retained": 2, "dropped": 3, "total": 5, "capacity": 2,
+        }
+
+    def test_compares_with_plain_lists(self):
+        ring = DeadLetterRing(capacity=4)
+        ring.append((None, "M", ()))
+        assert ring == [(None, "M", ())]
+        assert not ring == [(None, "N", ())]
+
+
+class TestFireNow:
+    """Immediate (plan-less) injection — the soak scheduler's hook."""
+
+    def test_fire_now_injects_immediately(self):
+        world, comp = _spawned()
+        record = world.fire_now("crash")
+        assert record is not None and record.kind == "crash"
+        assert not world.alive(comp)
+        assert world.stats.injected.get("crash") == 1
+
+    def test_fire_now_with_no_target_is_skipped(self):
+        world = FaultyWorld(World())
+        assert world.fire_now("crash") is None
+        assert world.stats.skipped == 1

@@ -1,0 +1,196 @@
+"""Tests for sampled monitoring (``SamplingPolicy`` / ``SampledMonitor``).
+
+The load-bearing law: an escalation replaying a *complete* history gives
+exactly the verdicts of always-on full checking, and an escalation over
+a *truncated* ring never reports a violation full checking would not
+have (it excludes the property modes that could lie from a missing
+prefix).  The integration-level differential lives in
+``tests/integration/test_soak.py``; these are the unit laws.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.values import ComponentInstance, vnum
+from repro.props import TraceProperty, comp_pat, msg_pat, recv_pat, send_pat
+from repro.runtime.actions import ARecv, ASend
+from repro.runtime.monitor import (
+    TRUNCATION_UNSAFE_MODES,
+    SampledMonitor,
+    SamplingPolicy,
+    TraceMonitor,
+)
+
+A = ComponentInstance(0, "A", (), 3)
+B = ComponentInstance(1, "B", (), 4)
+
+
+def recv(n):
+    return ARecv(A, "M", (vnum(n),))
+
+
+def send(n):
+    return ASend(B, "M", (vnum(n),))
+
+PROPERTIES = [
+    TraceProperty("enables", "Enables",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("disables", "Disables",
+                  send_pat(comp_pat("B"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+    TraceProperty("immbefore", "ImmBefore",
+                  recv_pat(comp_pat("A"), msg_pat("M", "?x")),
+                  send_pat(comp_pat("B"), msg_pat("M", "?x"))),
+]
+
+action_strategy = st.builds(
+    lambda cls, comp, msg, payload: cls(comp, msg, (vnum(payload),)),
+    st.sampled_from([ASend, ARecv]),
+    st.sampled_from([A, B]),
+    st.sampled_from(["M", "N"]),
+    st.integers(min_value=0, max_value=1),
+)
+
+
+class TestSamplingPolicy:
+    def test_sampling_is_a_pure_function_of_seed_and_ident(self):
+        policy = SamplingPolicy(rate=0.3, seed=9)
+        again = SamplingPolicy(rate=0.3, seed=9)
+        picks = [policy.samples(i) for i in range(200)]
+        assert picks == [again.samples(i) for i in range(200)]
+        # A different seed samples a different subset.
+        other = SamplingPolicy(rate=0.3, seed=10)
+        assert picks != [other.samples(i) for i in range(200)]
+
+    def test_rate_extremes(self):
+        assert all(SamplingPolicy(rate=1.0).samples(i) for i in range(50))
+        assert not any(SamplingPolicy(rate=0.0).samples(i)
+                       for i in range(50))
+
+    def test_rate_is_approximately_honored(self):
+        policy = SamplingPolicy(rate=0.25, seed=0)
+        hits = sum(policy.samples(i) for i in range(4000))
+        assert 0.18 < hits / 4000 < 0.32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingPolicy(escalation_window=0)
+
+
+class TestEscalation:
+    def test_standby_monitor_observes_nothing(self):
+        monitor = SampledMonitor(PROPERTIES, sampled=False)
+        assert not monitor.checking
+        monitor.observe(send(1))  # Disables trigger with prior send
+        monitor.observe(send(1))
+        monitor.boundary()
+        assert monitor.ok  # nothing was matched online
+
+    def test_complete_replay_equals_full_checking(self):
+        """Escalating with the full history (offset 0) must reproduce
+        the always-on monitor's verdicts exactly."""
+        history = [send(1), send(1), recv(0)]
+        full = TraceMonitor(PROPERTIES)
+        for action in history:
+            full.observe(action)
+            full.boundary()
+        sampled = SampledMonitor(PROPERTIES, sampled=False)
+        attached = sampled.escalate(
+            "crash", history, boundaries=[1, 2, 3], offset=0,
+        )
+        assert attached and sampled.checking
+        assert sampled.truncated_replays == 0
+        assert ([ (v.property_name, v.primitive, v.position)
+                  for v in sampled.violations ]
+                == [ (v.property_name, v.primitive, v.position)
+                     for v in full.violations ])
+
+    @given(actions=st.lists(action_strategy, max_size=12))
+    def test_complete_replay_equivalence_on_random_traces(self, actions):
+        full = TraceMonitor(PROPERTIES)
+        for action in actions:
+            full.observe(action)
+            full.boundary()
+        sampled = SampledMonitor(PROPERTIES, sampled=False)
+        sampled.escalate("suspicion", actions,
+                         boundaries=range(1, len(actions) + 1), offset=0)
+        assert ([str(v) for v in sampled.violations]
+                == [str(v) for v in full.violations])
+
+    def test_truncated_replay_excludes_unsafe_modes(self):
+        """With an evicted prefix, `before` and `imm_before` properties
+        could false-alarm from the missing enabler/predecessor — they
+        must be excluded and counted, never guessed at."""
+        # send(B, M) with no prior recv(A, M): an *Enables* violation if
+        # judged from a truncated start — but the enabling recv may have
+        # been evicted, so partial checking must not flag it.
+        history = [send(1)]
+        sampled = SampledMonitor(PROPERTIES, sampled=False)
+        sampled.escalate("restart", history, boundaries=[5], offset=4)
+        assert sampled.truncated_replays == 1
+        assert sampled.partial_checks == len(TRUNCATION_UNSAFE_MODES)
+        assert sampled.ok  # no false positive
+
+    def test_truncation_safe_modes_still_checked_on_partial_replay(self):
+        # Two identical sends violate Disables regardless of any prefix.
+        history = [send(1), send(1)]
+        sampled = SampledMonitor(PROPERTIES, sampled=False)
+        sampled.escalate("fault", history, boundaries=[11, 12], offset=10)
+        names = {v.property_name for v in sampled.violations}
+        assert names == {"disables"}
+        # Positions are global trace indices.
+        assert [v.position for v in sampled.violations] == [11]
+
+    def test_violations_dedup_across_escalation_cycles(self):
+        history = [send(1), send(1)]
+        sampled = SampledMonitor(PROPERTIES, sampled=False, window=1)
+        sampled.escalate("fault", history, boundaries=[1, 2], offset=0)
+        first = [str(v) for v in sampled.violations]
+        # De-escalate (window elapses), then re-escalate over the same
+        # retained history: the same violation must not double-report.
+        sampled.boundary()
+        assert not sampled.checking
+        sampled.escalate("fault", history, boundaries=[1, 2], offset=0)
+        assert [str(v) for v in sampled.violations] == first
+        assert sampled.escalations == 2
+
+    def test_escalation_window_refreshes_without_reattaching(self):
+        sampled = SampledMonitor(PROPERTIES, sampled=False, window=2)
+        assert sampled.escalate("fault", [], boundaries=[], offset=0)
+        assert not sampled.escalate("fault", [], boundaries=[], offset=0)
+        assert sampled.escalations == 1
+
+    def test_deescalates_after_window_and_keeps_verdicts(self):
+        disables = [PROPERTIES[1]]
+        sampled = SampledMonitor(disables, sampled=False, window=2)
+        sampled.escalate("fault", [send(1), send(1)],
+                         boundaries=[1, 2], offset=0)
+        assert sampled.checking
+        sampled.boundary()
+        assert sampled.checking  # window not elapsed yet
+        sampled.boundary()
+        assert not sampled.checking
+        assert [v.property_name for v in sampled.violations] \
+            == ["disables"]
+
+    def test_base_sampled_instances_never_deescalate(self):
+        sampled = SampledMonitor(PROPERTIES, sampled=True, window=1)
+        assert sampled.checking
+        sampled.escalate("fault", [], boundaries=[], offset=0)
+        for _ in range(10):
+            sampled.boundary()
+        assert sampled.checking
+
+    def test_live_feeding_after_escalation_continues_globally(self):
+        """Actions observed live after a replayed escalation get global
+        positions continuing the replayed history."""
+        disables = [PROPERTIES[1]]
+        sampled = SampledMonitor(disables, sampled=False)
+        sampled.escalate("fault", [send(1)], boundaries=[1], offset=0)
+        sampled.observe(send(1))  # second identical send: Disables fires
+        sampled.boundary()
+        assert [v.position for v in sampled.violations] == [1]

@@ -50,6 +50,23 @@ class TestSupervisor:
         assert supervisor.crashes == 1
         assert world.select() is None  # nothing wedges the event loop
 
+    def test_dead_letter_queue_is_ring_bounded(self):
+        """A sustained crash schedule cannot grow supervisor state
+        without limit: the queue evicts with exact accounting."""
+        world, comp = _world_with_component()
+        for i in range(6):
+            world.stimulate(comp, "M", str(i))
+        world.kill_component(comp)
+        supervisor = Supervisor(world, dead_letter_capacity=2)
+        supervisor.on_crash(comp, clock=1)
+        assert len(supervisor.dead_letters) == 2
+        assert supervisor.dead_letters.dropped == 4
+        assert supervisor.dead_letters.total == 6
+        summary = supervisor.to_dict()
+        assert summary["dead_letters"] == 2
+        assert summary["dead_letters_total"] == 6
+        assert summary["dead_letters_dropped"] == 4
+
     def test_restart_waits_for_backoff(self):
         world, comp = _world_with_component()
         world.kill_component(comp)

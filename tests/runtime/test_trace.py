@@ -90,3 +90,74 @@ class TestQueries:
         trace = Trace(mk_actions(4))
         assert str(trace).count("Send") == 4
         assert str(Trace()) == "<empty trace>"
+
+
+class TestRing:
+    """Capacity-bounded traces: eviction, drop accounting, `since`."""
+
+    def test_unbounded_by_default(self):
+        trace = Trace(mk_actions(100))
+        assert trace.capacity is None
+        assert trace.dropped == 0
+        assert trace.total == 100
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Trace(capacity=0)
+
+    def test_retention_window_and_drop_accounting(self):
+        actions = mk_actions(25)
+        trace = Trace(capacity=4)
+        for action in actions:
+            trace.push(action)
+        # Amortized compaction retains between capacity and 2x capacity.
+        assert 4 <= len(trace) <= 8
+        assert trace.total == 25
+        assert trace.dropped == 25 - len(trace)
+        # The retained suffix is the newest actions, in order.
+        assert list(trace.chronological()) == actions[trace.dropped:]
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=60))
+    def test_total_is_exact_for_any_capacity(self, capacity, n):
+        trace = Trace(capacity=capacity)
+        trace.extend(mk_actions(n))
+        assert trace.total == n
+        assert trace.dropped + len(trace) == n
+        assert len(trace) <= 2 * capacity
+
+    def test_since_is_an_incremental_view(self):
+        actions = mk_actions(30)
+        trace = Trace(capacity=8)
+        seen = 0
+        consumed = []
+        for action in actions:
+            trace.push(action)
+            fresh = trace.since(seen)
+            assert not trace.truncated_before(seen)
+            consumed.extend(fresh)
+            seen = trace.total
+        assert consumed == actions
+
+    def test_truncated_before_detects_a_lagging_consumer(self):
+        trace = Trace(capacity=2)
+        trace.extend(mk_actions(20))
+        assert trace.dropped > 0
+        assert trace.truncated_before(0)
+        assert not trace.truncated_before(trace.total)
+        # A consumer at the eviction edge sees exactly the retained tail.
+        assert trace.since(trace.dropped) == trace.chronological()
+
+    def test_snapshot_of_a_ring_is_unbounded(self):
+        trace = Trace(capacity=3)
+        trace.extend(mk_actions(20))
+        snap = trace.snapshot()
+        assert snap.capacity is None
+        assert snap.chronological() == trace.chronological()
+
+    def test_repr_shows_drop_accounting(self):
+        trace = Trace(capacity=1)
+        trace.extend(mk_actions(10))
+        assert "dropped" in repr(trace)
