@@ -14,6 +14,7 @@ The pushbutton workflow of the paper as a tool::
     python -m repro chaos --events-out c.jsonl  # + flight-recorder log
     python -m repro soak --kernel car --instances 1000 \\
         --messages 1000000                     # production-scale soak
+    python -m repro serve --store proofs/      # warm verification daemon
     python -m repro report run.json            # post-mortem text report
 
 Exit status: 0 on success (all requested properties proved / the file is
@@ -22,7 +23,8 @@ well-formed), 1 on verification failure, 2 on syntax or validation errors
 the automation (re-run on every modification, section 6.3/6.4).  The
 ``soak`` command additionally distinguishes a resource-watchdog trip
 (exit 3) from a property violation (exit 1), so CI can tell a leak from
-a soundness failure.
+a soundness failure; ``serve`` likewise reserves exit 3 for a failure to
+bind its address, distinct from anything verification-related.
 """
 
 from __future__ import annotations
@@ -311,6 +313,54 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return soak.exit_code(report)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeOptions, VerificationServer
+
+    complaint = _validate_ranges(
+        ("--port", args.port, 0, 65535),
+        ("--jobs", args.jobs, 1, None),
+        ("--max-intern-terms", args.max_intern_terms, 1, None),
+    )
+    if complaint is not None:
+        print(f"error: {complaint}", file=sys.stderr)
+        return 2
+    server = VerificationServer(ServeOptions(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        store=args.store,
+        jobs=args.jobs,
+        max_intern_terms=args.max_intern_terms,
+        stats_out=args.stats_out,
+        events_out=args.events_out,
+    ))
+    try:
+        server.start()
+    except OSError as error:
+        # Distinct from a verification failure (1) and from bad usage
+        # (2): CI tells "the port was taken" apart from "a proof broke".
+        print(f"error: cannot bind {args.socket or args.host}: {error}",
+              file=sys.stderr)
+        return 3
+    address = server.address_str
+    if args.port_file:
+        # Written atomically so a watcher never reads a half-written
+        # address (the CI smoke job polls this file for the bound port).
+        tmp = f"{args.port_file}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(address + "\n")
+        os.replace(tmp, args.port_file)
+    print(f"serving on {address}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    print("daemon stopped", flush=True)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     payload = obs.export.load_run(args.run)
     telemetry = payload.get("telemetry", payload)
@@ -508,6 +558,40 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--json", action="store_true",
                       help="emit the report (and profile) as JSON")
     soak.set_defaults(func=_cmd_soak)
+
+    from .serve import housekeeping as serve_defaults
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the warm verification daemon (verification as a "
+             "service; see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP bind port (default 0 = ephemeral; the "
+                            "bound port is printed and --port-file'd)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on a UNIX socket instead of TCP")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="persistent proof store directory shared by "
+                            "every session")
+    serve.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes per verification")
+    serve.add_argument("--max-intern-terms", type=int,
+                       default=serve_defaults.DEFAULT_MAX_INTERN_TERMS,
+                       help="intern-table budget before a cache "
+                            "generation is collected")
+    serve.add_argument("--stats-out", metavar="FILE", default=None,
+                       help="write the aggregated run payload here after "
+                            "every batch (readable by 'repro report')")
+    serve.add_argument("--events-out", metavar="FILE", default=None,
+                       help="bind the daemon flight recorder to this "
+                            "JSON Lines file")
+    serve.add_argument("--port-file", metavar="FILE", default=None,
+                       help="write the bound address here once listening "
+                            "(for scripts using an ephemeral port)")
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report",

@@ -24,7 +24,13 @@ from .engine import (
     prove,
     verify,
 )
-from .incremental import IncrementalReport, IncrementalVerifier
+from .incremental import (
+    IncrementalReport,
+    IncrementalVerifier,
+    InvalidationMap,
+    changed_parts,
+    fragment_digests,
+)
 from .invariants import generalize, prove_invariant, validate_invariant
 from .ni import (
     Labeling,
@@ -56,6 +62,9 @@ __all__ = [
     "BoundedSpec",
     "IncrementalReport",
     "IncrementalVerifier",
+    "InvalidationMap",
+    "changed_parts",
+    "fragment_digests",
     "InvariantProof",
     "InvariantSpec",
     "TracePropertyProof",

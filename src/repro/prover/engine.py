@@ -568,6 +568,23 @@ class Verifier:
             prop, self.options, tag,
         )
 
+    def fragment_keys(self, prop: TraceProperty
+                      ) -> Dict[Optional[Tuple[str, str]], str]:
+        """Every fragment's dependency-scoped content address for
+        ``prop``: the base case under ``None`` plus one entry per
+        exchange of the kernel.
+
+        Purely syntactic (no symbolic step is built), so callers — the
+        incremental invalidation map, the serve daemon — can enumerate
+        what an edit invalidates without paying for verification.
+        """
+        out: Dict[Optional[Tuple[str, str]], str] = {
+            None: self._fragment_key(prop, None),
+        }
+        for part in self.spec.program.exchange_keys():
+            out[part] = self._fragment_key(prop, part)
+        return out
+
     def _search_trace(self, prop: TraceProperty) -> TracePropertyProof:
         """The search stage for a trace property.
 

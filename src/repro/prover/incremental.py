@@ -29,14 +29,110 @@ processes too.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .. import obs
 from ..props.spec import Property, SpecifiedProgram, TraceProperty
 from .derivation import TracePropertyProof
 from .engine import PropertyResult, ProverOptions, Verifier
+from .proofstore import dependency_digest
+
+#: A fragment slice identifier: ``None`` for the base case (declarations
+#: + Init), an exchange key ``(ctype, msg)`` for one handler's slice.
+Part = Optional[Tuple[str, str]]
+
+
+def fragment_digests(program: object) -> Dict[Part, str]:
+    """The dependency digest of every fragment slice of ``program``.
+
+    One entry for the base slice (``None`` → declarations + Init) plus
+    one per exchange of the kernel.  Two submissions that differ in one
+    handler differ exactly in that handler's entry, which is what lets a
+    session — or the serve daemon — decide *what changed* without
+    verifying anything.
+    """
+    out: Dict[Part, str] = {None: dependency_digest(program, None)}
+    for part in program.exchange_keys():
+        out[part] = dependency_digest(program, part)
+    return out
+
+
+def changed_parts(old: Dict[Part, str],
+                  new: Dict[Part, str]) -> List[Part]:
+    """The fragment slices of ``new`` whose dependency digest differs
+    from (or is absent in) ``old``, plus slices ``old`` had that ``new``
+    dropped — in ``new``'s planning order, dropped slices last."""
+    changed: List[Part] = [
+        part for part, digest_ in new.items() if old.get(part) != digest_
+    ]
+    changed.extend(part for part in old if part not in new)
+    return changed
+
+
+class InvalidationMap:
+    """The dependency-tracked invalidation index, shared across sessions.
+
+    Maps each fragment's dependency digest to the content-addressed
+    obligation/fragment keys that were filed under it (see
+    :meth:`Verifier.fragment_keys`): when a submission changes a
+    handler, the digests that disappeared name exactly the stored keys
+    the edit superseded — everything else is servable as-is.  The serve
+    daemon keeps one instance for all its sessions; access is
+    thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._keys: Dict[str, set] = {}
+
+    def record(self, fragment_digest: str, obligation_key: str) -> None:
+        """File ``obligation_key`` under the fragment slice digest it
+        depends on."""
+        with self._lock:
+            self._keys.setdefault(fragment_digest, set()).add(
+                obligation_key
+            )
+
+    def record_program(self, verifier: Verifier,
+                       digests: Optional[Dict[Part, str]] = None) -> None:
+        """File every trace-property fragment key of ``verifier``'s
+        program under its slice digest (one call per submission)."""
+        if digests is None:
+            digests = fragment_digests(verifier.spec.program)
+        for prop in verifier.spec.trace_properties():
+            for part, key in verifier.fragment_keys(prop).items():
+                self.record(digests[part], key)
+
+    def keys_for(self, fragment_digest: str) -> FrozenSet[str]:
+        """The obligation keys filed under one slice digest."""
+        with self._lock:
+            return frozenset(self._keys.get(fragment_digest, ()))
+
+    def invalidated_keys(self, old: Dict[Part, str],
+                         new: Dict[Part, str]) -> FrozenSet[str]:
+        """The obligation keys superseded by moving from ``old`` digests
+        to ``new``: everything filed under a changed slice's *old*
+        digest.  (Their store entries are dead weight for the new
+        program — its fragments re-key — so this is also the eviction
+        candidate set.)"""
+        out: set = set()
+        for part in changed_parts(old, new):
+            digest_ = old.get(part)
+            if digest_ is not None:
+                out.update(self.keys_for(digest_))
+        return frozenset(out)
+
+    def digests(self) -> FrozenSet[str]:
+        """Every slice digest currently indexed."""
+        with self._lock:
+            return frozenset(self._keys)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(keys) for keys in self._keys.values())
 
 
 @dataclass
@@ -60,6 +156,9 @@ class IncrementalReport:
     program_name: str
     rounds: int
     entries: List[IncrementalResult] = field(default_factory=list)
+    #: fragment slices whose dependency digest changed since the
+    #: previous round (``None`` on the first round: everything is new)
+    changed: Optional[List[Part]] = None
 
     @property
     def all_proved(self) -> bool:
@@ -93,12 +192,21 @@ def _program_fingerprint(spec: SpecifiedProgram) -> Tuple:
 class IncrementalVerifier:
     """Verifies successive versions of a program, reusing work."""
 
-    def __init__(self, options: Optional[ProverOptions] = None) -> None:
+    def __init__(self, options: Optional[ProverOptions] = None,
+                 invalidation: Optional[InvalidationMap] = None) -> None:
         self.options = options or ProverOptions()
         self._rounds = 0
         self._fingerprint: Optional[Tuple] = None
         #: property name → (property, result) from the previous round
         self._previous: Dict[str, Tuple[Property, PropertyResult]] = {}
+        #: fragment slice → dependency digest from the previous round
+        self._digests: Dict[Part, str] = {}
+        #: optional shared (cross-session) invalidation index
+        self.invalidation = invalidation
+
+    def previous_digests(self) -> Dict[Part, str]:
+        """The previous round's fragment digests (empty before round 1)."""
+        return dict(self._digests)
 
     def verify(self, spec: SpecifiedProgram) -> IncrementalReport:
         """Verify this round's program, reusing previous derivations."""
@@ -107,11 +215,18 @@ class IncrementalVerifier:
         fingerprint = _program_fingerprint(spec)
         unchanged_program = fingerprint == self._fingerprint
         report = IncrementalReport(spec.name, self._rounds)
+        digests = fragment_digests(spec.program)
+        if self._rounds > 1:
+            report.changed = changed_parts(self._digests, digests)
+            obs.incr("incremental.parts.changed", len(report.changed))
 
         for prop in spec.properties:
             entry = self._verify_one(verifier, prop, unchanged_program)
             report.entries.append(entry)
 
+        if self.invalidation is not None:
+            self.invalidation.record_program(verifier, digests)
+        self._digests = digests
         self._fingerprint = fingerprint
         self._previous = {
             e.result.property.name: (e.result.property, e.result)

@@ -40,6 +40,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -220,11 +221,43 @@ def _run_task(task: tuple) -> tuple:
             start_wall)
 
 
+def _forking_is_risky() -> bool:
+    """Whether forking from this process can deadlock the children.
+
+    ``fork`` snapshots every lock in whatever state some *other* thread
+    holds it — a child forked from a multi-threaded parent (the serve
+    daemon's prover thread, any embedding application) can inherit a
+    locked allocator or logging lock with no thread left to release it,
+    and leaks the parent's descriptors besides.  The tell is the caller:
+    verification fanned out from anywhere but the main thread means the
+    process is running a threaded event loop of some kind.  (A global
+    ``active_count()`` probe is deliberately *not* used — the pool's own
+    just-shut-down executor threads would flip retry generations to
+    ``spawn`` and make the choice depend on scheduler timing.)
+    """
+    return threading.current_thread() is not threading.main_thread()
+
+
 def _pool_context():
-    """Prefer ``fork`` (cheap start-up, shares the already-parsed
-    modules); fall back to the platform default where unavailable."""
+    """Pick the pool start method.
+
+    ``fork`` is preferred for its cheap start-up (workers share the
+    already-parsed modules) but only from a single-threaded parent; in a
+    threaded or daemonized process (:func:`_forking_is_risky`) the pool
+    falls back to ``spawn``, which is slower to boot but immune to
+    inherited-lock deadlocks — every worker rebuilds from the pickled
+    ``(spec, options)`` payload either way, so results are identical.
+    ``REPRO_POOL_START_METHOD`` overrides the choice outright.
+    """
+    override = os.environ.get("REPRO_POOL_START_METHOD")
+    if override:
+        try:
+            return multiprocessing.get_context(override)
+        except ValueError:
+            pass  # unknown method name: fall through to the heuristic
+    method = "spawn" if _forking_is_risky() else "fork"
     try:
-        return multiprocessing.get_context("fork")
+        return multiprocessing.get_context(method)
     except ValueError:
         return multiprocessing.get_context()
 

@@ -28,6 +28,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
@@ -196,6 +197,10 @@ class ProofStore:
     def __init__(self, root: object) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: keys this process has already persisted *checked* — repeat
+        #: puts (coalesced daemon batches, retried parallel tasks) are
+        #: idempotent no-ops instead of redundant temp-file churn
+        self._seen: set = set()
 
     def path_for(self, key: str) -> Path:
         """The file backing ``key``."""
@@ -205,7 +210,9 @@ class ProofStore:
         """Load the entry for ``key``; ``None`` on miss or corruption."""
         path = self.path_for(key)
         try:
-            raw = path.read_bytes()
+            with open(path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                raw = handle.read()
         except OSError:
             obs.incr("store.miss")
             return None
@@ -215,21 +222,52 @@ class ProofStore:
                 raise ValueError("store entry does not match its key")
         except Exception:
             obs.incr("store.corrupt")
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._unlink_if_same(path, stat)
             return None
         obs.incr("store.hit")
         return entry
 
+    @staticmethod
+    def _unlink_if_same(path: Path, stat: os.stat_result) -> None:
+        """Remove ``path`` only while it is still the very file object we
+        just read (matched by device + inode).
+
+        A blind ``unlink`` here races with concurrent writers: between
+        reading a truncated entry and removing it, another worker may
+        have atomically replaced the file with a fresh *good* entry — a
+        blind unlink would then destroy that worker's write and every
+        later reader re-proves an obligation the store already held.
+        """
+        try:
+            current = os.stat(path)
+            if (current.st_dev, current.st_ino) == (stat.st_dev,
+                                                    stat.st_ino):
+                path.unlink()
+        except OSError:
+            pass
+
     def put(self, entry: StoreEntry) -> None:
-        """Atomically persist ``entry`` (best effort: a full disk,
-        permission error or unpicklable payload never fails the proof
-        that produced it — the failed write is counted as
-        ``store.write_error`` and the run continues without the cache
-        entry).  The temp file and its descriptor are reclaimed on every
-        failure path."""
+        """Atomically persist ``entry``, idempotently under concurrency.
+
+        Best effort: a full disk, permission error or unpicklable
+        payload never fails the proof that produced it — the failed
+        write is counted as ``store.write_error`` and the run continues
+        without the cache entry.  The temp file and its descriptor are
+        reclaimed on every failure path.
+
+        Multi-writer discipline: a key this process already persisted
+        checked is skipped outright, and an *unchecked* entry never
+        lands on a key that already has a file — replacing a checked
+        entry with an unchecked one would downgrade what
+        ``check_proofs=False`` loaders may trust.  Both skips count as
+        ``store.put_skipped``.
+        """
+        if entry.key in self._seen:
+            obs.incr("store.put_skipped")
+            return
+        if not entry.checked and self.path_for(entry.key).exists():
+            obs.incr("store.put_skipped")
+            return
         try:
             handle, tmp = tempfile.mkstemp(
                 dir=str(self.root), suffix=".tmp"
@@ -253,6 +291,8 @@ class ProofStore:
             self._discard(tmp)
             return
         obs.incr("store.put")
+        if entry.checked:
+            self._seen.add(entry.key)
 
     @staticmethod
     def _discard(tmp: str) -> None:
@@ -262,13 +302,40 @@ class ProofStore:
         except OSError:
             pass
 
-    def clear(self) -> None:
-        """Remove every entry."""
-        for path in self.root.glob("*.proof"):
+    def sweep_temps(self, older_than: float = 0.0) -> int:
+        """Reclaim ``*.tmp`` files a crashed writer left behind.
+
+        ``put`` discards its temp file on every failure path, but a
+        process killed mid-write (SIGKILL, OOM, power loss) cannot —
+        over a daemon's lifetime orphans would accumulate forever.
+        Removes temp files last modified more than ``older_than``
+        seconds ago; returns how many.  Deleting a *live* writer's temp
+        is harmless (its ``os.replace`` fails and is counted as a
+        ``store.write_error``; the proof itself is unaffected), so the
+        default sweeps everything.
+        """
+        cutoff = time.time() - older_than
+        swept = 0
+        for path in self.root.glob("*.tmp"):
             try:
-                path.unlink()
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    swept += 1
             except OSError:
                 pass
+        if swept:
+            obs.incr("store.temp_swept", swept)
+        return swept
+
+    def clear(self) -> None:
+        """Remove every entry (and any orphaned temp files)."""
+        for pattern in ("*.proof", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self._seen.clear()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.proof"))

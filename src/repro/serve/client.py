@@ -1,0 +1,215 @@
+"""A client for the serve daemon, usable as a library and as a tool.
+
+:class:`ServeClient` wraps the wire protocol in a blocking call-style
+API: ``submit()`` sends one kernel source and consumes the daemon's
+reply stream — forwarding each flight-recorder event to an optional
+callback — until the terminal verdict arrives.  Protocol-level
+``error`` frames become :class:`ServeError`; an unproved kernel is
+*not* an error (the verdict carries ``all_proved`` and the residue).
+
+The module also runs standalone (``python -m repro.serve.client``) so
+shell scripts and the CI smoke job can ping, query or stop a daemon
+without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Callable, Optional
+
+from .protocol import (
+    Address,
+    connect,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+
+class ServeError(Exception):
+    """A daemon-reported error (or a broken conversation).
+
+    ``code`` is the daemon's machine-readable error code (for example
+    ``parse-error`` or ``shutting-down``); ``payload`` the full error
+    frame when one was received.
+    """
+
+    def __init__(self, message: str, code: str = "client-error",
+                 payload: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """One connection (and hence one session) to a serve daemon."""
+
+    def __init__(self, address: Address,
+                 timeout: Optional[float] = None) -> None:
+        self.address = address
+        self._sock: socket.socket = connect(address, timeout=timeout)
+        self.session: Optional[str] = None
+
+    @classmethod
+    def connect_to(cls, text: str,
+                   timeout: Optional[float] = None) -> "ServeClient":
+        """Connect to a textual address (``host:port`` or socket path)."""
+        return cls(parse_address(text), timeout=timeout)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (the daemon drops the session)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- requests ------------------------------------------------------------
+
+    def _request(self, payload: dict) -> dict:
+        """Send one request and read one response frame."""
+        send_message(self._sock, payload)
+        return self._expect_frame()
+
+    def _expect_frame(self) -> dict:
+        """Read one frame, or fail loudly if the daemon hung up."""
+        frame = recv_message(self._sock)
+        if frame is None:
+            raise ServeError("daemon closed the connection",
+                             code="connection-closed")
+        return frame
+
+    def hello(self) -> dict:
+        """Open (or confirm) the session; returns the hello frame."""
+        frame = self._request({"op": "hello"})
+        if frame.get("type") != "hello":
+            raise ServeError(f"unexpected reply to hello: {frame}",
+                             code="protocol", payload=frame)
+        self.session = frame.get("session")
+        return frame
+
+    def submit(self, source: str, *, stream: bool = True,
+               on_event: Optional[Callable[[dict], None]] = None) -> dict:
+        """Verify ``source``; returns the terminal verdict frame.
+
+        Intermediate ``event`` frames are passed to ``on_event`` (when
+        streaming).  Raises :class:`ServeError` on daemon ``error``
+        frames — note an *unproved* kernel is a verdict, not an error;
+        check ``verdict["all_proved"]`` and ``verdict["residue"]``.
+        """
+        send_message(self._sock, {
+            "op": "submit",
+            "source": source,
+            "stream": bool(stream and on_event is not None),
+        })
+        while True:
+            frame = self._expect_frame()
+            kind = frame.get("type")
+            if kind == "event":
+                if on_event is not None:
+                    on_event(frame["event"])
+                continue
+            if kind == "verdict":
+                self.session = frame.get("session", self.session)
+                return frame
+            if kind == "error":
+                raise ServeError(frame.get("error", "daemon error"),
+                                 code=frame.get("code", "error"),
+                                 payload=frame)
+            raise ServeError(f"unexpected frame type {kind!r}",
+                             code="protocol", payload=frame)
+
+    def stats(self) -> dict:
+        """The daemon's point-in-time stats frame."""
+        frame = self._request({"op": "stats"})
+        if frame.get("type") != "stats":
+            raise ServeError(f"unexpected reply to stats: {frame}",
+                             code="protocol", payload=frame)
+        return frame
+
+    def ping(self) -> bool:
+        """Liveness check; True when the daemon answered."""
+        return self._request({"op": "ping"}).get("type") == "ok"
+
+    def bye(self) -> None:
+        """End the session politely and close the connection."""
+        try:
+            self._request({"op": "bye"})
+        except ServeError:
+            pass
+        self.close()
+
+    def shutdown(self) -> None:
+        """Ask the daemon to shut down, then close the connection."""
+        self._request({"op": "shutdown"})
+        self.close()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line entry: ping, stats, submit or stop a daemon.
+
+    Exit status: 0 success, 1 verification failure (``submit`` of an
+    unproved kernel), 2 usage or connection errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-client",
+        description="talk to a running repro serve daemon",
+    )
+    parser.add_argument("--connect", required=True, metavar="ADDR",
+                        help="daemon address (host:port or socket path)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds")
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument("--ping", action="store_true",
+                        help="liveness check")
+    action.add_argument("--stats", action="store_true",
+                        help="print the daemon's stats as JSON")
+    action.add_argument("--submit", metavar="KERNEL",
+                        help="verify a kernel file; prints the verdict")
+    action.add_argument("--shutdown", action="store_true",
+                        help="stop the daemon")
+    args = parser.parse_args(argv)
+    try:
+        client = ServeClient.connect_to(args.connect,
+                                        timeout=args.timeout)
+    except OSError as error:
+        print(f"error: cannot connect to {args.connect}: {error}",
+              file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.ping:
+                ok = client.ping()
+                print("ok" if ok else "no answer")
+                return 0 if ok else 2
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2,
+                                 sort_keys=True))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("daemon shutting down")
+                return 0
+            with open(args.submit, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            verdict = client.submit(source)
+            print(json.dumps(verdict, indent=2, sort_keys=True))
+            return 0 if verdict.get("all_proved") else 1
+        except ServeError as error:
+            print(f"error [{error.code}]: {error}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,516 @@
+"""The verification daemon: warm, concurrent, incremental.
+
+One process hosts everything the prover keeps warm — the intern table,
+the compiled proof plans, the symbolic memo caches and a shared
+content-addressed proof store — and serves verification over a socket.
+Clients hold *sessions*: a client submits kernel source, the daemon
+parses it, computes fragment-level dependency digests, and the engine's
+fragment-grained search re-proves only the obligations whose content
+keys changed since that session's last submission; everything else is
+served from the store after checker revalidation.
+
+Concurrency model (deliberate, and load-bearing for soundness):
+
+* one **connection thread per client** does framing I/O only — it never
+  touches the intern table or any symbolic state;
+* one **prover thread** owns all parsing and verification.  The
+  symbolic layer (intern table, memo caches, compiled plans) is
+  process-global and not thread-safe; funnelling every submission
+  through one thread makes that a non-issue and gives request
+  *batching* for free: the prover drains whatever is queued, groups
+  identical sources, and coalesces them into one ``verify_all`` pass
+  whose verdict fans out to every waiting session
+  (``serve.batch.coalesced``);
+* between batches — a quiescent point by construction — the
+  :class:`~repro.serve.housekeeping.CacheGovernor` may start a new
+  cache generation, so thousands of unrelated kernels cannot grow the
+  process without bound.
+
+Responses stream obligation-progress events (the flight-recorder
+envelope of PR 4) and terminate with a verdict carrying the *unproved
+residue* (:mod:`repro.serve.residue`) rather than a bare boolean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..frontend import parse_program
+from ..lang.errors import ReflexError
+from ..obs.events import EventLog
+from ..prover import ProverOptions, Verifier
+from ..prover.incremental import (
+    InvalidationMap,
+    Part,
+    changed_parts,
+    fragment_digests,
+)
+from ..prover.proofstore import ProofStore
+from .housekeeping import DEFAULT_MAX_INTERN_TERMS, CacheGovernor
+from .protocol import ProtocolError, recv_message, send_message
+from .residue import residue_for
+from .session import Session, SessionRegistry
+
+#: Protocol/revision tag answered in ``hello`` frames.
+PROTOCOL_VERSION = 1
+
+
+@dataclass
+class ServeOptions:
+    """Daemon configuration (the CLI's ``repro serve`` flags)."""
+
+    #: TCP bind host; ignored when ``socket_path`` is set
+    host: str = "127.0.0.1"
+    #: TCP bind port (0 = ephemeral; read the bound port off ``address``)
+    port: int = 0
+    #: UNIX-socket path (overrides host/port when set)
+    socket_path: Optional[str] = None
+    #: shared proof-store directory (``None`` disables persistence —
+    #: warm reuse then rides on compiled plans only)
+    store: Optional[str] = None
+    #: worker processes per verification (1 = serial in the prover thread)
+    jobs: int = 1
+    #: intern-table budget for the cache governor
+    max_intern_terms: int = DEFAULT_MAX_INTERN_TERMS
+    #: write an aggregated run payload (for ``repro report``) here,
+    #: atomically after every batch
+    stats_out: Optional[str] = None
+    #: bind the daemon's flight recorder to this JSONL path
+    events_out: Optional[str] = None
+
+
+@dataclass
+class _Submission:
+    """One queued verification request and where its answers go."""
+
+    session: Session
+    source: str
+    replies: "queue.Queue[dict]"
+    stream: bool = True
+
+
+class _StreamingEventLog(EventLog):
+    """An event log that forwards each record to subscriber queues.
+
+    The record itself is the PR 4 flight-recorder envelope
+    (``seq``/``t``/``kind``/``worker`` + sorted fields); subscribers
+    receive it wrapped as an ``event`` protocol frame while the log
+    still accumulates normally for telemetry merging.
+    """
+
+    def __init__(self, subscribers: List["queue.Queue[dict]"],
+                 run_id: Optional[str] = None,
+                 worker: str = "serve") -> None:
+        super().__init__(run_id=run_id, worker=worker)
+        self._subscribers = list(subscribers)
+
+    def emit(self, kind: str, /, **fields: object):
+        """Append the event and fan its envelope out to subscribers."""
+        event = super().emit(kind, **fields)
+        if self._subscribers:
+            frame = {"type": "event", "event": event.to_dict()}
+            for subscriber in self._subscribers:
+                subscriber.put(frame)
+        return event
+
+
+def _error_frame(code: str, message: str) -> dict:
+    """A terminal ``error`` frame."""
+    return {"type": "error", "code": code, "error": message}
+
+
+def _jsonable_part(part: Part) -> Optional[List[str]]:
+    """A fragment slice id as JSON: ``None`` for the base slice, a
+    two-element list for an exchange."""
+    return None if part is None else [part[0], part[1]]
+
+
+class VerificationServer:
+    """The ``repro serve`` daemon (see the module docstring)."""
+
+    def __init__(self, options: Optional[ServeOptions] = None,
+                 prover_options: Optional[ProverOptions] = None) -> None:
+        self.options = options or ServeOptions()
+        base = prover_options or ProverOptions()
+        if self.options.store is not None:
+            base.proof_store = self.options.store
+        self.prover_options = base
+        self.sessions = SessionRegistry()
+        self.invalidation = InvalidationMap()
+        self.governor = CacheGovernor(self.options.max_intern_terms)
+        self.telemetry = obs.Telemetry(
+            metrics=True, events=bool(self.options.events_out),
+        )
+        self._telemetry_lock = threading.Lock()
+        self._submissions: "queue.Queue[Optional[_Submission]]" = \
+            queue.Queue()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._batches = 0
+        self._submitted = 0
+        self._coalesced = 0
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and start the accept + prover threads.
+
+        Raises :class:`OSError` when the address cannot be bound (the
+        CLI maps that to its distinct bind-failure exit status).
+        """
+        if self.options.socket_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.options.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.options.host, self.options.port))
+            self.address = listener.getsockname()[:2]
+        listener.listen(128)
+        self._listener = listener
+        if self.options.events_out:
+            self.telemetry.events.bind(self.options.events_out)
+        if self.options.store is not None:
+            # Reclaim temp files a crashed earlier writer left behind.
+            ProofStore(self.options.store).sweep_temps()
+        for target, name in ((self._accept_loop, "serve-accept"),
+                             (self._prover_loop, "serve-prover")):
+            thread = threading.Thread(target=target, name=name,
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def address_str(self) -> str:
+        """The bound address in client-usable form."""
+        if self.options.socket_path is not None:
+            return self.options.socket_path
+        if self.address is None:
+            return "(not bound)"
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the daemon shuts down; returns whether it has."""
+        return self._stopped.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Begin an orderly shutdown (idempotent, thread-safe)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self._submissions.put(None)  # wake the prover thread
+        listener = self._listener
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+
+    def close(self) -> None:
+        """Shut down, join the service threads, flush outputs."""
+        self.shutdown()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._flush_outputs()
+        if self.options.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.options.socket_path)
+        self._stopped.set()
+
+    def __enter__(self) -> "VerificationServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- connection threads --------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        """Accept clients until the listener is closed."""
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._handle_conn, args=(conn,),
+                name="serve-conn", daemon=True,
+            )
+            thread.start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        """One client's request loop: framing I/O only — all symbolic
+        work happens on the prover thread."""
+        session: Optional[Session] = None
+        try:
+            with contextlib.closing(conn):
+                while not self._stopping.is_set():
+                    request = recv_message(conn)
+                    if request is None:
+                        break
+                    session = self._dispatch(conn, session, request)
+                    if session is _CLOSE:
+                        break
+        except (ProtocolError, OSError):
+            pass  # a misbehaving or vanished client only hurts itself
+        finally:
+            if isinstance(session, Session):
+                self.sessions.drop(session.sid)
+
+    def _dispatch(self, conn: socket.socket, session: Optional[Session],
+                  request: dict):
+        """Handle one request frame; returns the (possibly new) session
+        or the ``_CLOSE`` sentinel."""
+        op = request.get("op")
+        if op == "hello":
+            session = session or self.sessions.create()
+            send_message(conn, {
+                "type": "hello",
+                "session": session.sid,
+                "server": "repro-serve",
+                "version": PROTOCOL_VERSION,
+                "generation": self.governor.generation,
+            })
+            return session
+        if op == "submit":
+            source = request.get("source")
+            if not isinstance(source, str) or not source.strip():
+                send_message(conn, _error_frame(
+                    "bad-request", "submit requires a 'source' string"
+                ))
+                return session
+            session = session or self.sessions.create()
+            replies: "queue.Queue[dict]" = queue.Queue()
+            self._submissions.put(_Submission(
+                session=session,
+                source=source,
+                replies=replies,
+                stream=bool(request.get("stream", True)),
+            ))
+            while True:
+                frame = replies.get()
+                send_message(conn, frame)
+                if frame.get("type") in ("verdict", "error"):
+                    break
+            return session
+        if op == "ping":
+            send_message(conn, {"type": "ok", "op": "ping"})
+            return session
+        if op == "stats":
+            send_message(conn, self._stats_frame())
+            return session
+        if op == "bye":
+            send_message(conn, {"type": "ok", "op": "bye"})
+            return _CLOSE
+        if op == "shutdown":
+            send_message(conn, {"type": "ok", "op": "shutdown"})
+            self.shutdown()
+            return _CLOSE
+        send_message(conn, _error_frame(
+            "unknown-op", f"unknown op {op!r}"
+        ))
+        return session
+
+    # -- the prover thread ---------------------------------------------------
+
+    def _prover_loop(self) -> None:
+        """Drain submissions in batches until shutdown, then fail any
+        stragglers cleanly so no connection thread blocks forever."""
+        while True:
+            try:
+                first = self._submissions.get(timeout=0.25)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    break
+                continue
+            if first is None:
+                break
+            batch = [first]
+            while True:
+                try:
+                    item = self._submissions.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._stopping.set()
+                    break
+                batch.append(item)
+            self._process_batch(batch)
+            if self._stopping.is_set():
+                break
+        # Orderly refusal for anything still queued.
+        while True:
+            try:
+                item = self._submissions.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item.replies.put(_error_frame(
+                    "shutting-down", "the daemon is shutting down"
+                ))
+        self._stopped.set()
+
+    def _process_batch(self, batch: List[_Submission]) -> None:
+        """One batch: group identical sources, verify each group once,
+        fan verdicts out, then run housekeeping at the quiescent point."""
+        self._batches += 1
+        self._submitted += len(batch)
+        groups: Dict[str, List[_Submission]] = {}
+        order: List[str] = []
+        for submission in batch:
+            if submission.source not in groups:
+                groups[submission.source] = []
+                order.append(submission.source)
+            groups[submission.source].append(submission)
+        with self._telemetry_lock:
+            self.telemetry.incr("serve.batch")
+            self.telemetry.incr("serve.submissions", len(batch))
+            if self.telemetry.events is not None:
+                self.telemetry.events.emit(
+                    "serve.batch", size=len(batch), groups=len(order),
+                )
+        for source in order:
+            waiters = groups[source]
+            if len(waiters) > 1:
+                self._coalesced += len(waiters) - 1
+                with self._telemetry_lock:
+                    self.telemetry.incr("serve.batch.coalesced",
+                                        len(waiters) - 1)
+            self._verify_group(source, waiters)
+        with self._telemetry_lock, obs.use(self.telemetry):
+            self.governor.maybe_collect()
+        self._flush_outputs()
+
+    def _verify_group(self, source: str,
+                      waiters: List[_Submission]) -> None:
+        """Verify one distinct source once; stream events and fan the
+        verdict out to every coalesced waiter."""
+        try:
+            spec = parse_program(source)
+        except ReflexError as error:
+            with self._telemetry_lock:
+                self.telemetry.incr("serve.parse_error")
+            frame = _error_frame("parse-error", str(error))
+            for waiter in waiters:
+                waiter.replies.put(frame)
+            return
+        digests = fragment_digests(spec.program)
+        sink = obs.Telemetry(metrics=True, events=True)
+        sink.events = _StreamingEventLog(
+            [w.replies for w in waiters if w.stream],
+            run_id=sink.run_id,
+        )
+        started = time.perf_counter()
+        with obs.use(sink):
+            verifier = Verifier(spec, self.prover_options)
+            report = verifier.verify_all(
+                jobs=self.options.jobs if self.options.jobs > 1 else None
+            )
+            program_digest = verifier.program_digest()
+            self.invalidation.record_program(verifier, digests)
+        wall = time.perf_counter() - started
+        residue = residue_for(report)
+        counters = dict(sink.counters)
+        for waiter in waiters:
+            waiter.replies.put(self._verdict_frame(
+                waiter.session, spec, report, residue, digests,
+                program_digest, counters, wall, len(waiters),
+            ))
+        with self._telemetry_lock:
+            self.telemetry.merge_export(sink.export())
+
+    def _verdict_frame(self, session: Session, spec, report,
+                       residue: List[dict], digests: Dict[Part, str],
+                       program_digest: str, counters: Dict[str, int],
+                       wall: float, coalesced: int) -> dict:
+        """The terminal verdict for one session, with its session-scoped
+        incremental diff (which slices changed, what got superseded)."""
+        if session.rounds:
+            changed = changed_parts(session.digests, digests)
+            invalidated = len(self.invalidation.invalidated_keys(
+                session.digests, digests
+            ))
+            changed_json = [_jsonable_part(part) for part in changed]
+        else:
+            changed, invalidated, changed_json = None, 0, None
+        session.note_round(digests, program_digest, spec.name,
+                           report.all_proved)
+        return {
+            "type": "verdict",
+            "session": session.sid,
+            "round": session.rounds,
+            "program": spec.name,
+            "program_digest": program_digest,
+            "all_proved": report.all_proved,
+            "report": report.to_dict(),
+            "residue": residue,
+            "changed_parts": changed_json,
+            "fragments": {
+                "total": len(digests),
+                "changed": (len(changed) if changed is not None
+                            else len(digests)),
+            },
+            "invalidated_keys": invalidated,
+            "counters": counters,
+            "seconds": round(wall, 6),
+            "coalesced": coalesced,
+            "generation": self.governor.generation,
+            "batch": self._batches,
+        }
+
+    # -- stats and artifacts -------------------------------------------------
+
+    def _stats_frame(self) -> dict:
+        """A point-in-time ``stats`` response."""
+        with self._telemetry_lock:
+            counters = dict(self.telemetry.counters)
+        return {
+            "type": "stats",
+            "address": self.address_str,
+            "batches": self._batches,
+            "submissions": self._submitted,
+            "coalesced": self._coalesced,
+            "sessions": self.sessions.stats(),
+            "governor": self.governor.to_dict(),
+            "counters": counters,
+        }
+
+    def _flush_outputs(self) -> None:
+        """Flush the flight recorder and rewrite the stats payload (both
+        crash-safe: bound events append, the stats file replaces
+        atomically) so a killed daemon still leaves artifacts."""
+        with self._telemetry_lock:
+            if self.telemetry.events is not None:
+                self.telemetry.events.flush()
+            if self.options.stats_out:
+                payload = {
+                    "serve": {
+                        "batches": self._batches,
+                        "submissions": self._submitted,
+                        "coalesced": self._coalesced,
+                        "sessions": self.sessions.stats(),
+                        "governor": self.governor.to_dict(),
+                    },
+                    "telemetry": self.telemetry.to_dict(),
+                }
+                tmp = f"{self.options.stats_out}.tmp"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                os.replace(tmp, self.options.stats_out)
+
+
+#: Sentinel returned by ``_dispatch`` to end a connection loop.
+_CLOSE = object()

@@ -1,0 +1,105 @@
+"""Per-client session state for the serve daemon.
+
+A session is what makes re-verification *incremental* for one client:
+it remembers the fragment dependency digests of the client's previous
+submission, so the daemon can tell the client exactly which handler
+slices an edit changed (and, via the shared
+:class:`~repro.prover.incremental.InvalidationMap`, which stored
+obligation keys the edit superseded).  Sessions hold only strings and
+counters — never interned terms — so generation-aware cache eviction
+(:mod:`repro.serve.housekeeping`) can run between batches without
+worrying about sessions pinning a stale term generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..prover.incremental import Part
+
+
+@dataclass
+class Session:
+    """One client's verification history with the daemon."""
+
+    sid: str
+    created: float = field(default_factory=time.time)
+    #: completed verification rounds
+    rounds: int = 0
+    #: fragment slice → dependency digest of the previous submission
+    digests: Dict[Part, str] = field(default_factory=dict)
+    #: program content digest of the previous submission
+    program_digest: Optional[str] = None
+    #: program name of the previous submission
+    program_name: Optional[str] = None
+    #: ``all_proved`` of the previous verdict
+    last_all_proved: Optional[bool] = None
+
+    def note_round(self, digests: Dict[Part, str], program_digest: str,
+                   program_name: str, all_proved: bool) -> None:
+        """Record one completed verification round."""
+        self.rounds += 1
+        self.digests = dict(digests)
+        self.program_digest = program_digest
+        self.program_name = program_name
+        self.last_all_proved = all_proved
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (for ``stats`` responses)."""
+        return {
+            "sid": self.sid,
+            "rounds": self.rounds,
+            "program": self.program_name,
+            "program_digest": self.program_digest,
+            "last_all_proved": self.last_all_proved,
+        }
+
+
+class SessionRegistry:
+    """Thread-safe registry of live sessions, keyed by session id."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        self._opened = 0
+
+    def create(self) -> Session:
+        """Mint a new session with a daemon-unique id."""
+        with self._lock:
+            sid = f"s{next(self._ids)}"
+            session = Session(sid)
+            self._sessions[sid] = session
+            self._opened += 1
+            return session
+
+    def get(self, sid: str) -> Optional[Session]:
+        """Look a session up; ``None`` for unknown/expired ids."""
+        with self._lock:
+            return self._sessions.get(sid)
+
+    def drop(self, sid: str) -> None:
+        """Forget a session (client said ``bye`` or hung up)."""
+        with self._lock:
+            self._sessions.pop(sid, None)
+
+    def live(self) -> List[Session]:
+        """Snapshot of the live sessions."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def stats(self) -> dict:
+        """JSON-ready registry counters."""
+        with self._lock:
+            return {
+                "live_sessions": len(self._sessions),
+                "sessions_opened": self._opened,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

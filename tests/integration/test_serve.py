@@ -1,0 +1,269 @@
+"""End-to-end daemon tests: real sockets, real sessions, real reuse.
+
+The acceptance story of the serve tentpole, driven over the wire:
+
+* a warm session resubmitting a one-handler ssh2 edit re-proves *only*
+  that handler's fragments (measured via the obs counters the verdict
+  carries) and beats a cold one-shot ``repro verify`` by >= 5x;
+* a failing submission answers with structured unproved residue;
+* two concurrent sessions get isolated verdicts;
+* the CLI reserves exit 3 for bind failures, distinct from
+  verification failures (1).
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServeOptions,
+    VerificationServer,
+)
+from repro.systems import car, ssh2
+
+EDIT = 'send(CT, CountReq(user, pass));'
+EDITED = 'send(CT, CountReq(user, pass ++ ""));'
+EDITED_SSH2 = ssh2.SOURCE.replace(EDIT, EDITED)
+assert EDITED_SSH2 != ssh2.SOURCE
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+@pytest.fixture
+def server(tmp_path):
+    with VerificationServer(ServeOptions(
+            store=str(tmp_path / "store"))) as daemon:
+        yield daemon
+
+
+class TestWarmIncrementalReuse:
+    def test_one_handler_edit_reproves_only_its_fragments(self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            cold = client.submit(ssh2.SOURCE)
+            assert cold["all_proved"]
+            assert cold["changed_parts"] is None
+
+            warm = client.submit(EDITED_SSH2)
+        assert warm["all_proved"]
+        assert warm["residue"] == []
+        # The edit touched exactly the Connection=>ReqAuth handler...
+        assert warm["changed_parts"] == [["Connection", "ReqAuth"]]
+        assert warm["invalidated_keys"] > 0
+        # ...so only the two fragments covering it (one per trace
+        # property) re-enter proof search; every other fragment keeps
+        # its dependency key and revalidates from the warm store.
+        counters = warm["counters"]
+        assert counters.get("trace.fragment.searched") == 2
+        assert counters.get("trace.fragment.hit", 0) >= 70
+        assert "trace.fragment.invalid" not in counters
+
+    def test_warm_round_beats_cold_oneshot_by_5x(self, server, tmp_path):
+        """The headline number: a warm re-verify of a one-handler edit
+        vs a cold one-shot ``repro verify`` of the same edited kernel
+        (fresh process: interpreter boot, parse, full pipeline)."""
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            client.submit(ssh2.SOURCE)
+            warm = client.submit(EDITED_SSH2)
+        assert warm["all_proved"]
+
+        kernel = tmp_path / "edited_ssh2.rfx"
+        kernel.write_text(EDITED_SSH2)
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "verify", str(kernel)],
+            env=cli_env(), capture_output=True, text=True, timeout=600,
+        )
+        cold_seconds = time.perf_counter() - started
+        assert proc.returncode == 0, proc.stderr
+        assert cold_seconds >= 5 * warm["seconds"], (
+            f"warm {warm['seconds']:.3f}s vs cold {cold_seconds:.3f}s"
+        )
+
+
+class TestResidueOverTheWire:
+    def test_failing_submission_returns_structured_residue(self, server):
+        from repro.harness.utility import buggy_car_source
+
+        source, expected_failures = buggy_car_source()
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            verdict = client.submit(source)
+        assert not verdict["all_proved"]
+        by_name = {entry["property"]: entry
+                   for entry in verdict["residue"]}
+        assert set(expected_failures) <= set(by_name)
+        for entry in by_name.values():
+            assert entry["status"] == "unproved"
+            assert entry["kind"] == "trace"
+            assert entry["goal"]
+            assert entry["explanation"]
+
+    def test_parse_error_is_a_serve_error(self, server):
+        with ServeClient(server.address, timeout=60) as client:
+            client.hello()
+            with pytest.raises(ServeError) as excinfo:
+                client.submit("kernel { definitely not reflex")
+            assert excinfo.value.code == "parse-error"
+
+    def test_events_stream_before_the_verdict(self, server):
+        events = []
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            verdict = client.submit(car.SOURCE, on_event=events.append)
+        assert verdict["all_proved"]
+        assert events, "no obligation-progress events streamed"
+        kinds = {event["kind"] for event in events}
+        assert any(kind.startswith("obligation") for kind in kinds), kinds
+
+
+class TestConcurrentSessions:
+    def test_two_sessions_get_isolated_verdicts(self, server):
+        """Session A edits a handler; session B resubmits unchanged.
+        Each verdict diffs against *its own* history."""
+        results = {}
+
+        def drive(name, first, second):
+            with ServeClient(server.address, timeout=300) as client:
+                client.hello()
+                results[name] = (client.submit(first),
+                                 client.submit(second))
+
+        a = threading.Thread(
+            target=drive, args=("edits", ssh2.SOURCE, EDITED_SSH2))
+        b = threading.Thread(
+            target=drive, args=("steady", ssh2.SOURCE, ssh2.SOURCE))
+        a.start()
+        b.start()
+        a.join(timeout=600)
+        b.join(timeout=600)
+        assert set(results) == {"edits", "steady"}
+        edits_first, edits_second = results["edits"]
+        steady_first, steady_second = results["steady"]
+        assert edits_first["session"] != steady_first["session"]
+        for verdict in (edits_first, edits_second,
+                        steady_first, steady_second):
+            assert verdict["all_proved"]
+        assert edits_second["changed_parts"] == [["Connection",
+                                                  "ReqAuth"]]
+        assert steady_second["changed_parts"] == []
+        assert steady_second["invalidated_keys"] == 0
+
+    def test_simultaneous_identical_submissions_coalesce(self, server):
+        verdicts = []
+        barrier = threading.Barrier(3)
+
+        def drive():
+            with ServeClient(server.address, timeout=300) as client:
+                client.hello()
+                barrier.wait(timeout=60)
+                verdicts.append(client.submit(car.SOURCE))
+
+        threads = [threading.Thread(target=drive) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert len(verdicts) == 3
+        assert all(v["all_proved"] for v in verdicts)
+        assert len({v["session"] for v in verdicts}) == 3
+        # At least some of the racing submissions landed in one batch
+        # (all three when the barrier wins the race, which it nearly
+        # always does; >1 coalesced is the load-bearing claim).
+        assert max(v["coalesced"] for v in verdicts) >= 1
+
+
+class TestServeCli:
+    def test_bind_failure_exits_3(self, tmp_path):
+        squatter = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        squatter.bind(("127.0.0.1", 0))
+        squatter.listen(1)
+        port = squatter.getsockname()[1]
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(port)],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=120,
+            )
+        finally:
+            squatter.close()
+        assert proc.returncode == 3
+        assert "cannot bind" in proc.stderr
+
+    def test_daemon_cli_round_trip(self, tmp_path):
+        """Boot ``repro serve`` as a real subprocess, drive it with the
+        client module's CLI, and shut it down — the smoke job's exact
+        choreography."""
+        port_file = tmp_path / "addr"
+        stats_out = tmp_path / "stats.json"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port-file", str(port_file),
+             "--store", str(tmp_path / "store"),
+             "--stats-out", str(stats_out)],
+            env=cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.1)
+            address = port_file.read_text().strip()
+
+            kernel = tmp_path / "car.rfx"
+            kernel.write_text(car.SOURCE)
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro.serve.client",
+                 "--connect", address, "--submit", str(kernel)],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=300,
+            )
+            assert submit.returncode == 0, submit.stderr
+            verdict = json.loads(submit.stdout)
+            assert verdict["all_proved"]
+
+            stop = subprocess.run(
+                [sys.executable, "-m", "repro.serve.client",
+                 "--connect", address, "--shutdown"],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert stop.returncode == 0, stop.stderr
+            assert daemon.wait(timeout=60) == 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+        payload = json.loads(stats_out.read_text())
+        assert payload["serve"]["submissions"] == 1
+
+
+class TestDaemonParallelJobs:
+    def test_jobs_pool_from_prover_thread_uses_spawn_safely(
+            self, tmp_path):
+        """The threaded-fork regression, end to end: a daemon prover
+        thread fanning out with --jobs must not deadlock (it silently
+        falls back to spawn)."""
+        with VerificationServer(ServeOptions(
+                store=str(tmp_path / "store"), jobs=2)) as daemon:
+            with ServeClient(daemon.address, timeout=600) as client:
+                client.hello()
+                verdict = client.submit(car.SOURCE)
+        assert verdict["all_proved"]

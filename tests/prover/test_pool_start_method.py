@@ -1,0 +1,72 @@
+"""Pool start-method regression tests (the threaded-fork bug).
+
+The bug: ``_pool_context()`` unconditionally preferred ``fork``.  Forked
+children snapshot every lock in whatever state *other* threads hold it —
+so a pool started from a threaded parent (the serve daemon's prover
+thread, any embedding app) could inherit a permanently-held lock and
+deadlock, besides leaking the parent's descriptors.  These tests fail
+against the old behavior: from a non-main thread the context must now be
+``spawn``.
+"""
+
+import threading
+
+import pytest
+
+from repro.prover import ProverOptions, Verifier
+from repro.prover.parallel import _forking_is_risky, _pool_context
+from repro.systems import car
+
+
+def _in_thread(fn):
+    """Run ``fn`` on a worker thread; returns its result (or raises)."""
+    box = {}
+
+    def runner():
+        try:
+            box["value"] = fn()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            box["error"] = error
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join(timeout=60)
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class TestStartMethodChoice:
+    def test_threaded_caller_is_risky(self):
+        assert _in_thread(_forking_is_risky) is True
+
+    def test_pool_context_from_thread_is_spawn(self):
+        """The regression: before the fix this returned a fork context
+        whenever the platform had one, threads or no threads."""
+        context = _in_thread(_pool_context)
+        assert context.get_start_method() == "spawn"
+
+    def test_main_thread_alone_prefers_fork(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_START_METHOD", raising=False)
+        if _forking_is_risky():
+            pytest.skip("test runner itself has live threads")
+        assert _pool_context().get_start_method() == "fork"
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        assert _pool_context().get_start_method() == "spawn"
+
+    def test_unknown_override_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "hovercraft")
+        assert _pool_context().get_start_method() in ("fork", "spawn",
+                                                      "forkserver")
+
+
+class TestSpawnEndToEnd:
+    def test_parallel_verification_works_under_spawn(self, monkeypatch):
+        """Workers rebuild everything from the pickled payload, so a
+        spawn pool must reach the same verdict fork pools do."""
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        options = ProverOptions()
+        report = Verifier(car.load(), options).verify_all(jobs=2)
+        assert report.all_proved

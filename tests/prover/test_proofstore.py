@@ -275,3 +275,122 @@ class TestStoreFaults:
         assert telemetry.counters.get("store.write_error") == 1
         assert len(closed) == 1
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestMultiWriterSafety:
+    """Concurrency fixes: inode-guarded corrupt-entry unlink, idempotent
+    puts, and orphaned-temp sweeping.
+
+    The regression the inode guard pins down: ``get()`` used to unlink a
+    corrupt entry *blindly* — if a concurrent writer atomically replaced
+    the file with a fresh good entry between the read and the unlink,
+    the unlink destroyed that writer's work and every later reader
+    re-proved an obligation the store already held.
+    """
+
+    def test_unlink_spares_a_concurrently_replaced_entry(self, tmp_path):
+        store = ProofStore(tmp_path)
+        path = store.path_for("k1")
+        path.write_bytes(b"garbage from a dying writer")
+        stale_stat = os.stat(path)
+        # The race interleaving: a writer replaces the corrupt file with
+        # a good entry before the reader gets to its unlink.
+        good = StoreEntry("k1", "trace", ("payload",), True)
+        ProofStore(tmp_path).put(good)
+        ProofStore._unlink_if_same(path, stale_stat)
+        assert path.exists(), "the fresh entry was destroyed"
+        assert store.get("k1") == good
+
+    def test_corrupt_entry_still_unlinked_when_unreplaced(self, tmp_path):
+        store = ProofStore(tmp_path)
+        path = store.path_for("k1")
+        path.write_bytes(b"garbage, and nobody replaced it")
+        assert store.get("k1") is None
+        assert not path.exists()
+
+    def test_repeat_checked_put_is_skipped(self, tmp_path):
+        store = ProofStore(tmp_path)
+        entry = StoreEntry("k1", "trace", ("payload",), True)
+        from repro import obs
+
+        with obs.use(obs.Telemetry()) as telemetry:
+            store.put(entry)
+            store.put(entry)
+        assert telemetry.counters.get("store.put") == 1
+        assert telemetry.counters.get("store.put_skipped") == 1
+        assert store.get("k1") == entry
+
+    def test_unchecked_put_never_downgrades_an_existing_entry(
+            self, tmp_path):
+        ProofStore(tmp_path).put(
+            StoreEntry("k1", "trace", ("payload",), True)
+        )
+        # A different process (fresh instance, empty _seen) tries to
+        # write an unchecked entry onto the same key.
+        other = ProofStore(tmp_path)
+        from repro import obs
+
+        with obs.use(obs.Telemetry()) as telemetry:
+            other.put(StoreEntry("k1", "trace", ("payload",), False))
+        assert telemetry.counters.get("store.put_skipped") == 1
+        assert ProofStore(tmp_path).get("k1").checked is True
+
+    def test_sweep_temps_reclaims_orphans(self, tmp_path):
+        store = ProofStore(tmp_path)
+        (tmp_path / "dead-writer-1.tmp").write_bytes(b"partial")
+        (tmp_path / "dead-writer-2.tmp").write_bytes(b"partial")
+        store.put(StoreEntry("k1", "trace", ("payload",), True))
+        assert store.sweep_temps() == 2
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert store.get("k1") is not None
+
+    def test_clear_removes_temps_too(self, tmp_path):
+        store = ProofStore(tmp_path)
+        (tmp_path / "orphan.tmp").write_bytes(b"partial")
+        store.put(StoreEntry("k1", "trace", ("payload",), True))
+        store.clear()
+        assert list(tmp_path.glob("*")) == []
+
+    def test_concurrent_writers_and_readers_stress(self, tmp_path):
+        """Many threads hammering overlapping keys: every read must
+        yield either a miss or a *valid* entry for the requested key —
+        never an exception, never a foreign payload."""
+        import threading
+
+        keys = [f"key{i}" for i in range(8)]
+        errors = []
+
+        def writer(worker: int) -> None:
+            store = ProofStore(tmp_path)  # own instance, like a process
+            try:
+                for round_ in range(25):
+                    for key in keys:
+                        store.put(StoreEntry(
+                            key, "trace", (key, worker, round_), True
+                        ))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        def reader() -> None:
+            store = ProofStore(tmp_path)
+            try:
+                for _ in range(100):
+                    for key in keys:
+                        entry = store.get(key)
+                        if entry is not None:
+                            assert entry.key == key
+                            assert entry.payload[0] == key
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        for key in keys:
+            final = ProofStore(tmp_path).get(key)
+            assert final is not None and final.key == key

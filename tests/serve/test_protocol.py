@@ -1,0 +1,88 @@
+"""Wire-protocol framing tests: the boring part must be bulletproof."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_message(a, {"op": "hello", "n": 3})
+        assert recv_message(b) == {"op": "hello", "n": 3}
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for n in range(5):
+            send_message(a, {"n": n})
+        assert [recv_message(b)["n"] for _ in range(5)] == list(range(5))
+
+    def test_unicode_survives(self, pair):
+        a, b = pair
+        send_message(a, {"text": "détente ∀x"})
+        assert recv_message(b)["text"] == "détente ∀x"
+
+    def test_clean_close_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b) is None
+
+    def test_close_mid_frame_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b'{"partial":')
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame|short"):
+            recv_message(b)
+
+    def test_oversized_announcement_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 2**31))
+        with pytest.raises(ProtocolError, match="ceiling"):
+            recv_message(b)
+
+    def test_non_object_body_raises(self, pair):
+        a, b = pair
+        body = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="expected object"):
+            recv_message(b)
+
+    def test_undecodable_body_raises(self, pair):
+        a, b = pair
+        body = b"\xff\xfe not json"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_message(b)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+
+    def test_bare_port_defaults_host(self):
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_path_is_unix(self):
+        assert parse_address("/tmp/serve.sock") == "/tmp/serve.sock"
+
+    def test_colonless_text_is_unix(self):
+        assert parse_address("serve.sock") == "serve.sock"
+
+    def test_non_numeric_port_falls_back_to_path(self):
+        assert parse_address("weird:name") == "weird:name"

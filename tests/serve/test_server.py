@@ -1,0 +1,212 @@
+"""Daemon unit tests: batching, coalescing, residue, sessions, errors.
+
+These drive :meth:`VerificationServer._process_batch` directly (no
+sockets) so the prover-thread semantics — group-by-source coalescing,
+per-session verdicts, parse-error fan-out, shutdown draining — are
+testable without any socket nondeterminism.  End-to-end socket coverage
+lives in ``tests/integration/test_serve.py``.
+"""
+
+import queue
+
+import pytest
+
+from repro.serve.residue import residue_for
+from repro.serve.server import (
+    ServeOptions,
+    VerificationServer,
+    _Submission,
+)
+from repro.serve.session import SessionRegistry
+from repro.systems import car
+
+
+def submission(server, source, stream=False):
+    """A queued submission with a fresh session, ready for the batch."""
+    return _Submission(
+        session=server.sessions.create(),
+        source=source,
+        replies=queue.Queue(),
+        stream=stream,
+    )
+
+
+def drain(replies):
+    """Every frame currently queued for one submission."""
+    frames = []
+    while True:
+        try:
+            frames.append(replies.get_nowait())
+        except queue.Empty:
+            return frames
+
+
+@pytest.fixture
+def server(tmp_path):
+    return VerificationServer(ServeOptions(store=str(tmp_path / "ps")))
+
+
+class TestBatching:
+    def test_identical_sources_coalesce_into_one_verdict(self, server):
+        subs = [submission(server, car.SOURCE) for _ in range(3)]
+        server._process_batch(subs)
+        verdicts = [drain(s.replies) for s in subs]
+        for frames in verdicts:
+            assert len(frames) == 1
+            assert frames[0]["type"] == "verdict"
+            assert frames[0]["all_proved"]
+            assert frames[0]["coalesced"] == 3
+        # One verification, three waiters: all share the batch stamp...
+        assert len({f[0]["batch"] for f in verdicts}) == 1
+        # ...but each verdict names its own session.
+        assert len({f[0]["session"] for f in verdicts}) == 3
+        assert server.telemetry.counters["serve.batch.coalesced"] == 2
+
+    def test_distinct_sources_verify_separately(self, server):
+        edited = car.SOURCE.replace('"crank it up"', '"a bit louder"')
+        a = submission(server, car.SOURCE)
+        b = submission(server, edited)
+        server._process_batch([a, b])
+        va = drain(a.replies)[0]
+        vb = drain(b.replies)[0]
+        assert va["coalesced"] == 1 and vb["coalesced"] == 1
+        assert va["program_digest"] != vb["program_digest"]
+        assert "serve.batch.coalesced" not in server.telemetry.counters
+
+    def test_parse_error_fans_out_to_every_waiter(self, server):
+        subs = [submission(server, "kernel { nonsense")
+                for _ in range(2)]
+        server._process_batch(subs)
+        for sub in subs:
+            frames = drain(sub.replies)
+            assert len(frames) == 1
+            assert frames[0]["type"] == "error"
+            assert frames[0]["code"] == "parse-error"
+        assert server.telemetry.counters["serve.parse_error"] == 1
+
+    def test_streaming_waiter_gets_events_then_verdict(self, server):
+        sub = submission(server, car.SOURCE, stream=True)
+        server._process_batch([sub])
+        frames = drain(sub.replies)
+        kinds = [frame["type"] for frame in frames]
+        assert kinds[-1] == "verdict"
+        events = [f["event"] for f in frames if f["type"] == "event"]
+        assert events, "streaming submission saw no progress events"
+        # Flight-recorder envelope (PR 4 format): seq/t/kind/worker.
+        for envelope in events:
+            assert {"seq", "t", "kind", "worker"} <= set(envelope)
+
+    def test_non_streaming_waiter_gets_only_the_verdict(self, server):
+        sub = submission(server, car.SOURCE, stream=False)
+        server._process_batch([sub])
+        assert [f["type"] for f in drain(sub.replies)] == ["verdict"]
+
+
+class TestSessionDiffs:
+    def test_second_round_reports_changed_slices(self, server):
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        first = drain(sub.replies)[0]
+        assert first["round"] == 1
+        assert first["changed_parts"] is None
+
+        edited = car.SOURCE.replace('"crank it up"', '"a bit louder"')
+        again = _Submission(session=sub.session, source=edited,
+                            replies=queue.Queue(), stream=False)
+        server._process_batch([again])
+        second = drain(again.replies)[0]
+        assert second["round"] == 2
+        assert second["changed_parts"] == [["Engine", "Accelerating"]]
+        assert second["fragments"]["changed"] == 1
+        assert second["invalidated_keys"] > 0
+
+    def test_identical_resubmission_changes_nothing(self, server):
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        drain(sub.replies)
+        again = _Submission(session=sub.session, source=car.SOURCE,
+                            replies=queue.Queue(), stream=False)
+        server._process_batch([again])
+        verdict = drain(again.replies)[0]
+        assert verdict["changed_parts"] == []
+        assert verdict["invalidated_keys"] == 0
+
+
+class TestShutdownDrain:
+    def test_queued_submissions_are_refused_not_stranded(self, server):
+        sub = submission(server, car.SOURCE)
+        server._submissions.put(None)  # shutdown sentinel first
+        server._submissions.put(sub)
+        server._prover_loop()
+        frames = drain(sub.replies)
+        assert len(frames) == 1
+        assert frames[0]["type"] == "error"
+        assert frames[0]["code"] == "shutting-down"
+
+
+class TestResidue:
+    def test_unproved_submission_carries_structured_residue(self, server):
+        from repro.harness.utility import buggy_car_source
+
+        source, expected_failures = buggy_car_source()
+        sub = submission(server, source)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["type"] == "verdict"
+        assert not verdict["all_proved"]
+        names = {entry["property"] for entry in verdict["residue"]}
+        assert set(expected_failures) <= names
+        for entry in verdict["residue"]:
+            assert entry["status"] == "unproved"
+            assert entry["goal"]
+            assert entry["explanation"]
+            assert entry["seconds"] >= 0
+
+    def test_residue_for_is_empty_on_success(self):
+        from repro.prover import Verifier
+
+        report = Verifier(car.load()).verify_all()
+        assert residue_for(report) == []
+
+
+class TestStats:
+    def test_stats_frame_shape(self, server):
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        frame = server._stats_frame()
+        assert frame["type"] == "stats"
+        assert frame["batches"] == 1
+        assert frame["submissions"] == 1
+        assert frame["sessions"]["sessions_opened"] == 1
+        assert frame["governor"]["generation"] == 0
+        assert frame["counters"]["serve.batch"] == 1
+
+    def test_stats_out_is_reportable(self, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        server = VerificationServer(ServeOptions(
+            store=str(tmp_path / "ps"), stats_out=str(stats_path),
+        ))
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        payload = json.loads(stats_path.read_text())
+        assert payload["serve"]["submissions"] == 1
+        telemetry = payload["telemetry"]
+        assert telemetry["counters"]["serve.batch"] == 1
+        # The submission sink's prover counters merged into the server's.
+        assert any(key.startswith("trace.") or key.startswith("plan.")
+                   for key in telemetry["counters"])
+
+
+class TestSessionRegistry:
+    def test_ids_are_unique_and_dropped_sessions_vanish(self):
+        registry = SessionRegistry()
+        a, b = registry.create(), registry.create()
+        assert a.sid != b.sid
+        assert len(registry) == 2
+        registry.drop(a.sid)
+        assert registry.get(a.sid) is None
+        assert registry.get(b.sid) is b
+        assert registry.stats() == {"live_sessions": 1,
+                                    "sessions_opened": 2}
