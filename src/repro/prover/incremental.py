@@ -29,8 +29,10 @@ processes too.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -72,6 +74,22 @@ def changed_parts(old: Dict[Part, str],
     return changed
 
 
+def _env_cap(name: str, default: int) -> int:
+    """An integer cap from the environment, tolerant of nonsense."""
+    try:
+        return max(1, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+#: Default ceiling on tracked fragment digests.  One kernel contributes
+#: one digest per fragment slice (a handful to a few dozen), so the
+#: default comfortably covers hundreds of live kernel versions while
+#: bounding a daemon that churns through thousands of unrelated ones.
+DEFAULT_MAX_TRACKED_DIGESTS = _env_cap("REPRO_INCREMENTAL_MAX_DIGESTS",
+                                       4096)
+
+
 class InvalidationMap:
     """The dependency-tracked invalidation index, shared across sessions.
 
@@ -82,19 +100,43 @@ class InvalidationMap:
     the edit superseded — everything else is servable as-is.  The serve
     daemon keeps one instance for all its sessions; access is
     thread-safe.
+
+    The index is *bounded*: digests evict least-recently-recorded once
+    ``max_digests`` is exceeded (a re-recorded digest — any live
+    kernel's — moves back to the young end), so a long-lived daemon
+    verifying unboundedly many distinct kernels holds a bounded index.
+    Eviction only ever forgets *bookkeeping*: a later
+    :meth:`invalidated_keys` reports fewer superseded store keys, but
+    soundness never depended on this map — reuse is always gated by the
+    checker and the content-addressed store keys themselves.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 max_digests: int = DEFAULT_MAX_TRACKED_DIGESTS) -> None:
         self._lock = threading.Lock()
-        self._keys: Dict[str, set] = {}
+        self._keys: "OrderedDict[str, set]" = OrderedDict()
+        self.max_digests = max(1, int(max_digests))
+        self.evicted = 0
 
     def record(self, fragment_digest: str, obligation_key: str) -> None:
         """File ``obligation_key`` under the fragment slice digest it
-        depends on."""
+        depends on (refreshing that digest's eviction age)."""
         with self._lock:
-            self._keys.setdefault(fragment_digest, set()).add(
-                obligation_key
-            )
+            keys = self._keys.get(fragment_digest)
+            if keys is None:
+                keys = self._keys[fragment_digest] = set()
+            else:
+                self._keys.move_to_end(fragment_digest)
+            keys.add(obligation_key)
+            while len(self._keys) > self.max_digests:
+                self._keys.popitem(last=False)
+                self.evicted += 1
+
+    def discard(self, fragment_digest: str) -> None:
+        """Drop one digest's entries outright (a caller that *knows* a
+        digest is superseded everywhere need not wait for LRU aging)."""
+        with self._lock:
+            self._keys.pop(fragment_digest, None)
 
     def record_program(self, verifier: Verifier,
                        digests: Optional[Dict[Part, str]] = None) -> None:
@@ -129,6 +171,16 @@ class InvalidationMap:
         """Every slice digest currently indexed."""
         with self._lock:
             return frozenset(self._keys)
+
+    def stats(self) -> dict:
+        """JSON-ready index counters (for serve ``stats`` responses)."""
+        with self._lock:
+            return {
+                "digests": len(self._keys),
+                "keys": sum(len(keys) for keys in self._keys.values()),
+                "max_digests": self.max_digests,
+                "evicted": self.evicted,
+            }
 
     def __len__(self) -> int:
         with self._lock:

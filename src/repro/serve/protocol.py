@@ -106,15 +106,27 @@ def parse_address(text: str) -> Address:
     """Parse a ``host:port`` pair or a UNIX-socket path.
 
     Anything containing a path separator (or lacking a colon) is a
-    UNIX-socket path; otherwise the last colon splits host from port.
+    UNIX-socket path; otherwise the last colon splits host from port,
+    with IPv6 literals accepted in brackets (``[::1]:8000``).  A
+    colon-bearing text whose port is not an integer raises
+    :class:`ValueError` rather than silently becoming an AF_UNIX path —
+    a socket path whose *name* contains a colon must carry a path
+    separator (``./weird:name``) to disambiguate.
     """
     if os.sep in text or ":" not in text:
         return text
     host, _, port = text.rpartition(":")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
     try:
         return (host or "127.0.0.1", int(port))
     except ValueError:
-        return text
+        raise ValueError(
+            f"{text!r} looks like host:port but {port!r} is not an "
+            f"integer port (for a UNIX-socket path containing a colon, "
+            f"write it with a path separator, e.g. ./{text}; IPv6 "
+            f"literals need brackets, e.g. [::1]:8000)"
+        ) from None
 
 
 def connect(address: Address,

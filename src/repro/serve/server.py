@@ -38,6 +38,7 @@ import json
 import os
 import queue
 import socket
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -160,6 +161,7 @@ class VerificationServer:
         self._batches = 0
         self._submitted = 0
         self._coalesced = 0
+        self._flush_errors = 0
         self.address: Optional[Tuple[str, int]] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -260,13 +262,14 @@ class VerificationServer:
                     request = recv_message(conn)
                     if request is None:
                         break
-                    session = self._dispatch(conn, session, request)
-                    if session is _CLOSE:
+                    result = self._dispatch(conn, session, request)
+                    if result is _CLOSE:
                         break
+                    session = result
         except (ProtocolError, OSError):
             pass  # a misbehaving or vanished client only hurts itself
         finally:
-            if isinstance(session, Session):
+            if session is not None:
                 self.sessions.drop(session.sid)
 
     def _dispatch(self, conn: socket.socket, session: Optional[Session],
@@ -347,7 +350,22 @@ class VerificationServer:
                     self._stopping.set()
                     break
                 batch.append(item)
-            self._process_batch(batch)
+            # One bad batch must not kill the prover thread: an escaped
+            # exception would strand every waiter on replies.get() and
+            # wedge the daemon.  _verify_group converts per-group
+            # failures into error frames; this backstop covers the
+            # housekeeping and bookkeeping around it.  (A second
+            # terminal frame to an already-answered waiter is harmless —
+            # its connection loop stopped reading.)
+            try:
+                self._process_batch(batch)
+            except Exception as error:  # noqa: BLE001
+                frame = _error_frame(
+                    "internal-error",
+                    f"{type(error).__name__}: {error}",
+                )
+                for item in batch:
+                    item.replies.put(frame)
             if self._stopping.is_set():
                 break
         # Orderly refusal for anything still queued.
@@ -396,7 +414,37 @@ class VerificationServer:
     def _verify_group(self, source: str,
                       waiters: List[_Submission]) -> None:
         """Verify one distinct source once; stream events and fan the
-        verdict out to every coalesced waiter."""
+        verdict out to every coalesced waiter.
+
+        Never raises: a submission that blows up outside the expected
+        parse-error path (``RecursionError`` on a pathological kernel,
+        pool failures inside ``verify_all``, ...) becomes a terminal
+        ``error`` frame for every waiter still owed one, so a single bad
+        request cannot strand clients or kill the prover thread.
+        """
+        answered: set = set()
+        try:
+            self._verify_group_inner(source, waiters, answered)
+        except Exception as error:  # noqa: BLE001 — see docstring
+            with self._telemetry_lock:
+                self.telemetry.incr("serve.internal_error")
+                if self.telemetry.events is not None:
+                    self.telemetry.events.emit(
+                        "serve.internal_error",
+                        error=type(error).__name__,
+                    )
+            frame = _error_frame(
+                "internal-error", f"{type(error).__name__}: {error}"
+            )
+            for waiter in waiters:
+                if id(waiter) not in answered:
+                    waiter.replies.put(frame)
+
+    def _verify_group_inner(self, source: str,
+                            waiters: List[_Submission],
+                            answered: set) -> None:
+        """The fallible body of :meth:`_verify_group`; records each
+        waiter that received its terminal frame in ``answered``."""
         try:
             spec = parse_program(source)
         except ReflexError as error:
@@ -405,6 +453,7 @@ class VerificationServer:
             frame = _error_frame("parse-error", str(error))
             for waiter in waiters:
                 waiter.replies.put(frame)
+                answered.add(id(waiter))
             return
         digests = fragment_digests(spec.program)
         sink = obs.Telemetry(metrics=True, events=True)
@@ -428,6 +477,7 @@ class VerificationServer:
                 waiter.session, spec, report, residue, digests,
                 program_digest, counters, wall, len(waiters),
             ))
+            answered.add(id(waiter))
         with self._telemetry_lock:
             self.telemetry.merge_export(sink.export())
 
@@ -482,34 +532,61 @@ class VerificationServer:
             "batches": self._batches,
             "submissions": self._submitted,
             "coalesced": self._coalesced,
+            "flush_errors": self._flush_errors,
             "sessions": self.sessions.stats(),
             "governor": self.governor.to_dict(),
+            "invalidation": self.invalidation.stats(),
             "counters": counters,
         }
 
     def _flush_outputs(self) -> None:
         """Flush the flight recorder and rewrite the stats payload (both
         crash-safe: bound events append, the stats file replaces
-        atomically) so a killed daemon still leaves artifacts."""
+        atomically) so a killed daemon still leaves artifacts.
+
+        I/O failures (full disk, vanished directory) are counted, never
+        raised: flushing artifacts must not take the prover thread —
+        or ``close()`` — down with it.  The temp file is uniquely named
+        so concurrent flushers (the prover thread racing ``close()``
+        after a join timeout) never write through the same path.
+        """
         with self._telemetry_lock:
-            if self.telemetry.events is not None:
-                self.telemetry.events.flush()
-            if self.options.stats_out:
-                payload = {
-                    "serve": {
-                        "batches": self._batches,
-                        "submissions": self._submitted,
-                        "coalesced": self._coalesced,
-                        "sessions": self.sessions.stats(),
-                        "governor": self.governor.to_dict(),
-                    },
-                    "telemetry": self.telemetry.to_dict(),
-                }
-                tmp = f"{self.options.stats_out}.tmp"
-                with open(tmp, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, indent=2, sort_keys=True)
-                    handle.write("\n")
-                os.replace(tmp, self.options.stats_out)
+            try:
+                if self.telemetry.events is not None:
+                    self.telemetry.events.flush()
+                if self.options.stats_out:
+                    self._write_stats(self.options.stats_out)
+            except OSError:
+                self._flush_errors += 1
+                self.telemetry.incr("serve.flush_error")
+
+    def _write_stats(self, out: str) -> None:
+        """Atomically replace ``out`` with the current stats payload."""
+        payload = {
+            "serve": {
+                "batches": self._batches,
+                "submissions": self._submitted,
+                "coalesced": self._coalesced,
+                "flush_errors": self._flush_errors,
+                "sessions": self.sessions.stats(),
+                "governor": self.governor.to_dict(),
+                "invalidation": self.invalidation.stats(),
+            },
+            "telemetry": self.telemetry.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(os.path.abspath(out)) or None,
+            prefix=os.path.basename(out) + ".", suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, out)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
 
 #: Sentinel returned by ``_dispatch`` to end a connection loop.

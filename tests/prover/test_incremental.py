@@ -166,6 +166,47 @@ class TestFragmentInvalidation:
         assert all(r.source == "store" for r in cold.results)
 
 
+class TestInvalidationMapBound:
+    """The shared invalidation index must not grow without bound in a
+    long-lived daemon: least-recently-recorded digests evict past the
+    cap, and a re-recorded (live) digest survives churn."""
+
+    def test_lru_eviction_caps_the_index(self):
+        from repro.prover.incremental import InvalidationMap
+
+        imap = InvalidationMap(max_digests=8)
+        for n in range(100):
+            imap.record(f"digest-{n}", f"key-{n}")
+        stats = imap.stats()
+        assert stats["digests"] == 8
+        assert stats["keys"] == 8
+        assert stats["evicted"] == 92
+        # The survivors are the youngest; evicted digests answer empty.
+        assert imap.keys_for("digest-99") == {"key-99"}
+        assert imap.keys_for("digest-0") == frozenset()
+
+    def test_rerecording_refreshes_eviction_age(self):
+        from repro.prover.incremental import InvalidationMap
+
+        imap = InvalidationMap(max_digests=4)
+        imap.record("live", "key-live")
+        for n in range(10):
+            imap.record(f"churn-{n}", f"key-{n}")
+            imap.record("live", "key-live")  # a kernel still in use
+        assert imap.keys_for("live") == {"key-live"}
+
+    def test_discard_drops_a_superseded_digest(self):
+        from repro.prover.incremental import InvalidationMap
+
+        imap = InvalidationMap()
+        imap.record("old", "key-a")
+        imap.record("old", "key-b")
+        assert len(imap) == 2
+        imap.discard("old")
+        assert imap.keys_for("old") == frozenset()
+        assert len(imap) == 0
+
+
 class TestRendering:
     def test_report_str(self):
         iv = IncrementalVerifier(ProverOptions())

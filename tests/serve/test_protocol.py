@@ -84,5 +84,14 @@ class TestParseAddress:
     def test_colonless_text_is_unix(self):
         assert parse_address("serve.sock") == "serve.sock"
 
-    def test_non_numeric_port_falls_back_to_path(self):
-        assert parse_address("weird:name") == "weird:name"
+    def test_bracketed_ipv6_literal(self):
+        assert parse_address("[::1]:8000") == ("::1", 8000)
+
+    def test_non_numeric_port_is_a_usage_error(self):
+        # Not silently an AF_UNIX path: that surfaces as a confusing
+        # connect error far from the typo.
+        with pytest.raises(ValueError, match="not an integer port"):
+            parse_address("weird:name")
+
+    def test_colon_bearing_path_needs_a_separator(self):
+        assert parse_address("./weird:name") == "./weird:name"

@@ -8,9 +8,12 @@ lives in ``tests/integration/test_serve.py``.
 """
 
 import queue
+import socket
+import threading
 
 import pytest
 
+from repro.serve.protocol import recv_message, send_message
 from repro.serve.residue import residue_for
 from repro.serve.server import (
     ServeOptions,
@@ -197,6 +200,98 @@ class TestStats:
         # The submission sink's prover counters merged into the server's.
         assert any(key.startswith("trace.") or key.startswith("plan.")
                    for key in telemetry["counters"])
+
+
+class TestProverRobustness:
+    """A single bad request must never wedge the daemon: every waiter
+    gets a terminal frame and the prover thread survives."""
+
+    def test_unexpected_exception_fans_error_frames(self, server,
+                                                    monkeypatch):
+        import repro.serve.server as server_mod
+
+        def blow_up(source):
+            raise RecursionError("maximum recursion depth exceeded")
+
+        monkeypatch.setattr(server_mod, "parse_program", blow_up)
+        subs = [submission(server, car.SOURCE) for _ in range(2)]
+        server._process_batch(subs)  # must not raise
+        for sub in subs:
+            frames = drain(sub.replies)
+            assert len(frames) == 1
+            assert frames[0]["type"] == "error"
+            assert frames[0]["code"] == "internal-error"
+            assert "RecursionError" in frames[0]["error"]
+        assert server.telemetry.counters["serve.internal_error"] == 1
+
+        # The prover state is intact: the next batch verifies normally.
+        monkeypatch.undo()
+        good = submission(server, car.SOURCE)
+        server._process_batch([good])
+        assert drain(good.replies)[-1]["type"] == "verdict"
+
+    def test_prover_loop_survives_a_batch_crash(self, server,
+                                                monkeypatch):
+        real = server._process_batch
+        crashed = []
+
+        def flaky(batch):
+            if not crashed:
+                crashed.append(True)
+                raise OSError("no space left on device")
+            real(batch)
+
+        monkeypatch.setattr(server, "_process_batch", flaky)
+        thread = threading.Thread(target=server._prover_loop,
+                                  daemon=True)
+        thread.start()
+        try:
+            bad = submission(server, car.SOURCE)
+            server._submissions.put(bad)
+            frame = bad.replies.get(timeout=30)
+            assert frame["type"] == "error"
+            assert frame["code"] == "internal-error"
+            assert "OSError" in frame["error"]
+
+            good = submission(server, car.SOURCE)
+            server._submissions.put(good)
+            assert good.replies.get(timeout=120)["type"] == "verdict"
+        finally:
+            server._submissions.put(None)
+            thread.join(timeout=10)
+        assert server._stopped.is_set()
+
+    def test_stats_write_failure_is_counted_not_fatal(self, tmp_path):
+        server = VerificationServer(ServeOptions(
+            store=str(tmp_path / "ps"),
+            stats_out=str(tmp_path / "no-such-dir" / "stats.json"),
+        ))
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])  # must not raise
+        assert drain(sub.replies)[-1]["type"] == "verdict"
+        assert server.telemetry.counters["serve.flush_error"] >= 1
+        assert server._stats_frame()["flush_errors"] >= 1
+
+
+class TestConnectionLifecycle:
+    def test_bye_drops_the_session(self, server):
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        try:
+            send_message(ours, {"op": "hello"})
+            assert recv_message(ours)["type"] == "hello"
+            assert len(server.sessions) == 1
+            send_message(ours, {"op": "bye"})
+            assert recv_message(ours) == {"type": "ok", "op": "bye"}
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            # A polite disconnect must not leak its registry entry.
+            assert len(server.sessions) == 0
+            assert server.sessions.stats()["live_sessions"] == 0
+        finally:
+            ours.close()
 
 
 class TestSessionRegistry:
