@@ -15,6 +15,7 @@ The pushbutton workflow of the paper as a tool::
     python -m repro soak --kernel car --instances 1000 \\
         --messages 1000000                     # production-scale soak
     python -m repro serve --store proofs/      # warm verification daemon
+    python -m repro chaos-serve --seed 0       # fault-inject the daemon
     python -m repro report run.json            # post-mortem text report
 
 Exit status: 0 on success (all requested properties proved / the file is
@@ -314,13 +315,25 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .serve import ServeOptions, VerificationServer
 
     complaint = _validate_ranges(
         ("--port", args.port, 0, 65535),
         ("--jobs", args.jobs, 1, None),
         ("--max-intern-terms", args.max_intern_terms, 1, None),
+        ("--max-queued", args.max_queued, 1, None),
+        ("--session-inflight", args.session_inflight, 1, None),
+        ("--breaker-threshold", args.breaker_threshold, 1, None),
     )
+    if complaint is None and args.pool_recycle_tasks is not None:
+        complaint = _validate_ranges(
+            ("--pool-recycle-tasks", args.pool_recycle_tasks, 1, None),
+        )
+    if complaint is None and args.breaker_cooldown <= 0:
+        complaint = (f"--breaker-cooldown must be > 0, "
+                     f"got {args.breaker_cooldown}")
     if complaint is not None:
         print(f"error: {complaint}", file=sys.stderr)
         return 2
@@ -333,6 +346,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_intern_terms=args.max_intern_terms,
         stats_out=args.stats_out,
         events_out=args.events_out,
+        max_queued=args.max_queued,
+        session_inflight=args.session_inflight,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        pool_recycle_tasks=args.pool_recycle_tasks,
+        worker_rss_limit_mb=args.worker_rss_mb,
     ))
     try:
         server.start()
@@ -342,6 +361,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot bind {args.socket or args.host}: {error}",
               file=sys.stderr)
         return 3
+    # SIGTERM (systemd stop, container runtime, CI cleanup) drains
+    # gracefully: stop accepting, finish the batch in flight, shed the
+    # rest with terminal frames, flush artifacts, exit 0.  shutdown()
+    # is signal-safe here — it only sets events and closes the listener.
+    signal.signal(signal.SIGTERM, lambda signum, frame: server.shutdown())
     address = server.address_str
     if args.port_file:
         # Written atomically so a watcher never reads a half-written
@@ -359,6 +383,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.close()
     print("daemon stopped", flush=True)
     return 0
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    from .harness import chaos_serve
+
+    if args.list:
+        for name in chaos_serve.SCENARIO_NAMES:
+            print(name)
+        return 0
+    complaint = _validate_ranges(
+        ("--jobs", args.jobs, 1, None),
+    )
+    if complaint is not None:
+        print(f"error: {complaint}", file=sys.stderr)
+        return 2
+    names = (None if args.scenarios == "all"
+             else [name.strip() for name in args.scenarios.split(",")
+                   if name.strip()])
+    try:
+        report = chaos_serve.run_chaos_serve(
+            names, seed=args.seed, jobs=args.jobs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_out}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(chaos_serve.render_chaos_serve(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -591,7 +651,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", metavar="FILE", default=None,
                        help="write the bound address here once listening "
                             "(for scripts using an ephemeral port)")
+    from .serve import admission as serve_admission
+    from .serve import breaker as serve_breaker
+
+    serve.add_argument("--max-queued", type=int,
+                       default=serve_admission.DEFAULT_MAX_QUEUED,
+                       help="daemon-wide cap on admitted, unanswered "
+                            "submissions; past it submits are shed with "
+                            "an 'overloaded' frame "
+                            "(env REPRO_SERVE_MAX_QUEUED)")
+    serve.add_argument("--session-inflight", type=int,
+                       default=serve_admission.DEFAULT_SESSION_INFLIGHT,
+                       help="per-session in-flight submission cap "
+                            "(env REPRO_SERVE_MAX_PER_SESSION)")
+    serve.add_argument("--breaker-threshold", type=int,
+                       default=serve_breaker.DEFAULT_THRESHOLD,
+                       help="consecutive backend failures before the "
+                            "circuit breaker opens")
+    serve.add_argument("--breaker-cooldown", type=float,
+                       default=serve_breaker.DEFAULT_COOLDOWN,
+                       help="seconds an open breaker waits before "
+                            "half-open probes")
+    serve.add_argument("--pool-recycle-tasks", type=int, default=None,
+                       help="drain and rebuild the worker pool after "
+                            "this many completed tasks "
+                            "(env REPRO_SERVE_POOL_RECYCLE_TASKS)")
+    serve.add_argument("--worker-rss-mb", type=float, default=None,
+                       help="recycle the worker pool once a worker's "
+                            "peak RSS exceeds this many MiB "
+                            "(env REPRO_SERVE_WORKER_RSS_MB)")
     serve.set_defaults(func=_cmd_serve)
+
+    chaos_serve = sub.add_parser(
+        "chaos-serve",
+        help="fault-inject a live serve daemon (worker kills, hangs, "
+             "disk-full, disconnects, malformed frames, floods)",
+    )
+    chaos_serve.add_argument("--scenarios", default="all",
+                             help="comma-separated scenario names, or "
+                                  "'all' (see --list)")
+    chaos_serve.add_argument("--list", action="store_true",
+                             help="print the scenario names and exit")
+    chaos_serve.add_argument("--seed", type=int, default=0,
+                             help="master seed (reports are bit-for-bit "
+                                  "reproducible per seed)")
+    chaos_serve.add_argument("--jobs", type=int, default=2,
+                             help="worker processes for pool-fault "
+                                  "scenarios (min 2 applies)")
+    chaos_serve.add_argument("--report-out", metavar="FILE", default=None,
+                             help="write the sweep report JSON here")
+    chaos_serve.add_argument("--json", action="store_true",
+                             help="print the report as JSON instead of "
+                                  "the table")
+    chaos_serve.set_defaults(func=_cmd_chaos_serve)
 
     report = sub.add_parser(
         "report",

@@ -17,6 +17,7 @@ from .derivation import (
     TracePropertyProof,
 )
 from .engine import (
+    DEADLINE_MESSAGE,
     PropertyResult,
     ProverOptions,
     VerificationReport,
@@ -68,6 +69,7 @@ __all__ = [
     "InvariantProof",
     "InvariantSpec",
     "TracePropertyProof",
+    "DEADLINE_MESSAGE",
     "PropertyResult",
     "ProverOptions",
     "VerificationReport",

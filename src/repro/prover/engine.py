@@ -131,6 +131,25 @@ class ProverOptions:
     #: parallel runs only: how many times a timed-out or crashed task is
     #: retried before it becomes a diagnostic failure verdict
     task_retries: int = 1
+    #: absolute ``time.monotonic()`` deadline for the whole run; a
+    #: property (serial) or obligation task (parallel) not finished by
+    #: then becomes a diagnostic failure verdict carrying
+    #: :data:`DEADLINE_MESSAGE`, so callers get a *partial* report —
+    #: whatever was proved inside the budget — instead of a hang.
+    #: ``None`` (the default) disables the budget.  Execution policy
+    #: only: it never shapes obligation keys or derivations.
+    deadline: Optional[float] = None
+    #: parallel runs only: retire the pool after this many completed
+    #: tasks (a fresh pool serves the remainder); ``None`` disables
+    pool_recycle_tasks: Optional[int] = None
+    #: parallel runs only: retire the pool once any worker reports a
+    #: peak RSS above this many MiB; ``None`` disables
+    worker_rss_limit_mb: Optional[float] = None
+
+
+#: Diagnostic-error prefix for work condemned by ``ProverOptions.deadline``
+#: (the serve layer's residue rendering keys off it).
+DEADLINE_MESSAGE = "deadline expired before this proof completed"
 
 
 @dataclass
@@ -759,6 +778,20 @@ class Verifier:
             source=source,
         )
 
+    def _deadline_expired(self) -> bool:
+        deadline = self.options.deadline
+        return deadline is not None and time.monotonic() >= deadline
+
+    def _deadline_result(self, prop: Property) -> PropertyResult:
+        obs.incr("prover.deadline_skipped")
+        obs.event("property.deadline", property=prop.name)
+        return PropertyResult(
+            property=prop,
+            status="failed",
+            seconds=0.0,
+            error=DEADLINE_MESSAGE,
+        )
+
     def verify_all(self, jobs: Optional[int] = None) -> VerificationReport:
         """Verify every property of the program.
 
@@ -778,6 +811,9 @@ class Verifier:
                 )
             else:
                 for prop in self.spec.properties:
+                    if self._deadline_expired():
+                        report.results.append(self._deadline_result(prop))
+                        continue
                     report.results.append(self.prove_property(prop))
         report.wall_seconds = time.perf_counter() - start
         return report

@@ -31,7 +31,23 @@ worker killed mid-task can no longer wedge ``verify_all`` — the parent
 abandons the poisoned pool, rebuilds it, and retries the unresolved
 tasks up to ``ProverOptions.task_retries`` times; a task that keeps
 failing becomes a *diagnostic failure verdict* on its property rather
-than an exception or a hang.
+than an exception or a hang.  ``ProverOptions.deadline`` bounds the
+whole run: once the absolute deadline passes, every task still in
+flight is condemned (no retries — the budget is gone) with
+:data:`~repro.prover.engine.DEADLINE_MESSAGE` in its diagnostic, so
+callers always get a *partial* report rather than a late one.
+
+Hygiene for long-lived parents (the serve daemon): the pool is
+*recycled* — drained gracefully and rebuilt fresh — after
+``ProverOptions.pool_recycle_tasks`` completed tasks, or as soon as any
+worker reports a peak RSS above ``ProverOptions.worker_rss_limit_mb``,
+bounding per-worker memory growth across thousands of verifications.
+
+Chaos instrumentation (inert unless the ``REPRO_CHAOS_TASK_*``
+environment variables are set — see :mod:`repro.harness.chaos_serve`):
+workers can be told to SIGKILL themselves or hang at the start of a
+matching task, exactly once across the pool, to exercise these
+robustness paths from the outside.
 """
 
 from __future__ import annotations
@@ -40,6 +56,8 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import signal
+import sys
 import threading
 import time
 from concurrent.futures import (
@@ -207,18 +225,67 @@ def _execute(task: tuple) -> tuple:
     raise ValueError(f"unknown task {task!r}")
 
 
+def _maybe_inject_chaos(task: tuple) -> None:
+    """Service-level fault injection (chaos harness only).
+
+    ``REPRO_CHAOS_TASK_FAULT`` names the fault (``sigkill`` — the worker
+    kills itself with SIGKILL, as an OOM killer would; ``hang`` — the
+    task sleeps ``REPRO_CHAOS_TASK_SECONDS``, default effectively
+    forever).  ``REPRO_CHAOS_TASK_MATCH`` restricts it to tasks whose
+    label contains the substring; ``REPRO_CHAOS_TASK_LATCH`` names a
+    file created with ``O_CREAT|O_EXCL`` so the fault fires exactly once
+    across every process of the pool (and across retry generations).
+    Without the environment variables this is a no-op.
+    """
+    fault = os.environ.get("REPRO_CHAOS_TASK_FAULT")
+    if not fault:
+        return
+    match = os.environ.get("REPRO_CHAOS_TASK_MATCH")
+    if match and (_WORKER is None
+                  or match not in _task_label(_WORKER.spec, task)):
+        return
+    latch = os.environ.get("REPRO_CHAOS_TASK_LATCH")
+    if latch:
+        try:
+            os.close(os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except OSError:
+            return  # latch already taken (or unwritable): fault spent
+    if fault == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault == "hang":
+        time.sleep(float(os.environ.get("REPRO_CHAOS_TASK_SECONDS",
+                                        "3600")))
+
+
+def _worker_rss_mb() -> float:
+    """This process's peak RSS in MiB (0.0 when unreadable).
+
+    ``ru_maxrss`` is KiB on Linux, bytes on macOS."""
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:  # noqa: BLE001 - telemetry only, never fatal
+        return 0.0
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def _run_task(task: tuple) -> tuple:
     """Task entry point: execute under a private telemetry sink and ship
     its :meth:`~repro.obs.Telemetry.export` snapshot back for the parent
     to merge, along with this worker's (separately captured) step-build
-    telemetry and the wall-clock start (for the queue-wait metric)."""
+    telemetry, the wall-clock start (for the queue-wait metric), and the
+    worker's peak RSS (for the parent's pool-recycling policy)."""
+    _maybe_inject_chaos(task)
     telemetry = _task_sink()
     start_wall = time.time()
     with obs.use(telemetry):
         with obs.span("parallel.task", kind=task[0]):
             outcome = _execute(task)
     return (task, outcome, telemetry.export(), _STEP_TELEMETRY,
-            start_wall)
+            start_wall, _worker_rss_mb())
 
 
 def _forking_is_risky() -> bool:
@@ -332,10 +399,16 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
     then resolved as diagnostic failure verdicts — ``verify_all`` always
     returns one result per property.
     """
-    from .engine import PropertyResult
+    from .engine import DEADLINE_MESSAGE, PropertyResult
 
     timeout = getattr(options, "task_timeout", None)
     retries = max(0, getattr(options, "task_retries", 1))
+    deadline = getattr(options, "deadline", None)
+    recycle_tasks = getattr(options, "pool_recycle_tasks", None)
+    rss_limit = getattr(options, "worker_rss_limit_mb", None)
+
+    def deadline_expired() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
 
     exchange_parts = list(spec.program.exchange_keys())
     ids = itertools.count()
@@ -424,7 +497,13 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             f"obligation abandoned after {attempts[tid]} attempt(s): "
             f"{reason}"
         )
-        obs.incr("parallel.task_abandoned")
+        if reason == DEADLINE_MESSAGE:
+            # The caller's budget ran out — the backend is fine.  Kept
+            # distinct from task_abandoned so the serve layer's circuit
+            # breaker never mistakes an impatient client for a sick pool.
+            obs.incr("parallel.task_deadline")
+        else:
+            obs.incr("parallel.task_abandoned")
         obs.event("task.abandoned", task=_task_label(spec, task),
                   reason=reason, attempts=attempts[tid])
         kind = task[0]
@@ -453,9 +532,13 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
 
     def run_generation() -> Dict[int, str]:
         """One pool lifetime: submit every unresolved task, fold in
-        completions, and stop early on a hang or worker death.  Returns
-        the tasks to penalize (id → reason); everything else still
-        unresolved is retried free of charge in the next generation."""
+        completions, and stop early on a hang, a worker death, or the
+        run deadline.  Returns the tasks to penalize (id → reason);
+        everything else still unresolved is retried free of charge in
+        the next generation.  A *recycle* trigger (completed-task or
+        worker-RSS budget) ends the generation gracefully — queued
+        futures are cancelled and retried, penalty-free, in a fresh
+        pool."""
         penalized: Dict[int, str] = {}
         pool = ProcessPoolExecutor(
             max_workers=jobs,
@@ -472,10 +555,21 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
             submitted[tid] = time.time()
         running_since: Dict[object, float] = {}
         broken = False
-        poll = None if timeout is None else min(timeout / 4.0, 0.1)
+        completed = 0
+        peak_rss = 0.0
+        recycle_reason: Optional[str] = None
+        # Always bounded, even with no task timeout: the loop must get
+        # regular turns to notice a broken pool whose cleanup thread
+        # died before failing every future (see the _broken check).
+        poll = 0.25 if timeout is None else min(timeout / 4.0, 0.1)
         try:
             while pending:
-                done, _ = wait(set(pending), timeout=poll,
+                wait_timeout = poll
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    wait_timeout = (remaining if wait_timeout is None
+                                    else min(wait_timeout, remaining))
+                done, _ = wait(set(pending), timeout=wait_timeout,
                                return_when=FIRST_COMPLETED)
                 now = time.monotonic()
                 for future in pending:
@@ -487,9 +581,10 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                     running_since.pop(future, None)
                     try:
                         (task, outcome, exported, step_telemetry,
-                         start_wall) = future.result()
+                         start_wall, rss_mb) = future.result()
                     except BrokenExecutor:
                         penalized[tid] = "its worker process died"
+                        obs.incr("parallel.worker_died")
                         obs.event("task.worker_died",
                                   task=_task_label(spec, tasks[tid]))
                         broken = True
@@ -500,6 +595,8 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                                   task=_task_label(spec, tasks[tid]),
                                   error=repr(error))
                         continue
+                    completed += 1
+                    peak_rss = max(peak_rss, rss_mb)
                     if telemetry is not None:
                         if step_telemetry is not None and not step_merged[0]:
                             step_merged[0] = True
@@ -514,21 +611,49 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                             )
                     handle_outcome(tid, task, outcome)
                     # a settled NI assembly may have enqueued its check
-                    for new_tid in sorted(unresolved - scheduled):
-                        try:
-                            future = pool.submit(
-                                _run_task, tasks[new_tid]
-                            )
-                        except BrokenExecutor:
-                            # pool died under us: the task stays
-                            # unresolved and runs next generation
-                            broken = True
-                            break
-                        scheduled.add(new_tid)
-                        pending[future] = new_tid
-                        submitted[new_tid] = time.time()
+                    if recycle_reason is None:
+                        for new_tid in sorted(unresolved - scheduled):
+                            try:
+                                future = pool.submit(
+                                    _run_task, tasks[new_tid]
+                                )
+                            except BrokenExecutor:
+                                # pool died under us: the task stays
+                                # unresolved and runs next generation
+                                broken = True
+                                break
+                            scheduled.add(new_tid)
+                            pending[future] = new_tid
+                            submitted[new_tid] = time.time()
+                if (not broken and pending
+                        and getattr(pool, "_broken", False)):
+                    # The pool broke, but its management thread can die
+                    # mid-cleanup without failing every future (on
+                    # CPython 3.11 a cancelled work item — recycling
+                    # cancels queued futures — raises InvalidStateError
+                    # inside terminate_broken).  Never wait on futures
+                    # that can no longer complete.
+                    for future in list(pending):
+                        if future.done():
+                            continue
+                        tid = pending.pop(future)
+                        penalized[tid] = "its worker process died"
+                        obs.incr("parallel.worker_died")
+                        obs.event("task.worker_died",
+                                  task=_task_label(spec, tasks[tid]))
+                    broken = True
                 if broken:
                     return penalized  # survivors retried next generation
+                if deadline is not None and now >= deadline and pending:
+                    # The budget is gone: condemn everything still in
+                    # flight (queued or running) and kill the workers.
+                    for future in list(pending):
+                        tid = pending.pop(future)
+                        penalized[tid] = DEADLINE_MESSAGE
+                        obs.event("task.deadline",
+                                  task=_task_label(spec, tasks[tid]))
+                    broken = True
+                    return penalized
                 if timeout is not None:
                     hung = [future for future, since
                             in running_since.items()
@@ -545,6 +670,30 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
                                       timeout=timeout)
                         broken = True
                         return penalized
+                if recycle_reason is None and completed > 0:
+                    if (recycle_tasks is not None
+                            and completed >= recycle_tasks):
+                        recycle_reason = (
+                            f"{completed} tasks >= budget {recycle_tasks}"
+                        )
+                    elif (rss_limit is not None
+                            and peak_rss > rss_limit):
+                        recycle_reason = (
+                            f"worker RSS {peak_rss:.0f} MiB > "
+                            f"ceiling {rss_limit:g} MiB"
+                        )
+                    if recycle_reason is not None:
+                        obs.incr("parallel.pool_recycled")
+                        obs.event("pool.recycled",
+                                  reason=recycle_reason,
+                                  completed=completed,
+                                  peak_rss_mb=round(peak_rss, 1))
+                        # Cancelled (never-started) futures run in the
+                        # next generation's fresh pool; running ones
+                        # finish here first.
+                        for future in list(pending):
+                            if future.cancel():
+                                pending.pop(future)
         finally:
             if broken:
                 _abandon_pool(pool)
@@ -560,10 +709,22 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
         for _ in range(generation_cap):
             if not unresolved:
                 break
+            if deadline_expired():
+                # The budget ran out between generations: whatever is
+                # still unresolved becomes deadline diagnostics now —
+                # retrying work with no time left only delays the
+                # partial report the caller is owed.
+                for tid in sorted(unresolved):
+                    attempts[tid] += 1
+                    condemn(tid, DEADLINE_MESSAGE)
+                break
             for tid, reason in sorted(run_generation().items()):
                 if tid not in unresolved:
                     continue
                 attempts[tid] += 1
+                if reason == DEADLINE_MESSAGE:
+                    condemn(tid, reason)
+                    continue
                 obs.incr("parallel.task_retry")
                 if attempts[tid] > retries:
                     condemn(tid, reason)

@@ -269,6 +269,10 @@ class ProofStore:
             obs.incr("store.put_skipped")
             return
         try:
+            if os.environ.get("REPRO_CHAOS_STORE_FULL"):
+                # Chaos instrumentation (harness/chaos_serve.py): behave
+                # exactly as a full disk would at the first write.
+                raise OSError(28, "No space left on device (injected)")
             handle, tmp = tempfile.mkstemp(
                 dir=str(self.root), suffix=".tmp"
             )

@@ -20,13 +20,19 @@ process instead of paying cold start every time.
 * :mod:`repro.serve.client` — the blocking client used by the examples,
   the tests and the CI smoke job;
 * :mod:`repro.serve.housekeeping` — generation-aware eviction keeping a
-  long-lived process's symbolic caches bounded.
+  long-lived process's symbolic caches bounded;
+* :mod:`repro.serve.admission` — bounded admission and load shedding
+  (``overloaded`` frames with ``retry_after_ms`` hints);
+* :mod:`repro.serve.breaker` — the circuit breaker that serves degraded
+  answers while a sick prover backend heals.
 
-See ``docs/serve.md`` for the protocol and lifecycle.
+See ``docs/serve.md`` for the protocol, lifecycle and failure modes.
 """
 
 _EXPORTS = {
+    "AdmissionController": "admission",
     "CacheGovernor": "housekeeping",
+    "CircuitBreaker": "breaker",
     "ProtocolError": "protocol",
     "ServeClient": "client",
     "ServeError": "client",
@@ -60,7 +66,9 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AdmissionController",
     "CacheGovernor",
+    "CircuitBreaker",
     "ProtocolError",
     "ServeClient",
     "ServeError",

@@ -7,6 +7,14 @@ callback — until the terminal verdict arrives.  Protocol-level
 ``error`` frames become :class:`ServeError`; an unproved kernel is
 *not* an error (the verdict carries ``all_proved`` and the residue).
 
+Backpressure: when the daemon sheds a submit with an ``overloaded``
+frame, the client honors its ``retry_after_ms`` hint with jittered
+exponential backoff (``overload_retries`` attempts) before giving up —
+so a fleet of clients spreads its retries instead of hammering an
+already-overloaded daemon in lockstep.  A configured I/O ``timeout``
+turns a hung daemon into ``ServeError(code="timeout")`` instead of
+blocking forever.
+
 The module also runs standalone (``python -m repro.serve.client``) so
 shell scripts and the CI smoke job can ping, query or stop a daemon
 without writing Python.
@@ -16,8 +24,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import socket
 import sys
+import time
 from typing import Callable, Optional
 
 from .protocol import (
@@ -28,13 +38,18 @@ from .protocol import (
     send_message,
 )
 
+#: Default number of retries after ``overloaded`` shed frames.
+DEFAULT_OVERLOAD_RETRIES = 4
+
 
 class ServeError(Exception):
     """A daemon-reported error (or a broken conversation).
 
     ``code`` is the daemon's machine-readable error code (for example
-    ``parse-error`` or ``shutting-down``); ``payload`` the full error
-    frame when one was received.
+    ``parse-error``, ``overloaded`` or ``shutting-down``) — or the
+    client-side codes ``timeout`` (the configured I/O timeout elapsed)
+    and ``connection-closed``; ``payload`` is the full error frame when
+    one was received.
     """
 
     def __init__(self, message: str, code: str = "client-error",
@@ -43,21 +58,40 @@ class ServeError(Exception):
         self.code = code
         self.payload = payload or {}
 
+    @property
+    def retry_after_ms(self) -> Optional[int]:
+        """The daemon's backoff hint, on ``overloaded`` errors."""
+        hint = self.payload.get("retry_after_ms")
+        return hint if isinstance(hint, int) else None
+
 
 class ServeClient:
-    """One connection (and hence one session) to a serve daemon."""
+    """One connection (and hence one session) to a serve daemon.
+
+    ``timeout`` bounds every socket operation (``None`` = block
+    forever, the PR 8 behavior); ``overload_retries`` bounds the
+    automatic backoff-and-retry on shed submissions (0 disables —
+    ``overloaded`` then surfaces as a :class:`ServeError`).
+    """
 
     def __init__(self, address: Address,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 overload_retries: int = DEFAULT_OVERLOAD_RETRIES,
+                 backoff_rng: Optional[random.Random] = None) -> None:
         self.address = address
+        self.timeout = timeout
+        self.overload_retries = max(0, int(overload_retries))
+        self._rng = backoff_rng or random.Random()
+        self._sleep = time.sleep  # injectable for tests
         self._sock: socket.socket = connect(address, timeout=timeout)
         self.session: Optional[str] = None
 
     @classmethod
     def connect_to(cls, text: str,
-                   timeout: Optional[float] = None) -> "ServeClient":
+                   timeout: Optional[float] = None,
+                   **kwargs) -> "ServeClient":
         """Connect to a textual address (``host:port`` or socket path)."""
-        return cls(parse_address(text), timeout=timeout)
+        return cls(parse_address(text), timeout=timeout, **kwargs)
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -74,22 +108,45 @@ class ServeClient:
 
     # -- requests ------------------------------------------------------------
 
+    def _send(self, payload: dict) -> None:
+        """Send one frame, mapping a socket timeout to ``ServeError``."""
+        try:
+            send_message(self._sock, payload)
+        except TimeoutError as error:
+            raise ServeError(
+                f"no reply within {self.timeout:g}s", code="timeout"
+            ) from error
+
     def _request(self, payload: dict) -> dict:
         """Send one request and read one response frame."""
-        send_message(self._sock, payload)
+        self._send(payload)
         return self._expect_frame()
 
     def _expect_frame(self) -> dict:
-        """Read one frame, or fail loudly if the daemon hung up."""
-        frame = recv_message(self._sock)
+        """Read one frame, or fail loudly if the daemon hung up (or the
+        configured I/O timeout elapsed)."""
+        try:
+            frame = recv_message(self._sock)
+        except TimeoutError as error:
+            raise ServeError(
+                f"no reply within {self.timeout:g}s", code="timeout"
+            ) from error
         if frame is None:
             raise ServeError("daemon closed the connection",
                              code="connection-closed")
         return frame
 
-    def hello(self) -> dict:
-        """Open (or confirm) the session; returns the hello frame."""
-        frame = self._request({"op": "hello"})
+    def hello(self, session: Optional[str] = None) -> dict:
+        """Open (or confirm) the session; returns the hello frame.
+
+        Pass a previous ``session`` id to re-attach to it (keeping its
+        incremental history) after a reconnect; an unknown or expired id
+        silently opens a fresh session.
+        """
+        request: dict = {"op": "hello"}
+        if session is not None:
+            request["session"] = session
+        frame = self._request(request)
         if frame.get("type") != "hello":
             raise ServeError(f"unexpected reply to hello: {frame}",
                              code="protocol", payload=frame)
@@ -97,19 +154,45 @@ class ServeClient:
         return frame
 
     def submit(self, source: str, *, stream: bool = True,
-               on_event: Optional[Callable[[dict], None]] = None) -> dict:
+               on_event: Optional[Callable[[dict], None]] = None,
+               deadline_ms: Optional[int] = None) -> dict:
         """Verify ``source``; returns the terminal verdict frame.
 
         Intermediate ``event`` frames are passed to ``on_event`` (when
-        streaming).  Raises :class:`ServeError` on daemon ``error``
-        frames — note an *unproved* kernel is a verdict, not an error;
-        check ``verdict["all_proved"]`` and ``verdict["residue"]``.
+        streaming).  ``deadline_ms`` bounds the verification wall-clock:
+        past it the daemon answers a *partial* verdict whose residue
+        marks unfinished properties with status ``deadline``.  Raises
+        :class:`ServeError` on daemon ``error`` frames — note an
+        *unproved* kernel is a verdict, not an error; check
+        ``verdict["all_proved"]`` and ``verdict["residue"]``.
+
+        An ``overloaded`` shed is retried up to ``overload_retries``
+        times with jittered exponential backoff seeded from the daemon's
+        ``retry_after_ms`` hint, then surfaces as a ``ServeError``.
         """
-        send_message(self._sock, {
+        for attempt in range(self.overload_retries + 1):
+            try:
+                return self._submit_once(source, stream=stream,
+                                         on_event=on_event,
+                                         deadline_ms=deadline_ms)
+            except ServeError as error:
+                if (error.code != "overloaded"
+                        or attempt >= self.overload_retries):
+                    raise
+                self._sleep(self._backoff_seconds(error, attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _submit_once(self, source: str, *, stream: bool,
+                     on_event: Optional[Callable[[dict], None]],
+                     deadline_ms: Optional[int]) -> dict:
+        request: dict = {
             "op": "submit",
             "source": source,
             "stream": bool(stream and on_event is not None),
-        })
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = int(deadline_ms)
+        self._send(request)
         while True:
             frame = self._expect_frame()
             kind = frame.get("type")
@@ -126,6 +209,16 @@ class ServeClient:
                                  payload=frame)
             raise ServeError(f"unexpected frame type {kind!r}",
                              code="protocol", payload=frame)
+
+    def _backoff_seconds(self, error: ServeError, attempt: int) -> float:
+        """Jittered exponential backoff from the daemon's hint.
+
+        ``hint * 2^attempt``, scaled by a uniform [0.5, 1.5) jitter so
+        a fleet of shed clients does not retry in lockstep.
+        """
+        hint_ms = error.retry_after_ms or 100
+        base = (hint_ms / 1000.0) * (2 ** attempt)
+        return base * (0.5 + self._rng.random())
 
     def stats(self) -> dict:
         """The daemon's point-in-time stats frame."""
@@ -165,8 +258,14 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--connect", required=True, metavar="ADDR",
                         help="daemon address (host:port or socket path)")
-    parser.add_argument("--timeout", type=float, default=60.0,
-                        help="socket timeout in seconds")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="socket I/O timeout (default: wait forever;"
+                             " a hung daemon then blocks this tool)")
+    parser.add_argument("--deadline-ms", type=int, default=None,
+                        metavar="MS",
+                        help="verification budget for --submit; past it"
+                             " the daemon answers a partial verdict")
     action = parser.add_mutually_exclusive_group(required=True)
     action.add_argument("--ping", action="store_true",
                         help="liveness check")
@@ -177,6 +276,9 @@ def main(argv: Optional[list] = None) -> int:
     action.add_argument("--shutdown", action="store_true",
                         help="stop the daemon")
     args = parser.parse_args(argv)
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("error: --deadline-ms must be positive", file=sys.stderr)
+        return 2
     try:
         client = ServeClient.connect_to(args.connect,
                                         timeout=args.timeout)
@@ -200,7 +302,8 @@ def main(argv: Optional[list] = None) -> int:
                 return 0
             with open(args.submit, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            verdict = client.submit(source)
+            verdict = client.submit(source,
+                                    deadline_ms=args.deadline_ms)
             print(json.dumps(verdict, indent=2, sort_keys=True))
             return 0 if verdict.get("all_proved") else 1
         except ServeError as error:

@@ -8,14 +8,19 @@ nothing to gain from anything cleverer, and a length prefix makes
 truncation detectable (a reader can always tell a clean close at a frame
 boundary from a peer dying mid-frame).
 
-Requests carry an ``op`` field (``hello`` / ``submit`` / ``stats`` /
-``bye`` / ``shutdown``); responses carry a ``type`` field (``hello`` /
-``event`` / ``verdict`` / ``stats`` / ``error`` / ``ok``).  A ``submit``
-answers with a *stream*: zero or more ``event`` frames (each wrapping
-one flight-recorder envelope — the same ``seq``/``t``/``kind``/
-``worker`` record ``repro verify --events-out`` writes) terminated by
-exactly one ``verdict`` or ``error`` frame.  See ``docs/serve.md`` for
-the full schema.
+Requests carry an ``op`` field (``hello`` / ``submit`` / ``ping`` /
+``stats`` / ``bye`` / ``shutdown``); responses carry a ``type`` field
+(``hello`` / ``event`` / ``verdict`` / ``stats`` / ``error`` / ``ok``).
+A ``submit`` answers with a *stream*: zero or more ``event`` frames
+(each wrapping one flight-recorder envelope — the same ``seq``/``t``/
+``kind``/``worker`` record ``repro verify --events-out`` writes)
+terminated by exactly one ``verdict`` or ``error`` frame.  A ``submit``
+may carry ``deadline_ms`` (wall-clock verification budget; past it the
+verdict is *partial* with ``deadline_expired: true``); an overloaded
+daemon sheds with ``error``/``overloaded`` carrying ``retry_after_ms``.
+A garbled or oversized frame draws a best-effort ``error``/``malformed``
+reply before the daemon hangs up.  See ``docs/serve.md`` for the full
+schema.
 """
 
 from __future__ import annotations

@@ -46,16 +46,24 @@ def residue_entry(result) -> dict:
     why — the paper's section 6.3 story), ``explanation`` the prose
     rendering, ``counterexample`` a concrete candidate instantiation of
     the stuck goal when the model finder succeeded, else ``None``.
+
+    ``status`` distinguishes *why* the property is unproved:
+    ``"unproved"`` means the search genuinely got stuck, ``"deadline"``
+    means the submission's time budget ran out before this proof
+    completed — retrying with a larger ``deadline_ms`` may well succeed.
     """
+    from ..prover.engine import DEADLINE_MESSAGE
     from ..prover.explain import explain_result
 
     prop = result.property
     counterexample = result.counterexample
+    error = result.error or "proof search failed"
+    status = "deadline" if DEADLINE_MESSAGE in error else "unproved"
     return {
         "property": prop.name,
         "kind": _property_kind(prop),
-        "status": "unproved",
-        "goal": _clip(result.error or "proof search failed"),
+        "status": status,
+        "goal": _clip(error),
         "explanation": _clip(explain_result(result)),
         "counterexample": (None if counterexample is None
                            else _clip(str(counterexample))),
@@ -68,3 +76,28 @@ def residue_for(report) -> List[dict]:
     failed property, in specification order (empty when all proved)."""
     return [residue_entry(result) for result in report.results
             if not result.proved]
+
+
+def degraded_residue(spec, reason: str) -> List[dict]:
+    """Residue-only answers when no verification ran at all.
+
+    Used by the circuit breaker: with the prover backend down, a parsed
+    but unverified submission still gets one structured entry per
+    property — status ``"degraded"``, no goal or counterexample — so an
+    editor can render *what remains to be shown* instead of an opaque
+    failure while the pool heals.
+    """
+    return [
+        {
+            "property": prop.name,
+            "kind": _property_kind(prop),
+            "status": "degraded",
+            "goal": _clip(reason),
+            "explanation": _clip(
+                f"{prop.name} was not attempted: {reason}"
+            ),
+            "counterexample": None,
+            "seconds": 0.0,
+        }
+        for prop in spec.properties
+    ]

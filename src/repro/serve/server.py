@@ -1,4 +1,4 @@
-"""The verification daemon: warm, concurrent, incremental.
+"""The verification daemon: warm, concurrent, incremental, overload-safe.
 
 One process hosts everything the prover keeps warm — the intern table,
 the compiled proof plans, the symbolic memo caches and a shared
@@ -26,6 +26,31 @@ Concurrency model (deliberate, and load-bearing for soundness):
   cache generation, so thousands of unrelated kernels cannot grow the
   process without bound.
 
+Resilience model (the PR 9 layer):
+
+* **admission control** (:mod:`repro.serve.admission`): the backlog of
+  admitted-but-unanswered submissions is bounded daemon-wide and
+  per-session; past either cap a submit is *shed* with an immediate
+  terminal ``error``/``overloaded`` frame carrying ``retry_after_ms``,
+  so a flood cannot grow ``_submissions`` — or daemon memory — without
+  bound;
+* **deadlines**: ``deadline_ms`` on a submit frame becomes an absolute
+  :class:`~repro.prover.engine.ProverOptions` deadline; past it the
+  engine condemns whatever is still in flight and the client gets a
+  *partial* verdict whose residue marks the timed-out properties with
+  status ``deadline`` — degraded answers, not hangs;
+* **circuit breaking** (:mod:`repro.serve.breaker`): consecutive
+  backend failures (worker deaths, abandoned pools, escaped crashes)
+  open the breaker; while open, submissions are answered *degraded* —
+  a cached verdict when this daemon has verified the identical source
+  before, a residue-only answer otherwise — and a background probe
+  checks whether worker processes can be spawned at all before the
+  breaker closes;
+* **pool hygiene**: ``pool_recycle_tasks`` / ``worker_rss_limit_mb``
+  make the prover's process pool drain and rebuild periodically (see
+  :mod:`repro.prover.parallel`), so one leaky verification cannot grow
+  workers forever.
+
 Responses stream obligation-progress events (the flight-recorder
 envelope of PR 4) and terminate with a verdict carrying the *unproved
 residue* (:mod:`repro.serve.residue`) rather than a bare boolean.
@@ -41,14 +66,15 @@ import socket
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..frontend import parse_program
 from ..lang.errors import ReflexError
 from ..obs.events import EventLog
-from ..prover import ProverOptions, Verifier
+from ..prover import DEADLINE_MESSAGE, ProverOptions, Verifier
 from ..prover.incremental import (
     InvalidationMap,
     Part,
@@ -56,13 +82,47 @@ from ..prover.incremental import (
     fragment_digests,
 )
 from ..prover.proofstore import ProofStore
+from .admission import (
+    DEFAULT_MAX_QUEUED,
+    DEFAULT_SESSION_INFLIGHT,
+    AdmissionController,
+    AdmissionTicket,
+)
+from .breaker import DEFAULT_COOLDOWN, DEFAULT_THRESHOLD, CircuitBreaker
 from .housekeeping import DEFAULT_MAX_INTERN_TERMS, CacheGovernor
 from .protocol import ProtocolError, recv_message, send_message
-from .residue import residue_for
+from .residue import degraded_residue, residue_for
 from .session import Session, SessionRegistry
 
 #: Protocol/revision tag answered in ``hello`` frames.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Verdicts cached for degraded (breaker-open) serving, keyed by source.
+_VERDICT_CACHE_CAP = 128
+
+
+def _env_float(name: str) -> Optional[float]:
+    """An optional positive float from the environment."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def _env_int(name: str) -> Optional[int]:
+    """An optional positive int from the environment."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -87,6 +147,25 @@ class ServeOptions:
     stats_out: Optional[str] = None
     #: bind the daemon's flight recorder to this JSONL path
     events_out: Optional[str] = None
+    #: daemon-wide cap on admitted, unanswered submissions
+    #: (``REPRO_SERVE_MAX_QUEUED``); past it submits are shed
+    max_queued: int = DEFAULT_MAX_QUEUED
+    #: per-session in-flight submission cap (``REPRO_SERVE_MAX_PER_SESSION``)
+    session_inflight: int = DEFAULT_SESSION_INFLIGHT
+    #: consecutive backend failures before the circuit breaker opens
+    breaker_threshold: int = DEFAULT_THRESHOLD
+    #: seconds an open breaker waits before probing/half-open trials
+    breaker_cooldown: float = DEFAULT_COOLDOWN
+    #: recycle the worker pool after this many completed tasks
+    #: (``REPRO_SERVE_POOL_RECYCLE_TASKS``; ``None`` disables)
+    pool_recycle_tasks: Optional[int] = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_POOL_RECYCLE_TASKS")
+    )
+    #: recycle the worker pool once a worker's peak RSS exceeds this
+    #: many MiB (``REPRO_SERVE_WORKER_RSS_MB``; ``None`` disables)
+    worker_rss_limit_mb: Optional[float] = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_WORKER_RSS_MB")
+    )
 
 
 @dataclass
@@ -97,6 +176,21 @@ class _Submission:
     source: str
     replies: "queue.Queue[dict]"
     stream: bool = True
+    #: the client's requested budget (echoed in the verdict), and its
+    #: absolute ``time.monotonic()`` form fixed at admission time
+    deadline_ms: Optional[int] = None
+    deadline: Optional[float] = None
+    #: admission capacity held until the terminal frame is delivered
+    ticket: Optional[AdmissionTicket] = None
+
+    def answer(self, frame: dict) -> None:
+        """Deliver one frame; a *terminal* frame releases admission
+        capacity (idempotently — terminal frames can race between the
+        prover fan-out and the shutdown drain)."""
+        self.replies.put(frame)
+        if (frame.get("type") in ("verdict", "error")
+                and self.ticket is not None):
+            self.ticket.release()
 
 
 class _StreamingEventLog(EventLog):
@@ -135,6 +229,16 @@ def _jsonable_part(part: Part) -> Optional[List[str]]:
     return None if part is None else [part[0], part[1]]
 
 
+def _probe_ok() -> str:
+    """The breaker probe's worker-side task (module-level: picklable
+    under the ``spawn`` start method)."""
+    return "ok"
+
+
+class _ClientGone(OSError):
+    """The peer vanished while we were sending (already counted)."""
+
+
 class VerificationServer:
     """The ``repro serve`` daemon (see the module docstring)."""
 
@@ -144,10 +248,22 @@ class VerificationServer:
         base = prover_options or ProverOptions()
         if self.options.store is not None:
             base.proof_store = self.options.store
+        if self.options.pool_recycle_tasks is not None:
+            base.pool_recycle_tasks = self.options.pool_recycle_tasks
+        if self.options.worker_rss_limit_mb is not None:
+            base.worker_rss_limit_mb = self.options.worker_rss_limit_mb
         self.prover_options = base
         self.sessions = SessionRegistry()
         self.invalidation = InvalidationMap()
         self.governor = CacheGovernor(self.options.max_intern_terms)
+        self.admission = AdmissionController(
+            max_queued=self.options.max_queued,
+            session_inflight=self.options.session_inflight,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.options.breaker_threshold,
+            cooldown=self.options.breaker_cooldown,
+        )
         self.telemetry = obs.Telemetry(
             metrics=True, events=bool(self.options.events_out),
         )
@@ -162,6 +278,16 @@ class VerificationServer:
         self._submitted = 0
         self._coalesced = 0
         self._flush_errors = 0
+        self._client_drops = 0
+        self._verdict_cache: "OrderedDict[str, dict]" = OrderedDict()
+        self._probe_thread: Optional[threading.Thread] = None
+        self._probe_lock = threading.Lock()
+        #: chaos instrumentation: called with each batch before it is
+        #: processed (see :mod:`repro.harness.chaos_serve`); failures
+        #: are swallowed — the hook can observe, block or delay, never
+        #: break the prover thread
+        self.batch_hook: Optional[Callable[[List[_Submission]], None]] \
+            = None
         self.address: Optional[Tuple[str, int]] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -209,7 +335,12 @@ class VerificationServer:
         return self._stopped.wait(timeout)
 
     def shutdown(self) -> None:
-        """Begin an orderly shutdown (idempotent, thread-safe)."""
+        """Begin an orderly shutdown (idempotent, thread-safe).
+
+        Stops accepting new connections immediately; the prover thread
+        finishes the batch in flight, sheds everything still queued with
+        terminal ``shutting-down`` frames, and flushes the artifacts.
+        """
         if self._stopping.is_set():
             return
         self._stopping.set()
@@ -252,79 +383,167 @@ class VerificationServer:
             )
             thread.start()
 
+    def _send(self, conn: socket.socket, frame: dict) -> None:
+        """Send one frame; a vanished peer becomes :class:`_ClientGone`
+        after the dropped frame is counted (``serve.client_drop``)."""
+        try:
+            send_message(conn, frame)
+        except OSError as error:
+            self._note_client_drop(frame.get("type"))
+            raise _ClientGone(str(error)) from error
+
+    def _note_client_drop(self, frame_kind: Optional[str]) -> None:
+        """Account one client that vanished mid-conversation."""
+        self._client_drops += 1
+        with self._telemetry_lock:
+            self.telemetry.incr("serve.client_drop")
+            if self.telemetry.events is not None:
+                self.telemetry.events.emit(
+                    "serve.client_drop",
+                    frame_kind=frame_kind or "(none)",
+                )
+
     def _handle_conn(self, conn: socket.socket) -> None:
         """One client's request loop: framing I/O only — all symbolic
-        work happens on the prover thread."""
-        session: Optional[Session] = None
+        work happens on the prover thread.
+
+        The session rides in a mutable holder rather than a local so a
+        session created *inside* ``_dispatch`` (a submit with no hello)
+        is still reaped when the send path raises mid-dispatch — the
+        exception would otherwise outrun the assignment and leak it.
+        """
+        holder: Dict[str, Optional[Session]] = {"session": None}
         try:
             with contextlib.closing(conn):
-                while not self._stopping.is_set():
-                    request = recv_message(conn)
-                    if request is None:
-                        break
-                    result = self._dispatch(conn, session, request)
-                    if result is _CLOSE:
-                        break
-                    session = result
-        except (ProtocolError, OSError):
-            pass  # a misbehaving or vanished client only hurts itself
+                try:
+                    while not self._stopping.is_set():
+                        request = recv_message(conn)
+                        if request is None:
+                            break
+                        if self._dispatch(conn, holder, request) is _CLOSE:
+                            break
+                except ProtocolError as error:
+                    # A garbled or oversized frame: tell the client (it
+                    # may still be reading) and hang up; the daemon is
+                    # unharmed.  Handled while the socket is still open —
+                    # outside ``closing`` the reply could never be sent.
+                    with self._telemetry_lock:
+                        self.telemetry.incr("serve.malformed_frame")
+                    with contextlib.suppress(OSError):
+                        send_message(conn,
+                                     _error_frame("malformed", str(error)))
+        except _ClientGone:
+            pass  # counted at the send site, with the frame kind dropped
+        except OSError:
+            self._note_client_drop(None)  # vanished between frames
         finally:
+            session = holder["session"]
             if session is not None:
                 self.sessions.drop(session.sid)
 
-    def _dispatch(self, conn: socket.socket, session: Optional[Session],
+    def _dispatch(self, conn: socket.socket,
+                  holder: Dict[str, Optional[Session]],
                   request: dict):
-        """Handle one request frame; returns the (possibly new) session
-        or the ``_CLOSE`` sentinel."""
+        """Handle one request frame; returns the ``_CLOSE`` sentinel to
+        end the connection.  Any session this dispatch attaches to is
+        published in ``holder`` *before* the first reply frame is sent,
+        so the caller can reap it on any exit path."""
+        session = holder["session"]
         op = request.get("op")
         if op == "hello":
+            if session is None:
+                sid = request.get("session")
+                if isinstance(sid, str):
+                    # Resumption: re-attach to a live session (so a
+                    # reconnecting client keeps its incremental history
+                    # and its in-flight accounting identity).
+                    session = self.sessions.get(sid)
             session = session or self.sessions.create()
-            send_message(conn, {
+            holder["session"] = session
+            self._send(conn, {
                 "type": "hello",
                 "session": session.sid,
                 "server": "repro-serve",
                 "version": PROTOCOL_VERSION,
                 "generation": self.governor.generation,
             })
-            return session
+            return None
         if op == "submit":
             source = request.get("source")
             if not isinstance(source, str) or not source.strip():
-                send_message(conn, _error_frame(
+                self._send(conn, _error_frame(
                     "bad-request", "submit requires a 'source' string"
                 ))
-                return session
+                return None
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None and (
+                    isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, int)
+                    or deadline_ms <= 0):
+                self._send(conn, _error_frame(
+                    "bad-request",
+                    "deadline_ms must be a positive integer",
+                ))
+                return None
             session = session or self.sessions.create()
+            holder["session"] = session
+            ticket, shed = self.admission.try_admit(session.sid)
+            if ticket is None:
+                with self._telemetry_lock:
+                    self.telemetry.incr("serve.shed")
+                    if self.telemetry.events is not None:
+                        self.telemetry.events.emit(
+                            "serve.shed", session=session.sid,
+                            reason=shed.get("reason"),
+                        )
+                self._send(conn, shed)
+                return None
             replies: "queue.Queue[dict]" = queue.Queue()
             self._submissions.put(_Submission(
                 session=session,
                 source=source,
                 replies=replies,
                 stream=bool(request.get("stream", True)),
+                deadline_ms=deadline_ms,
+                deadline=(None if deadline_ms is None
+                          else time.monotonic() + deadline_ms / 1000.0),
+                ticket=ticket,
             ))
             while True:
-                frame = replies.get()
-                send_message(conn, frame)
+                try:
+                    frame = replies.get(timeout=0.5)
+                except queue.Empty:
+                    if self._stopped.is_set():
+                        # The prover thread is gone and will never
+                        # answer: refuse locally rather than strand the
+                        # client (the ticket died with the controller).
+                        self._send(conn, _error_frame(
+                            "shutting-down",
+                            "the daemon is shutting down",
+                        ))
+                        return None
+                    continue
+                self._send(conn, frame)
                 if frame.get("type") in ("verdict", "error"):
                     break
-            return session
+            return None
         if op == "ping":
-            send_message(conn, {"type": "ok", "op": "ping"})
-            return session
+            self._send(conn, {"type": "ok", "op": "ping"})
+            return None
         if op == "stats":
-            send_message(conn, self._stats_frame())
-            return session
+            self._send(conn, self._stats_frame())
+            return None
         if op == "bye":
-            send_message(conn, {"type": "ok", "op": "bye"})
+            self._send(conn, {"type": "ok", "op": "bye"})
             return _CLOSE
         if op == "shutdown":
-            send_message(conn, {"type": "ok", "op": "shutdown"})
+            self._send(conn, {"type": "ok", "op": "shutdown"})
             self.shutdown()
             return _CLOSE
-        send_message(conn, _error_frame(
+        self._send(conn, _error_frame(
             "unknown-op", f"unknown op {op!r}"
         ))
-        return session
+        return None
 
     # -- the prover thread ---------------------------------------------------
 
@@ -365,7 +584,7 @@ class VerificationServer:
                     f"{type(error).__name__}: {error}",
                 )
                 for item in batch:
-                    item.replies.put(frame)
+                    item.answer(frame)
             if self._stopping.is_set():
                 break
         # Orderly refusal for anything still queued.
@@ -375,43 +594,55 @@ class VerificationServer:
             except queue.Empty:
                 break
             if item is not None:
-                item.replies.put(_error_frame(
+                item.answer(_error_frame(
                     "shutting-down", "the daemon is shutting down"
                 ))
         self._stopped.set()
 
     def _process_batch(self, batch: List[_Submission]) -> None:
-        """One batch: group identical sources, verify each group once,
-        fan verdicts out, then run housekeeping at the quiescent point."""
+        """One batch: group identical (source, deadline) pairs, verify
+        each group once, fan verdicts out, then run housekeeping at the
+        quiescent point."""
+        hook = self.batch_hook
+        if hook is not None:
+            with contextlib.suppress(Exception):
+                hook(batch)
         self._batches += 1
         self._submitted += len(batch)
-        groups: Dict[str, List[_Submission]] = {}
-        order: List[str] = []
+        GroupKey = Tuple[str, Optional[float]]
+        groups: Dict[GroupKey, List[_Submission]] = {}
+        order: List[GroupKey] = []
         for submission in batch:
-            if submission.source not in groups:
-                groups[submission.source] = []
-                order.append(submission.source)
-            groups[submission.source].append(submission)
+            key = (submission.source, submission.deadline)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(submission)
         with self._telemetry_lock:
             self.telemetry.incr("serve.batch")
             self.telemetry.incr("serve.submissions", len(batch))
+            if self.telemetry.metrics is not None:
+                self.telemetry.metrics.gauge(
+                    "serve.queue.depth", float(self.admission.inflight)
+                )
             if self.telemetry.events is not None:
                 self.telemetry.events.emit(
                     "serve.batch", size=len(batch), groups=len(order),
                 )
-        for source in order:
-            waiters = groups[source]
+        for key in order:
+            source, deadline = key
+            waiters = groups[key]
             if len(waiters) > 1:
                 self._coalesced += len(waiters) - 1
                 with self._telemetry_lock:
                     self.telemetry.incr("serve.batch.coalesced",
                                         len(waiters) - 1)
-            self._verify_group(source, waiters)
+            self._verify_group(source, deadline, waiters)
         with self._telemetry_lock, obs.use(self.telemetry):
             self.governor.maybe_collect()
         self._flush_outputs()
 
-    def _verify_group(self, source: str,
+    def _verify_group(self, source: str, deadline: Optional[float],
                       waiters: List[_Submission]) -> None:
         """Verify one distinct source once; stream events and fan the
         verdict out to every coalesced waiter.
@@ -424,8 +655,9 @@ class VerificationServer:
         """
         answered: set = set()
         try:
-            self._verify_group_inner(source, waiters, answered)
+            self._verify_group_inner(source, deadline, waiters, answered)
         except Exception as error:  # noqa: BLE001 — see docstring
+            self._note_backend_failure("escaped exception")
             with self._telemetry_lock:
                 self.telemetry.incr("serve.internal_error")
                 if self.telemetry.events is not None:
@@ -438,9 +670,9 @@ class VerificationServer:
             )
             for waiter in waiters:
                 if id(waiter) not in answered:
-                    waiter.replies.put(frame)
+                    waiter.answer(frame)
 
-    def _verify_group_inner(self, source: str,
+    def _verify_group_inner(self, source: str, deadline: Optional[float],
                             waiters: List[_Submission],
                             answered: set) -> None:
         """The fallible body of :meth:`_verify_group`; records each
@@ -452,10 +684,16 @@ class VerificationServer:
                 self.telemetry.incr("serve.parse_error")
             frame = _error_frame("parse-error", str(error))
             for waiter in waiters:
-                waiter.replies.put(frame)
+                waiter.answer(frame)
                 answered.add(id(waiter))
             return
+        if not self.breaker.allow():
+            self._serve_degraded(spec, source, waiters, answered)
+            return
         digests = fragment_digests(spec.program)
+        options = self.prover_options
+        if deadline is not None:
+            options = replace(options, deadline=deadline)
         sink = obs.Telemetry(metrics=True, events=True)
         sink.events = _StreamingEventLog(
             [w.replies for w in waiters if w.stream],
@@ -463,7 +701,7 @@ class VerificationServer:
         )
         started = time.perf_counter()
         with obs.use(sink):
-            verifier = Verifier(spec, self.prover_options)
+            verifier = Verifier(spec, options)
             report = verifier.verify_all(
                 jobs=self.options.jobs if self.options.jobs > 1 else None
             )
@@ -472,10 +710,30 @@ class VerificationServer:
         wall = time.perf_counter() - started
         residue = residue_for(report)
         counters = dict(sink.counters)
+        deadline_expired = any(
+            DEADLINE_MESSAGE in (result.error or "")
+            for result in report.results
+        )
+        if deadline_expired:
+            with self._telemetry_lock:
+                self.telemetry.incr("serve.deadline.expired")
+        backend_failed = (
+            counters.get("parallel.worker_died", 0) > 0
+            or counters.get("parallel.task_abandoned", 0) > 0
+        )
+        if backend_failed:
+            self._note_backend_failure("worker deaths or abandoned pool")
+        else:
+            self.breaker.record_success()
+            if not deadline_expired:
+                self._cache_verdict(source, spec, report, residue,
+                                    program_digest)
         for waiter in waiters:
-            waiter.replies.put(self._verdict_frame(
+            waiter.answer(self._verdict_frame(
                 waiter.session, spec, report, residue, digests,
                 program_digest, counters, wall, len(waiters),
+                deadline_ms=waiter.deadline_ms,
+                deadline_expired=deadline_expired,
             ))
             answered.add(id(waiter))
         with self._telemetry_lock:
@@ -484,7 +742,9 @@ class VerificationServer:
     def _verdict_frame(self, session: Session, spec, report,
                        residue: List[dict], digests: Dict[Part, str],
                        program_digest: str, counters: Dict[str, int],
-                       wall: float, coalesced: int) -> dict:
+                       wall: float, coalesced: int,
+                       deadline_ms: Optional[int] = None,
+                       deadline_expired: bool = False) -> dict:
         """The terminal verdict for one session, with its session-scoped
         incremental diff (which slices changed, what got superseded)."""
         if session.rounds:
@@ -518,7 +778,154 @@ class VerificationServer:
             "coalesced": coalesced,
             "generation": self.governor.generation,
             "batch": self._batches,
+            "deadline_ms": deadline_ms,
+            "deadline_expired": deadline_expired,
         }
+
+    # -- circuit breaking and degraded serving -------------------------------
+
+    def _note_backend_failure(self, reason: str) -> None:
+        """Feed one backend failure to the breaker; when it opens, start
+        the background probe that will eventually close it."""
+        self.breaker.record_failure()
+        with self._telemetry_lock:
+            self.telemetry.incr("serve.breaker.failure")
+            if self.telemetry.events is not None:
+                self.telemetry.events.emit(
+                    "serve.breaker.failure", reason=reason,
+                    state=self.breaker.state,
+                )
+        if self.breaker.state != "closed":
+            self._start_probe()
+
+    def _cache_verdict(self, source: str, spec, report,
+                       residue: List[dict],
+                       program_digest: str) -> None:
+        """Remember a full verdict for degraded (breaker-open) serving."""
+        self._verdict_cache[source] = {
+            "program": spec.name,
+            "program_digest": program_digest,
+            "all_proved": report.all_proved,
+            "report": report.to_dict(),
+            "residue": residue,
+        }
+        self._verdict_cache.move_to_end(source)
+        while len(self._verdict_cache) > _VERDICT_CACHE_CAP:
+            self._verdict_cache.popitem(last=False)
+
+    def _serve_degraded(self, spec, source: str,
+                        waiters: List[_Submission],
+                        answered: set) -> None:
+        """Answer a group without running the prover (breaker open):
+        a cached verdict for a source this daemon has fully verified
+        before, a residue-only answer otherwise.  Degraded answers never
+        advance session history — nothing was verified."""
+        cached = self._verdict_cache.get(source)
+        if cached is not None:
+            self._verdict_cache.move_to_end(source)
+        with self._telemetry_lock:
+            self.telemetry.incr("serve.breaker.shed", len(waiters))
+            if cached is not None:
+                self.telemetry.incr("serve.breaker.cache_hit",
+                                    len(waiters))
+            if self.telemetry.events is not None:
+                self.telemetry.events.emit(
+                    "serve.degraded", program=spec.name,
+                    cached=cached is not None, waiters=len(waiters),
+                )
+        reason = ("the prover backend is unavailable (circuit breaker "
+                  "open); answering degraded while it heals")
+        for waiter in waiters:
+            if cached is not None:
+                frame = {
+                    "type": "verdict",
+                    "session": waiter.session.sid,
+                    "round": waiter.session.rounds,
+                    "program": cached["program"],
+                    "program_digest": cached["program_digest"],
+                    "all_proved": cached["all_proved"],
+                    "report": cached["report"],
+                    "residue": cached["residue"],
+                    "changed_parts": None,
+                    "fragments": {"total": 0, "changed": 0},
+                    "invalidated_keys": 0,
+                    "counters": {},
+                    "seconds": 0.0,
+                    "coalesced": len(waiters),
+                    "generation": self.governor.generation,
+                    "batch": self._batches,
+                    "deadline_ms": waiter.deadline_ms,
+                    "deadline_expired": False,
+                    "degraded": True,
+                    "degraded_reason": reason,
+                }
+            else:
+                frame = {
+                    "type": "verdict",
+                    "session": waiter.session.sid,
+                    "round": waiter.session.rounds,
+                    "program": spec.name,
+                    "program_digest": None,
+                    "all_proved": False,
+                    "report": {"program": spec.name, "results": []},
+                    "residue": degraded_residue(spec, reason),
+                    "changed_parts": None,
+                    "fragments": {"total": 0, "changed": 0},
+                    "invalidated_keys": 0,
+                    "counters": {},
+                    "seconds": 0.0,
+                    "coalesced": len(waiters),
+                    "generation": self.governor.generation,
+                    "batch": self._batches,
+                    "deadline_ms": waiter.deadline_ms,
+                    "deadline_expired": False,
+                    "degraded": True,
+                    "degraded_reason": reason,
+                }
+            waiter.answer(frame)
+            answered.add(id(waiter))
+
+    def _start_probe(self) -> None:
+        """Start (once) the background thread that probes the backend
+        and closes the breaker when fresh workers spawn again."""
+        with self._probe_lock:
+            if (self._probe_thread is not None
+                    and self._probe_thread.is_alive()):
+                return
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, name="serve-probe", daemon=True,
+            )
+            self._probe_thread.start()
+
+    def _probe_loop(self) -> None:
+        """Periodically check that a worker process can be spawned and
+        do trivial work; success closes the breaker."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        interval = max(0.1, min(self.breaker.cooldown, 2.0))
+        while (not self._stopping.is_set()
+               and self.breaker.state != "closed"):
+            if self._stopping.wait(interval):
+                return
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=multiprocessing.get_context("spawn"),
+                ) as pool:
+                    ok = pool.submit(_probe_ok).result(timeout=30)
+            except Exception:  # noqa: BLE001 - any failure = still sick
+                ok = None
+            if ok == "ok":
+                self.breaker.record_success()
+                with self._telemetry_lock:
+                    self.telemetry.incr("serve.breaker.probe_ok")
+                    if self.telemetry.events is not None:
+                        self.telemetry.events.emit("serve.breaker.closed")
+                return
+            self.breaker.record_failure()
+            with self._telemetry_lock:
+                self.telemetry.incr("serve.breaker.probe_fail")
 
     # -- stats and artifacts -------------------------------------------------
 
@@ -533,9 +940,13 @@ class VerificationServer:
             "submissions": self._submitted,
             "coalesced": self._coalesced,
             "flush_errors": self._flush_errors,
+            "client_drops": self._client_drops,
             "sessions": self.sessions.stats(),
             "governor": self.governor.to_dict(),
             "invalidation": self.invalidation.stats(),
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.to_dict(),
+            "verdict_cache": len(self._verdict_cache),
             "counters": counters,
         }
 
@@ -568,9 +979,12 @@ class VerificationServer:
                 "submissions": self._submitted,
                 "coalesced": self._coalesced,
                 "flush_errors": self._flush_errors,
+                "client_drops": self._client_drops,
                 "sessions": self.sessions.stats(),
                 "governor": self.governor.to_dict(),
                 "invalidation": self.invalidation.stats(),
+                "admission": self.admission.stats(),
+                "breaker": self.breaker.to_dict(),
             },
             "telemetry": self.telemetry.to_dict(),
         }

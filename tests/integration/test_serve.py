@@ -267,3 +267,138 @@ class TestDaemonParallelJobs:
                 client.hello()
                 verdict = client.submit(car.SOURCE)
         assert verdict["all_proved"]
+
+
+class TestDeadlinesOverTheWire:
+    def test_expired_deadline_returns_partial_verdict(self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            verdict = client.submit(car.SOURCE, deadline_ms=1)
+        assert verdict["type"] == "verdict"
+        assert verdict["deadline_expired"] is True
+        assert verdict["deadline_ms"] == 1
+        assert verdict["all_proved"] is False
+        assert verdict["residue"]
+        assert all(entry["status"] == "deadline"
+                   for entry in verdict["residue"])
+
+    def test_generous_deadline_proves_normally(self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            verdict = client.submit(car.SOURCE, deadline_ms=600_000)
+        assert verdict["all_proved"] is True
+        assert verdict["deadline_expired"] is False
+        assert verdict["deadline_ms"] == 600_000
+
+
+class TestClientTimeout:
+    def test_unresponsive_daemon_raises_timeout_serve_error(self):
+        mute = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(1)
+        try:
+            client = ServeClient(mute.getsockname()[:2], timeout=0.5)
+            with pytest.raises(ServeError) as caught:
+                client.ping()
+            assert caught.value.code == "timeout"
+            client.close()
+        finally:
+            mute.close()
+
+    def test_default_timeout_is_off(self, server):
+        client = ServeClient(server.address)
+        assert client.timeout is None
+        assert client.ping()
+        client.bye()
+
+
+class TestOverloadBackpressure:
+    def test_shed_submit_backs_off_and_retries_to_success(self, server):
+        # Occupy the whole backlog out-of-band, then watch the client
+        # back off on the shed frame and succeed once capacity frees.
+        server.admission.max_queued = 1
+        held, _ = server.admission.try_admit("occupant")
+        assert held is not None
+        sleeps = []
+        with ServeClient(server.address, timeout=300,
+                         overload_retries=3) as client:
+            client.hello()
+
+            def sleep_then_free(seconds):
+                sleeps.append(seconds)
+                held.release()  # capacity frees while the client waits
+
+            client._sleep = sleep_then_free
+            verdict = client.submit(car.SOURCE)
+        assert verdict["all_proved"] is True
+        assert len(sleeps) == 1
+        # The delay honors the daemon hint with [0.5, 1.5) jitter.
+        assert 0.5 * 0.2 <= sleeps[0]
+
+    def test_retries_exhausted_surfaces_overloaded_error(self, server):
+        server.admission.max_queued = 1
+        held, _ = server.admission.try_admit("occupant")
+        assert held is not None
+        sleeps = []
+        try:
+            with ServeClient(server.address, timeout=300,
+                             overload_retries=2) as client:
+                client.hello()
+                client._sleep = sleeps.append
+                with pytest.raises(ServeError) as caught:
+                    client.submit(car.SOURCE)
+            assert caught.value.code == "overloaded"
+            assert caught.value.retry_after_ms >= 1
+            assert len(sleeps) == 2
+            # Exponential: the second wait is drawn from a doubled base.
+            assert sleeps[1] > sleeps[0] * 0.5
+        finally:
+            held.release()
+
+
+class TestSigtermDrain:
+    def test_sigterm_mid_batch_drains_and_exits_zero(self, tmp_path):
+        """SIGTERM a live daemon while a submission is in flight: the
+        client still gets a terminal frame, the daemon flushes its
+        artifacts and exits 0 (satellite: graceful drain)."""
+        import signal as signal_mod
+
+        port_file = tmp_path / "addr"
+        stats_out = tmp_path / "stats.json"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port-file", str(port_file),
+             "--store", str(tmp_path / "store"),
+             "--stats-out", str(stats_out)],
+            env=cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.1)
+            host, port = port_file.read_text().strip().rsplit(":", 1)
+            sock = socket.create_connection((host, int(port)),
+                                            timeout=300)
+            from repro.serve.protocol import recv_message, send_message
+            send_message(sock, {"op": "submit", "source": car.SOURCE,
+                                "stream": False})
+            time.sleep(0.3)  # let the batch reach the prover thread
+            daemon.send_signal(signal_mod.SIGTERM)
+            frame = recv_message(sock)
+            # Either the batch finished (verdict) or the drain shed it
+            # (shutting-down) — never a hang, never a bare close.
+            assert frame is not None
+            assert frame["type"] in ("verdict", "error")
+            if frame["type"] == "error":
+                assert frame["code"] == "shutting-down"
+            sock.close()
+            out, _err = daemon.communicate(timeout=120)
+            assert daemon.returncode == 0
+            assert "daemon stopped" in out
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+        # The drain flushed artifacts on the way out.
+        assert stats_out.exists()

@@ -1,0 +1,203 @@
+"""Pool recycling and deadline semantics for ``verify_all(jobs=N)``.
+
+PR 9 adds parent-side pool hygiene: after ``pool_recycle_tasks``
+completed tasks (or once a worker's reported peak RSS crosses
+``worker_rss_limit_mb``) the generation stops submitting, drains what
+is running, and the next generation starts a fresh pool — so a leaky
+worker cannot grow forever.  A deadline condemns whatever is still
+unresolved with a distinct diagnostic (and a distinct counter, so the
+serve layer's circuit breaker does not mistake an impatient client for
+a sick backend).  These tests also pin the no-orphans contract: worker
+kills and recycling must leave no child processes behind.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+import repro.prover.parallel as parallel_mod
+from repro import obs
+from repro.props.spec import NonInterference
+from repro.prover import DEADLINE_MESSAGE, ProverOptions, Verifier
+from repro.systems import BENCHMARKS
+
+REAL_EXECUTE = parallel_mod._execute
+
+
+def _require_fork():
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        pytest.skip("fork start method unavailable")
+
+
+def _spec_and_culprit():
+    spec = BENCHMARKS["car"].load()
+    for index, prop in enumerate(spec.properties):
+        if not isinstance(prop, NonInterference):
+            return spec, index
+    raise AssertionError("car kernel has no trace property")
+
+
+def _child_pids():
+    """This process's direct children, via /proc (no psutil here)."""
+    pid = os.getpid()
+    path = f"/proc/{pid}/task/{pid}/children"
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            return {int(word) for word in handle.read().split()}
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pytest.skip("/proc children listing unavailable")
+
+
+def _run_counted(spec, options, jobs=2):
+    with obs.use(obs.Telemetry()) as telemetry:
+        report = Verifier(spec, options).verify_all(jobs=jobs)
+    return report, dict(telemetry.counters)
+
+
+class TestRecycling:
+    def test_task_count_recycle_preserves_results(self):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        report, counters = _run_counted(
+            spec, ProverOptions(pool_recycle_tasks=2),
+        )
+        assert all(result.proved for result in report.results)
+        assert counters.get("parallel.pool_recycled", 0) >= 1
+        # Recycling is hygiene, not failure: nothing was abandoned and
+        # no retries were burned.
+        assert "parallel.task_abandoned" not in counters
+        assert "parallel.task_retry" not in counters
+
+    def test_rss_ceiling_recycle_preserves_results(self):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        # Any real worker exceeds a 1-MiB ceiling, so every generation
+        # recycles after its first completion — the pathological case.
+        report, counters = _run_counted(
+            spec, ProverOptions(worker_rss_limit_mb=1.0),
+        )
+        assert all(result.proved for result in report.results)
+        assert counters.get("parallel.pool_recycled", 0) >= 1
+
+    def test_recycling_leaves_no_orphan_workers(self):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        before = _child_pids()
+        report, _ = _run_counted(
+            spec, ProverOptions(pool_recycle_tasks=1),
+        )
+        assert all(result.proved for result in report.results)
+        deadline = time.monotonic() + 10
+        while _child_pids() - before:
+            assert time.monotonic() < deadline, (
+                f"orphaned workers: {_child_pids() - before}"
+            )
+            time.sleep(0.05)
+
+
+class TestWorkerDeathUnderRecycling:
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_sigkilled_worker_yields_diagnostic_and_fresh_pool(
+            self, monkeypatch):
+        _require_fork()
+        spec, culprit = _spec_and_culprit()
+
+        def murdered_execute(task):
+            if task[0] == "prop" and task[1] == culprit:
+                # let co-pending innocents land before the pool dies
+                # with us (a SIGKILL breaks the whole executor)
+                time.sleep(0.3)
+                os.kill(os.getpid(), signal.SIGKILL)
+            return REAL_EXECUTE(task)
+
+        monkeypatch.setattr(parallel_mod, "_execute", murdered_execute)
+        before = _child_pids()
+        # The culprit dies every attempt and is condemned once its
+        # retry budget (1) is spent; everything else must still prove.
+        report, counters = _run_counted(
+            spec,
+            ProverOptions(task_retries=1, pool_recycle_tasks=3),
+        )
+        bad = report.results[culprit]
+        assert not bad.proved
+        assert "worker process died" in bad.error
+        for index, result in enumerate(report.results):
+            if index != culprit:
+                assert result.proved, (result.property.name, result.error)
+        assert counters.get("parallel.worker_died", 0) >= 1
+        # The broken pool was rebuilt and then torn down: no orphans.
+        deadline = time.monotonic() + 10
+        while _child_pids() - before:
+            assert time.monotonic() < deadline, (
+                f"orphaned workers: {_child_pids() - before}"
+            )
+            time.sleep(0.05)
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_flaky_worker_recovers_while_recycling(self, monkeypatch,
+                                                   tmp_path):
+        _require_fork()
+        spec, culprit = _spec_and_culprit()
+        flag = tmp_path / "died-once"
+
+        def flaky_execute(task):
+            if (task[0] == "prop" and task[1] == culprit
+                    and not flag.exists()):
+                flag.write_text("x")
+                time.sleep(0.3)  # innocents land before the pool dies
+                os.kill(os.getpid(), signal.SIGKILL)
+            return REAL_EXECUTE(task)
+
+        monkeypatch.setattr(parallel_mod, "_execute", flaky_execute)
+        report, counters = _run_counted(
+            spec,
+            ProverOptions(task_retries=1, pool_recycle_tasks=2),
+        )
+        assert all(result.proved for result in report.results)
+        assert counters.get("parallel.worker_died", 0) >= 1
+        assert counters.get("parallel.pool_recycled", 0) >= 1
+
+
+class TestDeadlines:
+    def test_expired_deadline_condemns_with_distinct_diagnostic(self):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        report, counters = _run_counted(
+            spec,
+            ProverOptions(deadline=time.monotonic() - 1.0),
+        )
+        assert len(report.results) == len(spec.properties)
+        assert all(not result.proved for result in report.results)
+        assert all(DEADLINE_MESSAGE in result.error
+                   for result in report.results)
+        assert counters.get("parallel.task_deadline", 0) >= 1
+        # Deadline expiry is the client's choice, not backend sickness:
+        # the abandonment counter (the breaker's signal) stays silent.
+        assert "parallel.task_abandoned" not in counters
+        assert "parallel.worker_died" not in counters
+
+    def test_serial_deadline_skips_remaining_properties(self):
+        spec = BENCHMARKS["car"].load()
+        report = Verifier(
+            spec, ProverOptions(deadline=time.monotonic() - 1.0),
+        ).verify_all(jobs=1)
+        assert all(not result.proved for result in report.results)
+        assert all(DEADLINE_MESSAGE in result.error
+                   for result in report.results)
+
+    def test_generous_deadline_changes_nothing(self):
+        _require_fork()
+        spec = BENCHMARKS["car"].load()
+        report, counters = _run_counted(
+            spec,
+            ProverOptions(deadline=time.monotonic() + 600.0),
+        )
+        assert all(result.proved for result in report.results)
+        assert "parallel.task_deadline" not in counters

@@ -1,0 +1,78 @@
+"""Admission controller unit tests: caps, shedding, ticket lifecycle."""
+
+import pytest
+
+from repro.serve.admission import (
+    DEFAULT_RETRY_AFTER_MS,
+    AdmissionController,
+)
+
+
+@pytest.fixture
+def controller():
+    return AdmissionController(max_queued=3, session_inflight=2)
+
+
+class TestAdmission:
+    def test_admits_within_both_caps(self, controller):
+        ticket, shed = controller.try_admit("a")
+        assert ticket is not None and shed is None
+        assert controller.inflight == 1
+
+    def test_session_cap_sheds_before_capacity(self, controller):
+        controller.try_admit("a")
+        controller.try_admit("a")
+        ticket, shed = controller.try_admit("a")
+        assert ticket is None
+        assert shed["code"] == "overloaded"
+        assert shed["reason"] == "session"
+        # Capacity (3) was not exhausted — a different session still fits.
+        other, _ = controller.try_admit("b")
+        assert other is not None
+
+    def test_capacity_cap_sheds_daemon_wide(self, controller):
+        for sid in ("a", "b", "c"):
+            assert controller.try_admit(sid)[0] is not None
+        ticket, shed = controller.try_admit("d")
+        assert ticket is None
+        assert shed["reason"] == "capacity"
+        assert controller.stats()["shed_capacity"] == 1
+
+    def test_release_frees_both_counters(self, controller):
+        ticket, _ = controller.try_admit("a")
+        ticket.release()
+        assert controller.inflight == 0
+        again, _ = controller.try_admit("a")
+        assert again is not None
+
+    def test_release_is_idempotent(self, controller):
+        ticket, _ = controller.try_admit("a")
+        ticket.release()
+        ticket.release()
+        ticket.release()
+        assert controller.inflight == 0
+
+    def test_shed_frame_is_terminal_error_with_hint(self, controller):
+        frame = controller.shed_frame("capacity")
+        assert frame["type"] == "error"
+        assert frame["code"] == "overloaded"
+        assert isinstance(frame["retry_after_ms"], int)
+        assert frame["retry_after_ms"] >= DEFAULT_RETRY_AFTER_MS
+
+    def test_retry_hint_grows_with_congestion(self, controller):
+        idle = controller.retry_hint_ms()
+        for sid in ("a", "b", "c"):
+            controller.try_admit(sid)
+        assert controller.retry_hint_ms() > idle
+
+    def test_stats_track_peak_and_sheds(self, controller):
+        tickets = [controller.try_admit(sid)[0] for sid in ("a", "b", "c")]
+        controller.try_admit("d")  # shed: capacity
+        controller.try_admit("a")  # shed: session? no — capacity first
+        for ticket in tickets:
+            ticket.release()
+        stats = controller.stats()
+        assert stats["peak_inflight"] == 3
+        assert stats["inflight"] == 0
+        assert stats["admitted"] == 3
+        assert stats["shed_capacity"] == 2

@@ -1,0 +1,86 @@
+"""Circuit-breaker unit tests with an injected clock (no sleeping)."""
+
+from repro.serve.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def breaker(threshold=3, cooldown=5.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                          clock=clock), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b, _ = breaker()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b, _ = breaker(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        b, _ = breaker(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_half_open_after_cooldown_admits_one_trial(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(5.1)
+        assert b.state == "half-open"
+        assert b.allow()          # the single trial
+        assert not b.allow()      # no stampede: back to open
+        assert b.state == "open"
+
+    def test_trial_success_closes(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_failure()
+        clock.advance(5.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_trial_failure_reopens_and_rearms_cooldown(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_failure()
+        clock.advance(5.1)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        clock.advance(2.0)        # cooldown re-armed at the failure
+        assert b.state == "open"
+        clock.advance(3.5)
+        assert b.state == "half-open"
+
+    def test_to_dict_is_timestamp_free(self):
+        b, clock = breaker(threshold=2)
+        b.record_failure()
+        b.record_failure()
+        payload = b.to_dict()
+        assert payload["state"] == "open"
+        assert payload["consecutive_failures"] == 2
+        assert payload["failures_total"] == 2
+        assert payload["opened_total"] == 1
+        assert all(not isinstance(value, float) or value == b.cooldown
+                   for value in payload.values())

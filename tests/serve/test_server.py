@@ -9,7 +9,9 @@ lives in ``tests/integration/test_serve.py``.
 
 import queue
 import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -18,6 +20,7 @@ from repro.serve.residue import residue_for
 from repro.serve.server import (
     ServeOptions,
     VerificationServer,
+    _ClientGone,
     _Submission,
 )
 from repro.serve.session import SessionRegistry
@@ -305,3 +308,242 @@ class TestSessionRegistry:
         assert registry.get(b.sid) is b
         assert registry.stats() == {"live_sessions": 1,
                                     "sessions_opened": 2}
+
+
+class TestAdmissionShedding:
+    def test_over_capacity_submit_is_shed_immediately(self, tmp_path):
+        server = VerificationServer(ServeOptions(
+            store=str(tmp_path / "ps"), max_queued=1,
+        ))
+        # Fill the only slot out-of-band; the wire submit must be shed
+        # without ever reaching the (never-started) prover thread.
+        held, _ = server.admission.try_admit("occupant")
+        assert held is not None
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        try:
+            send_message(ours, {"op": "submit", "source": car.SOURCE,
+                                "stream": False})
+            frame = recv_message(ours)
+            assert frame["type"] == "error"
+            assert frame["code"] == "overloaded"
+            assert frame["reason"] == "capacity"
+            assert isinstance(frame["retry_after_ms"], int)
+            assert frame["retry_after_ms"] > 0
+            assert server.telemetry.counters["serve.shed"] == 1
+            assert server._submissions.qsize() == 0
+        finally:
+            ours.close()
+            thread.join(timeout=10)
+
+    def test_terminal_frame_releases_the_ticket(self, server):
+        sub = submission(server, car.SOURCE)
+        sub.ticket, _ = server.admission.try_admit(sub.session.sid)
+        assert server.admission.inflight == 1
+        server._process_batch([sub])
+        assert drain(sub.replies)[0]["type"] == "verdict"
+        assert server.admission.inflight == 0
+
+    def test_bad_deadline_ms_is_rejected_before_admission(self, server):
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        try:
+            for bad in (0, -5, "soon", True, 1.5):
+                send_message(ours, {"op": "submit", "source": car.SOURCE,
+                                    "deadline_ms": bad})
+                frame = recv_message(ours)
+                assert frame["code"] == "bad-request", bad
+            assert server.admission.inflight == 0
+        finally:
+            ours.close()
+            thread.join(timeout=10)
+
+
+class TestDeadlines:
+    def expired(self, server, source, deadline_ms=1):
+        sub = submission(server, source)
+        sub.deadline_ms = deadline_ms
+        sub.deadline = time.monotonic() - 0.001
+        return sub
+
+    def test_expired_deadline_yields_partial_verdict(self, server):
+        sub = self.expired(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["type"] == "verdict"
+        assert verdict["all_proved"] is False
+        assert verdict["deadline_expired"] is True
+        assert verdict["deadline_ms"] == 1
+        assert verdict["residue"], "a partial verdict must carry residue"
+        assert all(entry["status"] == "deadline"
+                   for entry in verdict["residue"])
+        assert server.telemetry.counters["serve.deadline.expired"] == 1
+
+    def test_deadline_expiry_is_not_a_backend_failure(self, server):
+        server._process_batch([self.expired(server, car.SOURCE)])
+        assert server.breaker.state == "closed"
+        assert "serve.breaker.failure" not in server.telemetry.counters
+
+    def test_expired_verdicts_are_not_cached_for_degraded_serving(
+            self, server):
+        server._process_batch([self.expired(server, car.SOURCE)])
+        assert car.SOURCE not in server._verdict_cache
+
+    def test_distinct_deadlines_do_not_coalesce(self, server):
+        plain = submission(server, car.SOURCE)
+        rushed = self.expired(server, car.SOURCE)
+        server._process_batch([plain, rushed])
+        full = drain(plain.replies)[0]
+        partial = drain(rushed.replies)[0]
+        assert full["coalesced"] == 1 and partial["coalesced"] == 1
+        assert full["all_proved"] is True
+        assert full["deadline_expired"] is False
+        assert partial["all_proved"] is False
+        assert partial["deadline_expired"] is True
+
+
+class TestBreakerDegradedServing:
+    def trip(self, server):
+        for _ in range(server.breaker.threshold):
+            server.breaker.record_failure()
+        assert server.breaker.state == "open"
+
+    def test_uncached_source_gets_residue_only_answer(self, server):
+        self.trip(server)
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["type"] == "verdict"
+        assert verdict["degraded"] is True
+        assert verdict["all_proved"] is False
+        assert verdict["residue"]
+        assert all(entry["status"] == "degraded"
+                   for entry in verdict["residue"])
+        assert server.telemetry.counters["serve.breaker.shed"] == 1
+
+    def test_cached_source_gets_the_cached_verdict(self, server):
+        warm = submission(server, car.SOURCE)
+        server._process_batch([warm])
+        assert drain(warm.replies)[0]["all_proved"] is True
+        self.trip(server)
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["degraded"] is True
+        assert verdict["all_proved"] is True
+        assert verdict["residue"] == []
+        assert server.telemetry.counters["serve.breaker.cache_hit"] == 1
+
+    def test_degraded_answers_do_not_advance_session_history(
+            self, server):
+        self.trip(server)
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        assert drain(sub.replies)[0]["degraded"] is True
+        assert sub.session.rounds == 0
+
+    def test_closed_breaker_serves_normally_again(self, server):
+        self.trip(server)
+        server.breaker.record_success()  # a probe healed the backend
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert "degraded" not in verdict
+        assert verdict["all_proved"] is True
+        assert sub.session.rounds == 1
+
+
+class TestClientDrops:
+    def test_failed_send_is_counted_and_raises_client_gone(self, server):
+        ours, theirs = socket.socketpair()
+        ours.close()  # the peer is already gone
+        with pytest.raises(_ClientGone):
+            server._send(theirs, {"type": "verdict"})
+        theirs.close()
+        assert server._client_drops == 1
+        assert server.telemetry.counters["serve.client_drop"] == 1
+        assert server._stats_frame()["client_drops"] == 1
+
+    def test_implicit_session_is_reaped_when_the_client_dies(
+            self, server):
+        # A submit with no hello creates its session inside _dispatch;
+        # when the client dies before its verdict, the session must
+        # still be dropped (the regression here was a permanent leak).
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        send_message(ours, {"op": "submit", "source": car.SOURCE,
+                            "stream": False})
+        deadline = time.monotonic() + 10
+        while not server._submissions.qsize():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert len(server.sessions) == 1
+        ours.close()
+        sub = server._submissions.get_nowait()
+        sub.answer({"type": "verdict"})  # the send to a dead peer fails
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert len(server.sessions) == 0
+        assert server._client_drops == 1
+
+
+class TestMalformedFrames:
+    def test_garbled_frame_draws_a_malformed_error_reply(self, server):
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        try:
+            ours.sendall(struct.pack(">I", 7) + b"\xffjunk!!")
+            frame = recv_message(ours)
+            assert frame["type"] == "error"
+            assert frame["code"] == "malformed"
+            assert recv_message(ours) is None  # then the daemon hangs up
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert server.telemetry.counters["serve.malformed_frame"] == 1
+        finally:
+            ours.close()
+
+
+class TestSessionResumption:
+    def test_hello_with_live_sid_reattaches(self, server):
+        pairs = [socket.socketpair() for _ in range(2)]
+        threads = []
+        try:
+            for _, theirs in pairs:
+                thread = threading.Thread(target=server._handle_conn,
+                                          args=(theirs,), daemon=True)
+                thread.start()
+                threads.append(thread)
+            first, second = pairs[0][0], pairs[1][0]
+            send_message(first, {"op": "hello"})
+            sid = recv_message(first)["session"]
+            send_message(second, {"op": "hello", "session": sid})
+            assert recv_message(second)["session"] == sid
+            assert len(server.sessions) == 1
+        finally:
+            for ours, _ in pairs:
+                ours.close()
+            for thread in threads:
+                thread.join(timeout=10)
+
+    def test_hello_with_unknown_sid_opens_a_fresh_session(self, server):
+        ours, theirs = socket.socketpair()
+        thread = threading.Thread(target=server._handle_conn,
+                                  args=(theirs,), daemon=True)
+        thread.start()
+        try:
+            send_message(ours, {"op": "hello", "session": "no-such-sid"})
+            frame = recv_message(ours)
+            assert frame["type"] == "hello"
+            assert frame["session"] != "no-such-sid"
+        finally:
+            ours.close()
+            thread.join(timeout=10)
