@@ -334,10 +334,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if complaint is None and args.breaker_cooldown <= 0:
         complaint = (f"--breaker-cooldown must be > 0, "
                      f"got {args.breaker_cooldown}")
+    if complaint is None and (args.sample_interval is not None
+                              and args.sample_interval <= 0):
+        complaint = (f"--sample-interval must be > 0, "
+                     f"got {args.sample_interval}")
+    if complaint is None and (args.slo_p99_ms is not None
+                              and args.slo_p99_ms <= 0):
+        complaint = f"--slo-p99-ms must be > 0, got {args.slo_p99_ms}"
     if complaint is not None:
         print(f"error: {complaint}", file=sys.stderr)
         return 2
-    server = VerificationServer(ServeOptions(
+    options = ServeOptions(
         host=args.host,
         port=args.port,
         socket_path=args.socket,
@@ -352,7 +359,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown=args.breaker_cooldown,
         pool_recycle_tasks=args.pool_recycle_tasks,
         worker_rss_limit_mb=args.worker_rss_mb,
-    ))
+    )
+    if args.sample_interval is not None:
+        options.sample_interval = args.sample_interval
+    if args.slo_p99_ms is not None:
+        options.slo_p99_ms = args.slo_p99_ms
+    server = VerificationServer(options)
     try:
         server.start()
     except OSError as error:
@@ -383,6 +395,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.close()
     print("daemon stopped", flush=True)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval}",
+              file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.iterations < 1:
+        print(f"error: --iterations must be >= 1, got {args.iterations}",
+              file=sys.stderr)
+        return 2
+    if args.window is not None and args.window <= 0:
+        print(f"error: --window must be > 0, got {args.window}",
+              file=sys.stderr)
+        return 2
+    return run_top(args.connect, interval=args.interval,
+                   iterations=args.iterations, window=args.window)
 
 
 def _cmd_chaos_serve(args: argparse.Namespace) -> int:
@@ -680,7 +711,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recycle the worker pool once a worker's "
                             "peak RSS exceeds this many MiB "
                             "(env REPRO_SERVE_WORKER_RSS_MB)")
+    serve.add_argument("--sample-interval", type=float, default=None,
+                       help="rolling time-series sampling interval in "
+                            "seconds (default 1.0; env "
+                            "REPRO_SERVE_SAMPLE_INTERVAL)")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="p99 verify-latency objective in ms for the "
+                            "health verdict (default: no SLO; env "
+                            "REPRO_SERVE_SLO_P99_MS)")
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running serve daemon "
+             "(rolling rates, latency quantiles, health checks)",
+    )
+    top.add_argument("connect", metavar="ADDR",
+                     help="daemon address (host:port or socket path)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default 2.0)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after this many polls (default: run "
+                          "until interrupted); with 1 this is a "
+                          "human-friendly health probe")
+    top.add_argument("--window", type=float, default=None,
+                     help="rolling-window horizon in seconds the "
+                          "daemon reports over (default: everything "
+                          "retained)")
+    top.set_defaults(func=_cmd_top)
 
     chaos_serve = sub.add_parser(
         "chaos-serve",

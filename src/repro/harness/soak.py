@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs.timeseries import TimeSeries
 from ..props.spec import TraceProperty
 from ..runtime.faults import FAULT_KINDS
 from ..runtime.monitor import SamplingPolicy
@@ -219,6 +220,23 @@ class PhaseStats:
     quarantined: int = 0
     released: int = 0
     respawned: int = 0
+    #: per-round rates derived at phase end (deterministic: integer
+    #: counters over the round count — the soak's "time" axis is the
+    #: round number, never the wall clock)
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def finish(self) -> None:
+        """Derive the per-round rates once the phase's counters are
+        final."""
+        if not self.rounds:
+            return
+        self.rates = {
+            "exchanges_per_round": round(
+                self.exchanges / self.rounds, 6),
+            "stimuli_per_round": round(self.stimuli / self.rounds, 6),
+            "faults_per_round": round(self.faults / self.rounds, 6),
+            "churn_per_round": round(self.churned / self.rounds, 6),
+        }
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
@@ -232,6 +250,7 @@ class PhaseStats:
             "quarantined": self.quarantined,
             "released": self.released,
             "respawned": self.respawned,
+            "rates": dict(self.rates),
         }
 
 
@@ -249,6 +268,9 @@ class SoakReport:
     sampled_instances: int = 0
     phases: List[PhaseStats] = field(default_factory=list)
     fleet: Dict[str, object] = field(default_factory=dict)
+    #: fleet-level rolling time series over the run, clocked by round
+    #: number (so the payload stays bit-for-bit reproducible)
+    timeseries: Dict[str, object] = field(default_factory=dict)
     violations: Tuple[str, ...] = ()
     watchdog_tripped: Optional[str] = None
     stalled: bool = False
@@ -279,6 +301,7 @@ class SoakReport:
             "sampled_instances": self.sampled_instances,
             "phases": [p.to_dict() for p in self.phases],
             "fleet": self.fleet,
+            "timeseries": self.timeseries,
             "violations": list(self.violations),
             "watchdog_tripped": self.watchdog_tripped,
             "stalled": self.stalled,
@@ -424,6 +447,28 @@ def run_soak(kernel: str = "car", instances: int = 100,
             _write_snapshot(snapshot_out, reason, phase_name, round_no,
                             scheduler)
 
+    # Fleet-level rolling time series, clocked by *round number* so the
+    # report stays deterministic: per-round windows over the cumulative
+    # soak counters, queryable exactly like the daemon's wall-clock one.
+    series = TimeSeries(capacity=512)
+
+    def record_round(t: float) -> None:
+        series.record(t, {
+            "counters": {
+                "soak.exchanges": sum(p.exchanges for p in report.phases),
+                "soak.stimuli": sum(p.stimuli for p in report.phases),
+                "soak.faults": sum(p.faults for p in report.phases),
+                "soak.churned": sum(p.churned for p in report.phases),
+                "soak.respawned": sum(p.respawned
+                                      for p in report.phases),
+            },
+            "gauges": {
+                "soak.runnable": float(len(scheduler.runnable())),
+                "soak.violations": float(len(scheduler.violations())),
+            },
+            "histograms": {},
+        })
+
     with obs.span("soak.run", kernel=spec.name):
         scheduler.spawn_fleet(instances)
         report.sampled_instances = sum(
@@ -432,6 +477,7 @@ def run_soak(kernel: str = "car", instances: int = 100,
         budgets = _phase_budgets(messages, phases)
         round_no = 0
         known_violations = 0
+        record_round(0.0)  # anchor: round 1 already yields a window
         for phase, budget in zip(phases, budgets):
             stats = PhaseStats(name=phase.name)
             report.phases.append(stats)
@@ -506,17 +552,20 @@ def run_soak(kernel: str = "car", instances: int = 100,
                         and known_violations == 0):
                     forensics("violation", phase.name, round_no)
                 known_violations = len(fleet_violations)
+                record_round(float(round_no))
                 if idle_rounds >= STALL_ROUNDS:
                     report.stalled = True
                     forensics("stall", phase.name, round_no)
                     break
             stats.quarantined = len(quarantined_at)
+            stats.finish()
             obs.event("soak.phase.end", phase=phase.name,
                       rounds=stats.rounds, exchanges=stats.exchanges,
                       faults=stats.faults)
             if report.stalled:
                 break
         report.fleet = scheduler.to_dict()
+        report.timeseries = series.to_dict()
         report.violations = tuple(
             f"instance {ident} (incarnation {incarnation}): {violation}"
             for ident, incarnation, violation in scheduler.violations()
@@ -547,15 +596,18 @@ def render_soak(report: SoakReport) -> str:
     )
     header = (
         f"{'phase':<18} {'rounds':>6} {'exch':>8} {'stim':>8} "
-        f"{'fault':>6} {'churn':>6} {'resp':>5} {'rel':>4}"
+        f"{'fault':>6} {'churn':>6} {'resp':>5} {'rel':>4} "
+        f"{'exch/rd':>8}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for stats in report.phases:
+        per_round = stats.rates.get("exchanges_per_round", 0.0)
         lines.append(
             f"{stats.name:<18} {stats.rounds:>6} {stats.exchanges:>8} "
             f"{stats.stimuli:>8} {stats.faults:>6} {stats.churned:>6} "
-            f"{stats.respawned:>5} {stats.released:>4}"
+            f"{stats.respawned:>5} {stats.released:>4} "
+            f"{per_round:>8.1f}"
         )
     fleet = report.fleet
     if fleet:

@@ -37,6 +37,7 @@ walkthrough.
 from . import export
 from .events import Event, EventLog, read_jsonl
 from .metrics import Histogram, MetricsRegistry
+from .timeseries import Sampler, TimeSeries, Window, registry_snapshot
 from .telemetry import (
     Span,
     Telemetry,
@@ -57,10 +58,13 @@ __all__ = [
     "EventLog",
     "Histogram",
     "MetricsRegistry",
+    "Sampler",
     "Span",
     "Telemetry",
+    "TimeSeries",
     "TraceSpan",
     "Tracer",
+    "Window",
     "active",
     "event",
     "export",
@@ -71,6 +75,7 @@ __all__ = [
     "new_run_id",
     "observe",
     "read_jsonl",
+    "registry_snapshot",
     "span",
     "use",
 ]

@@ -14,6 +14,15 @@ dies mid-run: :meth:`EventLog.bind` attaches a file and
 :meth:`EventLog.flush` appends everything not yet written (the chaos
 harness flushes once per episode).
 
+A week-long daemon run cannot grow one JSONL file without bound, so the
+file backing rotates: past ``max_bytes`` (flag on :meth:`bind`, default
+from ``REPRO_EVENTS_MAX_BYTES``; 0 disables) the live file is renamed to
+``<path>.1`` — shifting ``.1`` to ``.2`` and so on, keeping the newest
+``keep`` rotated files (``REPRO_EVENTS_KEEP``, default 3) — and a fresh
+live file is started.  Sequence numbers are issued by the log, not the
+file, so ``seq`` stays globally unique and monotonic across rotations;
+concatenating the rotated files oldest-first replays the run in order.
+
 Emission goes through :func:`repro.obs.event`, which is a module-global
 read plus a ``None`` check when no event-enabled sink is installed.
 """
@@ -21,9 +30,25 @@ read plus a ``None`` check when no event-enabled sink is installed.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
+
+#: Rotation defaults, overridable per :meth:`EventLog.bind` call.
+DEFAULT_MAX_BYTES_ENV = "REPRO_EVENTS_MAX_BYTES"
+DEFAULT_KEEP_ENV = "REPRO_EVENTS_KEEP"
+DEFAULT_KEEP = 3
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
 
 
 def _jsonable(value: object) -> object:
@@ -74,11 +99,20 @@ class EventLog:
         #: :meth:`compact` cannot re-issue a sequence number
         self._seq = 0
         self._dropped = 0
+        self._max_bytes = 0
+        self._keep = DEFAULT_KEEP
+        self._rotations = 0
+        self._bytes_written = 0
 
     @property
     def dropped(self) -> int:
         """Events compacted out of memory (they remain on disk)."""
         return self._dropped
+
+    @property
+    def rotations(self) -> int:
+        """How many times the bound file has been rotated."""
+        return self._rotations
 
     def emit(self, kind: str, /, **fields: object) -> Event:
         """Append one event, stamped with the current time offset.
@@ -126,24 +160,59 @@ class EventLog:
 
     # -- file backing --------------------------------------------------------
 
-    def bind(self, path: str) -> None:
+    def bind(self, path: str, max_bytes: Optional[int] = None,
+             keep: Optional[int] = None) -> None:
         """Attach a JSONL file; the file is truncated, and subsequent
-        :meth:`flush` calls append events not yet written."""
+        :meth:`flush` calls append events not yet written.
+
+        ``max_bytes`` (default ``REPRO_EVENTS_MAX_BYTES``, 0 = never)
+        caps the live file: a flush that would grow it past the cap
+        rotates first.  ``keep`` (default ``REPRO_EVENTS_KEEP``, 3)
+        bounds how many rotated files survive."""
         self._path = path
         self._flushed = 0
+        self._bytes_written = 0
+        self._max_bytes = (max_bytes if max_bytes is not None
+                           else _env_int(DEFAULT_MAX_BYTES_ENV, 0))
+        self._keep = max(1, keep if keep is not None
+                         else _env_int(DEFAULT_KEEP_ENV, DEFAULT_KEEP))
         with open(path, "w", encoding="utf-8"):
             pass
 
+    def _rotate(self) -> None:
+        """Shift ``path.N`` → ``path.N+1`` (newest-first, dropping
+        anything past ``keep``), move the live file to ``path.1`` and
+        start a fresh live file."""
+        assert self._path is not None
+        for n in range(self._keep - 1, 0, -1):
+            src = f"{self._path}.{n}"
+            if os.path.exists(src):
+                os.replace(src, f"{self._path}.{n + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        with open(self._path, "w", encoding="utf-8"):
+            pass
+        self._bytes_written = 0
+        self._rotations += 1
+
     def flush(self) -> int:
         """Append every unwritten event to the bound file; returns how
-        many were written (0 when unbound or up to date)."""
+        many were written (0 when unbound or up to date).  Rotates the
+        file first when the pending write would cross ``max_bytes``
+        (sequence numbers are the log's, so they stay globally unique
+        and monotonic across rotations)."""
         if self._path is None or self._flushed >= len(self.events):
             return 0
         pending = self.events[self._flushed:]
+        payload = "".join(
+            json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            for event in pending
+        )
+        if (self._max_bytes > 0 and self._bytes_written > 0
+                and self._bytes_written + len(payload) > self._max_bytes):
+            self._rotate()
         with open(self._path, "a", encoding="utf-8") as handle:
-            for event in pending:
-                handle.write(json.dumps(event.to_dict(),
-                                        sort_keys=True) + "\n")
+            handle.write(payload)
+        self._bytes_written += len(payload)
         self._flushed = len(self.events)
         return len(pending)
 

@@ -1,6 +1,6 @@
-"""Exporters: Chrome trace-event JSON and the self-contained text report.
+"""Exporters: Chrome traces, the text report, Prometheus exposition.
 
-Two consumers, two formats:
+Three consumers, three formats:
 
 * :func:`chrome_trace` turns a hierarchical trace (the
   ``telemetry["trace"]`` section of a ``repro verify --json`` payload)
@@ -9,16 +9,25 @@ Two consumers, two formats:
   as its own track, spans nested as they ran;
 * :func:`render_report` turns a whole run payload into the text report
   behind ``repro report <run.json>``: slowest obligations, per-stage and
-  per-worker utilization, histogram summaries, and cache statistics.
+  per-worker utilization, histogram summaries, and cache statistics —
+  plus, for a serve daemon's stats payload, the live-operations view
+  (recent per-submission latency breakdowns and windowed rates);
+* :func:`prometheus_exposition` renders a metrics snapshot (counters,
+  gauges, log-bucketed histograms) in the Prometheus text exposition
+  format, which is what the serve daemon's ``metrics`` frame carries so
+  any scraper — or ``curl`` piped through the client — can ingest it.
+  :func:`validate_exposition` is the structural lint the CI smoke job
+  and the tests run over generated output.
 
-Both operate on plain JSON dicts (not live objects), so they work
-equally on an in-process :meth:`Telemetry.to_dict` and on a ``run.json``
-loaded back from disk.
+All of them operate on plain JSON dicts (not live objects), so they
+work equally on an in-process :meth:`Telemetry.to_dict` and on a
+``run.json`` loaded back from disk.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional, Sequence
 
 #: How many slowest obligations the text report lists.
@@ -88,6 +97,153 @@ def write_chrome_trace(path: str, payload: dict) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(trace), handle, indent=1)
         handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+#: Metric names must match this after sanitation (colons are legal in
+#: the format but reserved for recording rules, so we never emit them).
+_PROM_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: name, optional {labels}, a number (incl. +Inf/NaN).
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"([-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$"
+)
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    """A dotted metric name in Prometheus form: prefixed, with every
+    run of non-alphanumeric characters collapsed to one underscore."""
+    sanitized = re.sub(r"[^a-zA-Z0-9]+", "_", name).strip("_")
+    out = f"{prefix}_{sanitized}" if prefix else sanitized
+    if not _PROM_NAME.match(out):
+        out = f"{prefix}_invalid_metric" if prefix else "invalid_metric"
+    return out
+
+
+def _prom_number(value: float) -> str:
+    """A sample value in exposition form (integers stay integral)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_exposition(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in the Prometheus text format.
+
+    ``snapshot`` is the :func:`repro.obs.timeseries.registry_snapshot`
+    shape — ``counters`` (monotonic totals, exposed with the conventional
+    ``_total`` suffix), ``gauges``, and ``histograms`` (the
+    :meth:`~repro.obs.metrics.Histogram.export` shape, whose sparse
+    log-spaced buckets become the cumulative ``le`` series Prometheus
+    expects, closed by the mandatory ``+Inf`` bucket).
+
+    The output is deterministic (names sorted) and ends with a newline,
+    per the format spec.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, source: str,
+             samples: List[str]) -> None:
+        lines.append(f"# HELP {name} repro metric {source}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for source in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][source]
+        name = _prom_name(f"{source}_total", prefix)
+        emit(name, "counter", source, [f"{name} {_prom_number(value)}"])
+    for source in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][source]
+        name = _prom_name(source, prefix)
+        emit(name, "gauge", source, [f"{name} {_prom_number(value)}"])
+    for source in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][source]
+        name = _prom_name(source, prefix)
+        base = hist.get("base", 1e-6)
+        count = hist.get("count", 0)
+        total = hist.get("total", 0.0)
+        cumulative = 0
+        samples: List[str] = []
+        buckets = {int(k): v for k, v in hist.get("buckets", {}).items()}
+        for index in sorted(buckets):
+            cumulative += buckets[index]
+            bound = base * (2.0 ** index)
+            samples.append(
+                f'{name}_bucket{{le="{bound:.9g}"}} {cumulative}'
+            )
+        samples.append(f'{name}_bucket{{le="+Inf"}} {count}')
+        samples.append(f"{name}_sum {_prom_number(round(total, 9))}")
+        samples.append(f"{name}_count {count}")
+        emit(name, "histogram", source, samples)
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Structural complaints about a Prometheus text exposition.
+
+    Checks the invariants a scraper relies on: every sample line parses,
+    every sample is preceded by a ``# TYPE`` for its metric family,
+    histogram ``_bucket`` series are cumulative (non-decreasing in
+    ``le`` order) and closed by ``+Inf``, and the payload ends with a
+    newline.  Empty means valid (the CI smoke job asserts exactly that).
+    """
+    complaints: List[str] = []
+    if not text.endswith("\n"):
+        complaints.append("exposition does not end with a newline")
+    typed: Dict[str, str] = {}
+    bucket_last: Dict[str, int] = {}
+    bucket_closed: Dict[str, bool] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                if parts[1] == "TYPE":
+                    typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+                continue
+            complaints.append(f"line {lineno}: malformed comment {line!r}")
+            continue
+        if not _PROM_SAMPLE.match(line):
+            complaints.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = re.sub(r"_(total|bucket|sum|count)$", "", name)
+        if name not in typed and family not in typed:
+            complaints.append(
+                f"line {lineno}: sample {name} has no preceding # TYPE"
+            )
+        if name.endswith("_bucket"):
+            le = re.search(r'le="([^"]+)"', line)
+            value = int(float(line.rsplit(" ", 1)[1]))
+            if le is None:
+                complaints.append(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+                continue
+            previous = bucket_last.get(name)
+            if previous is not None and value < previous:
+                complaints.append(
+                    f"line {lineno}: {name} buckets not cumulative "
+                    f"({value} < {previous})"
+                )
+            bucket_last[name] = value
+            if le.group(1) == "+Inf":
+                bucket_closed[name] = True
+            elif name not in bucket_closed:
+                bucket_closed[name] = False
+    for name, closed in sorted(bucket_closed.items()):
+        if not closed:
+            complaints.append(f"{name} has no +Inf bucket")
+    return complaints
 
 
 # ---------------------------------------------------------------------------
@@ -193,6 +349,59 @@ def _cache_rows(counters: Dict[str, int]) -> List[dict]:
     return rows
 
 
+def _serve_lines(payload: dict, serve: dict) -> List[str]:
+    """The live-operations section of a serve daemon's stats payload:
+    daemon vitals, recent per-submission latency breakdowns, and the
+    rolling time-series rates the daemon's sampler retained."""
+    lines: List[str] = []
+    vitals = [f"batches {serve.get('batches', 0)}",
+              f"submissions {serve.get('submissions', 0)}"]
+    if "uptime_s" in payload:
+        vitals.insert(0, f"up {payload['uptime_s']:.0f}s")
+    if "schema_version" in payload:
+        vitals.append(f"stats schema v{payload['schema_version']}")
+    if "generated_at" in payload:
+        vitals.append(f"generation #{payload['generated_at']}")
+    lines.append("")
+    lines.append("serve daemon: " + ", ".join(vitals))
+
+    recent = serve.get("recent_submissions") or []
+    if recent:
+        lines.append("")
+        lines.append(f"recent submissions (latest "
+                     f"{len(recent)}; milliseconds):")
+        lines.append(f"  {'submit':<10} {'admit':>7} {'queue':>7} "
+                     f"{'verify':>8} {'fanout':>7} {'total':>8}  outcome")
+        for row in recent:
+            breakdown = row.get("breakdown", {})
+            lines.append(
+                f"  {row.get('submit_id', '?'):<10} "
+                f"{breakdown.get('admission_ms', 0):>7.1f} "
+                f"{breakdown.get('queue_ms', 0):>7.1f} "
+                f"{breakdown.get('verify_ms', 0):>8.1f} "
+                f"{breakdown.get('fanout_ms', 0):>7.1f} "
+                f"{breakdown.get('total_ms', 0):>8.1f}  "
+                f"{row.get('outcome', '?')}"
+            )
+
+    series = payload.get("timeseries")
+    if isinstance(series, dict) and series.get("rates"):
+        lines.append("")
+        span = series.get("span_seconds", 0.0)
+        lines.append(f"rolling window ({span:.0f}s retained):")
+        for name, rate in sorted(series["rates"].items(),
+                                 key=lambda kv: (-kv[1], kv[0]))[:12]:
+            lines.append(f"  {name:<36} {rate:>10.3f}/s")
+        for name, summary in sorted(
+                (series.get("histograms") or {}).items()):
+            lines.append(
+                f"  {name:<36} p50 {summary.get('p50', 0):.4f}s  "
+                f"p99 {summary.get('p99', 0):.4f}s  "
+                f"n={summary.get('count', 0)}"
+            )
+    return lines
+
+
 def render_report(payload: dict) -> str:
     """The self-contained text report for one run payload."""
     telemetry = _telemetry_of(payload)
@@ -210,6 +419,10 @@ def render_report(payload: dict) -> str:
             f"{payload.get('total_seconds', 0.0):.3f}s, "
             f"all_proved={payload.get('all_proved')}"
         )
+
+    serve = payload.get("serve")
+    if isinstance(serve, dict):
+        lines.extend(_serve_lines(payload, serve))
 
     obligations = _obligation_rows(telemetry)
     lines.append("")

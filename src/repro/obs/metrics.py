@@ -20,10 +20,19 @@ Histogram semantics: bucket ``i`` holds values in
 ``(BASE * 2**(i-1), BASE * 2**i]`` (bucket 0 holds everything at or
 below ``BASE``); quantiles are upper-bound estimates read off the bucket
 boundaries, which is the right bias for latency alerting.
+
+Thread-safety: a histogram serializes its own mutations and snapshots
+with a per-instance lock, and the registry serializes histogram
+*creation*, so a sampler thread snapshotting a live registry races the
+observing threads without losing counts or tearing a bucket map.  The
+counter fast path stays lock-free — counters are per-sink and merged
+under the owner's lock (the serve daemon's telemetry lock), and a plain
+dict store is atomic under the GIL.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 #: Histogram base resolution in native units (seconds for latencies):
@@ -50,7 +59,8 @@ def bucket_index(value: float, base: float = BASE) -> int:
 class Histogram:
     """A log-bucketed histogram over a fixed base resolution."""
 
-    __slots__ = ("base", "count", "total", "min", "max", "buckets")
+    __slots__ = ("base", "count", "total", "min", "max", "buckets",
+                 "_lock")
 
     def __init__(self, base: float = BASE) -> None:
         self.base = base
@@ -59,18 +69,20 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets: Dict[int, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        index = bucket_index(value, self.base)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            index = bucket_index(value, self.base)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
     def bucket_bound(self, index: int) -> float:
         """Upper (inclusive) value bound of bucket ``index``."""
@@ -78,52 +90,76 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the ``q``-quantile (0 when empty)."""
-        if self.count == 0:
+        with self._lock:
+            count = self.count
+            buckets = dict(self.buckets)
+        if count == 0:
             return 0.0
-        needed = max(1, int(q * self.count + 0.999999))
+        needed = max(1, int(q * count + 0.999999))
         seen = 0
-        for index in sorted(self.buckets):
-            seen += self.buckets[index]
+        for index in sorted(buckets):
+            seen += buckets[index]
             if seen >= needed:
                 return self.bucket_bound(index)
-        return self.bucket_bound(max(self.buckets))
+        return self.bucket_bound(max(buckets))
 
     def merge(self, other: dict) -> None:
-        """Fold an exported histogram dict into this one."""
-        self.count += other["count"]
-        self.total += other["total"]
-        for extreme, pick in (("min", min), ("max", max)):
-            value = other.get(extreme)
-            if value is not None:
-                mine = getattr(self, extreme)
-                setattr(self, extreme,
-                        value if mine is None else pick(mine, value))
-        for index, amount in other["buckets"].items():
-            index = int(index)
-            self.buckets[index] = self.buckets.get(index, 0) + amount
+        """Fold an exported histogram dict into this one.
+
+        A snapshot exported under a *different* base resolution is
+        renormalized rather than folded blindly: each foreign bucket's
+        count moves to the local bucket containing the foreign bucket's
+        upper bound.  That preserves the histogram's one invariant —
+        quantiles are upper-bound estimates — at the cost of some extra
+        conservatism, instead of silently mis-bucketing merged worker
+        data (a base-1e-6 bucket 3 is 8 µs; the same index under base
+        1e-3 is 8 ms — three orders of magnitude of silent skew).
+        """
+        other_base = other.get("base", self.base)
+        with self._lock:
+            self.count += other["count"]
+            self.total += other["total"]
+            for extreme, pick in (("min", min), ("max", max)):
+                value = other.get(extreme)
+                if value is not None:
+                    mine = getattr(self, extreme)
+                    setattr(self, extreme,
+                            value if mine is None else pick(mine, value))
+            renormalize = other_base != self.base
+            for index, amount in other["buckets"].items():
+                index = int(index)
+                if renormalize:
+                    bound = other_base * (2.0 ** index)
+                    index = bucket_index(bound, self.base)
+                self.buckets[index] = self.buckets.get(index, 0) + amount
 
     def export(self) -> dict:
         """Pickle/JSON-friendly snapshot (mergeable)."""
-        return {
-            "base": self.base,
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "buckets": dict(self.buckets),
-        }
+        with self._lock:
+            return {
+                "base": self.base,
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "buckets": dict(self.buckets),
+            }
 
     def to_dict(self) -> dict:
         """JSON-ready summary: moments, quantile estimates, buckets."""
+        snap = self.export()
+        count, total = snap["count"], snap["total"]
         out = {
-            "count": self.count,
-            "total": round(self.total, 6),
-            "mean": round(self.total / self.count, 9) if self.count else 0.0,
-            "min": round(self.min, 9) if self.min is not None else None,
-            "max": round(self.max, 9) if self.max is not None else None,
+            "count": count,
+            "total": round(total, 6),
+            "mean": round(total / count, 9) if count else 0.0,
+            "min": (round(snap["min"], 9)
+                    if snap["min"] is not None else None),
+            "max": (round(snap["max"], 9)
+                    if snap["max"] is not None else None),
             "buckets": {
-                f"le_{self.bucket_bound(i):.9g}": self.buckets[i]
-                for i in sorted(self.buckets)
+                f"le_{self.bucket_bound(i):.9g}": snap["buckets"][i]
+                for i in sorted(snap["buckets"])
             },
         }
         for q in QUANTILES:
@@ -143,6 +179,7 @@ class MetricsRegistry:
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._create_lock = threading.Lock()
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name``."""
@@ -152,12 +189,21 @@ class MetricsRegistry:
         """Set the gauge ``name`` (last write wins)."""
         self.gauges[name] = float(value)
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one observation into the histogram ``name``."""
+    def _histogram(self, name: str, base: float = BASE) -> Histogram:
+        """The named histogram, created under the registry lock so two
+        racing threads cannot each create one and lose the other's
+        observations."""
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+            with self._create_lock:
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram(base)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        self._histogram(name).observe(value)
 
     def merge(self, data: dict) -> None:
         """Fold an :meth:`export` snapshot (a worker's) into this
@@ -166,11 +212,8 @@ class MetricsRegistry:
         for name, value in data.get("gauges", {}).items():
             self.gauges.setdefault(name, value)
         for name, exported in data.get("histograms", {}).items():
-            histogram = self.histograms.get(name)
-            if histogram is None:
-                histogram = self.histograms[name] = Histogram(
-                    exported.get("base", BASE)
-                )
+            histogram = self._histogram(name,
+                                        exported.get("base", BASE))
             histogram.merge(exported)
 
     def export(self) -> dict:

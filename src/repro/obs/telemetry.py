@@ -82,11 +82,20 @@ class Telemetry:
     def __init__(self, *, trace: bool = False, metrics: bool = False,
                  events: bool = False, run_id: Optional[str] = None,
                  worker: str = "main",
-                 max_spans: Optional[int] = None) -> None:
+                 max_spans: Optional[int] = None,
+                 tags: Optional[Dict[str, object]] = None) -> None:
         if run_id is None and (trace or events):
             run_id = new_run_id()
         self.run_id = run_id
         self.worker = worker
+        #: Request-context tags (e.g. the serve daemon's ``submit_id``)
+        #: merged into every span's attrs and every event's fields, so
+        #: one submission's work is traceable end to end — through
+        #: coalesced verify groups and across the worker-pool boundary
+        #: (:mod:`repro.prover.parallel` ships tags to its workers).
+        #: Explicit attrs/fields win on key collision.  Empty by
+        #: default, so the hot path pays only a falsy check.
+        self.tags: Dict[str, object] = dict(tags) if tags else {}
         self.metrics: Optional[MetricsRegistry] = \
             MetricsRegistry() if metrics else None
         # Alias the registry's counters so ``incr`` feeds both at once.
@@ -287,6 +296,8 @@ def event(kind: str, /, **fields: object) -> None:
     ``kind`` field of their own)."""
     sink = _ACTIVE
     if sink is not None and sink.events is not None:
+        if sink.tags:
+            fields = {**sink.tags, **fields}
         sink.events.emit(kind, **fields)
 
 
@@ -313,6 +324,8 @@ def span(name: str, **attrs: object) -> Iterator[None]:
     if sink is None:
         yield
         return
+    if sink.tags:
+        attrs = {**sink.tags, **attrs}
     frozen = tuple(sorted(
         (key, str(value)) for key, value in attrs.items()
     ))

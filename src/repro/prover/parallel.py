@@ -167,6 +167,7 @@ def _task_sink() -> "obs.Telemetry":
         metrics=bool(cfg.get("metrics")),
         events=bool(cfg.get("events")),
         run_id=cfg.get("run_id"),
+        tags=cfg.get("tags"),
         worker=f"w{os.getpid()}",
     )
 
@@ -434,6 +435,10 @@ def verify_parallel(spec: SpecifiedProgram, options, jobs: int) -> List:
         "metrics": telemetry.metrics is not None,
         "events": telemetry.events is not None,
         "run_id": telemetry.run_id,
+        # Request-context tags (the serve daemon's submit/group ids)
+        # ride along so worker spans and events stay attributable to
+        # the submission that caused them.
+        "tags": dict(telemetry.tags) if telemetry.tags else None,
     }
     # The one-off symbolic step build happens once per run in a serial
     # prover; merge exactly one worker's copy, across ALL generations.

@@ -24,7 +24,11 @@ process instead of paying cold start every time.
 * :mod:`repro.serve.admission` — bounded admission and load shedding
   (``overloaded`` frames with ``retry_after_ms`` hints);
 * :mod:`repro.serve.breaker` — the circuit breaker that serves degraded
-  answers while a sick prover backend heals.
+  answers while a sick prover backend heals;
+* :mod:`repro.serve.slo` — the health/SLO policy behind ``health``
+  frames (error-budget burn over the daemon's rolling time series);
+* :mod:`repro.serve.top` — the ``repro top`` live terminal dashboard
+  over ``metrics``/``health`` frames.
 
 See ``docs/serve.md`` for the protocol, lifecycle and failure modes.
 """
@@ -33,6 +37,7 @@ _EXPORTS = {
     "AdmissionController": "admission",
     "CacheGovernor": "housekeeping",
     "CircuitBreaker": "breaker",
+    "HealthPolicy": "slo",
     "ProtocolError": "protocol",
     "ServeClient": "client",
     "ServeError": "client",
@@ -40,8 +45,11 @@ _EXPORTS = {
     "Session": "session",
     "SessionRegistry": "session",
     "VerificationServer": "server",
+    "compute_health": "slo",
     "parse_address": "protocol",
+    "render_top": "top",
     "residue_for": "residue",
+    "run_top": "top",
 }
 
 
@@ -69,6 +77,7 @@ __all__ = [
     "AdmissionController",
     "CacheGovernor",
     "CircuitBreaker",
+    "HealthPolicy",
     "ProtocolError",
     "ServeClient",
     "ServeError",
@@ -76,6 +85,9 @@ __all__ = [
     "Session",
     "SessionRegistry",
     "VerificationServer",
+    "compute_health",
     "parse_address",
+    "render_top",
     "residue_for",
+    "run_top",
 ]

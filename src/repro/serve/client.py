@@ -228,6 +228,28 @@ class ServeClient:
                              code="protocol", payload=frame)
         return frame
 
+    def metrics(self, over: Optional[float] = None) -> dict:
+        """The daemon's ``metrics`` frame: rolling-window rates and
+        quantiles (``over`` selects the window horizon in seconds),
+        lifetime totals, and the Prometheus text exposition."""
+        request: dict = {"op": "metrics"}
+        if over is not None:
+            request["over"] = float(over)
+        frame = self._request(request)
+        if frame.get("type") != "metrics":
+            raise ServeError(f"unexpected reply to metrics: {frame}",
+                             code="protocol", payload=frame)
+        return frame
+
+    def health(self) -> dict:
+        """The daemon's ``health`` frame: an ok/degraded/unhealthy
+        verdict with per-check detail (see :mod:`repro.serve.slo`)."""
+        frame = self._request({"op": "health"})
+        if frame.get("type") != "health":
+            raise ServeError(f"unexpected reply to health: {frame}",
+                             code="protocol", payload=frame)
+        return frame
+
     def ping(self) -> bool:
         """Liveness check; True when the daemon answered."""
         return self._request({"op": "ping"}).get("type") == "ok"
@@ -271,6 +293,13 @@ def main(argv: Optional[list] = None) -> int:
                         help="liveness check")
     action.add_argument("--stats", action="store_true",
                         help="print the daemon's stats as JSON")
+    action.add_argument("--metrics", action="store_true",
+                        help="print the daemon's rolling metrics as"
+                             " JSON (includes the Prometheus text"
+                             " exposition under 'exposition')")
+    action.add_argument("--health", action="store_true",
+                        help="print the daemon's health verdict as JSON;"
+                             " exit 0 ok, 1 degraded/unhealthy")
     action.add_argument("--submit", metavar="KERNEL",
                         help="verify a kernel file; prints the verdict")
     action.add_argument("--shutdown", action="store_true",
@@ -296,6 +325,14 @@ def main(argv: Optional[list] = None) -> int:
                 print(json.dumps(client.stats(), indent=2,
                                  sort_keys=True))
                 return 0
+            if args.metrics:
+                print(json.dumps(client.metrics(), indent=2,
+                                 sort_keys=True))
+                return 0
+            if args.health:
+                frame = client.health()
+                print(json.dumps(frame, indent=2, sort_keys=True))
+                return 0 if frame.get("status") == "ok" else 1
             if args.shutdown:
                 client.shutdown()
                 print("daemon shutting down")

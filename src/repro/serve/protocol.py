@@ -9,8 +9,13 @@ truncation detectable (a reader can always tell a clean close at a frame
 boundary from a peer dying mid-frame).
 
 Requests carry an ``op`` field (``hello`` / ``submit`` / ``ping`` /
-``stats`` / ``bye`` / ``shutdown``); responses carry a ``type`` field
-(``hello`` / ``event`` / ``verdict`` / ``stats`` / ``error`` / ``ok``).
+``stats`` / ``metrics`` / ``health`` / ``bye`` / ``shutdown``);
+responses carry a ``type`` field (``hello`` / ``event`` / ``verdict`` /
+``stats`` / ``metrics`` / ``health`` / ``error`` / ``ok``).
+A ``metrics`` request may carry ``over`` (seconds) to narrow the
+rolling-window horizon; the response bundles windowed rates/quantiles,
+lifetime totals and a Prometheus text exposition.  ``health`` answers
+the daemon's ok/degraded/unhealthy verdict with per-check detail.
 A ``submit`` answers with a *stream*: zero or more ``event`` frames
 (each wrapping one flight-recorder envelope — the same ``seq``/``t``/
 ``kind``/``worker`` record ``repro verify --events-out`` writes)

@@ -59,6 +59,7 @@ residue* (:mod:`repro.serve.residue`) rather than a bare boolean.
 from __future__ import annotations
 
 import contextlib
+import itertools
 import json
 import os
 import queue
@@ -66,7 +67,7 @@ import socket
 import tempfile
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -74,6 +75,8 @@ from .. import obs
 from ..frontend import parse_program
 from ..lang.errors import ReflexError
 from ..obs.events import EventLog
+from ..obs.export import prometheus_exposition
+from ..obs.timeseries import Sampler, TimeSeries, registry_snapshot
 from ..prover import DEADLINE_MESSAGE, ProverOptions, Verifier
 from ..prover.incremental import (
     InvalidationMap,
@@ -93,12 +96,22 @@ from .housekeeping import DEFAULT_MAX_INTERN_TERMS, CacheGovernor
 from .protocol import ProtocolError, recv_message, send_message
 from .residue import degraded_residue, residue_for
 from .session import Session, SessionRegistry
+from .slo import HealthPolicy, compute_health
 
 #: Protocol/revision tag answered in ``hello`` frames.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
+
+#: Schema tag stamped on ``stats``/``metrics``/``health`` frames and the
+#: ``--stats-out`` payload; bumped whenever their shape changes so a
+#: scraper can refuse payloads it does not understand.
+STATS_SCHEMA_VERSION = 1
 
 #: Verdicts cached for degraded (breaker-open) serving, keyed by source.
 _VERDICT_CACHE_CAP = 128
+
+#: Per-submission latency breakdowns retained for the stats payload
+#: (``repro report`` renders them as the "recent submissions" table).
+_RECENT_SUBMISSIONS = 32
 
 
 def _env_float(name: str) -> Optional[float]:
@@ -166,6 +179,19 @@ class ServeOptions:
     worker_rss_limit_mb: Optional[float] = field(
         default_factory=lambda: _env_float("REPRO_SERVE_WORKER_RSS_MB")
     )
+    #: rolling time-series sampling interval, seconds
+    #: (``REPRO_SERVE_SAMPLE_INTERVAL``)
+    sample_interval: float = field(
+        default_factory=lambda: (
+            _env_float("REPRO_SERVE_SAMPLE_INTERVAL") or 1.0
+        )
+    )
+    #: p99 latency objective for ``serve.verify.seconds``, milliseconds
+    #: (``REPRO_SERVE_SLO_P99_MS``; ``None`` disables the SLO health
+    #: check — see :mod:`repro.serve.slo`)
+    slo_p99_ms: Optional[float] = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_SLO_P99_MS")
+    )
 
 
 @dataclass
@@ -182,6 +208,47 @@ class _Submission:
     deadline: Optional[float] = None
     #: admission capacity held until the terminal frame is delivered
     ticket: Optional[AdmissionTicket] = None
+    #: request id assigned at admission, echoed on every frame this
+    #: submission produces (and tagged onto spans/events it causes)
+    submit_id: str = ""
+    #: ``time.monotonic()`` trace stamps: frame received, admission
+    #: granted, batch dequeued by the prover thread
+    received_at: float = 0.0
+    admitted_at: float = 0.0
+    dequeued_at: Optional[float] = None
+
+    def breakdown(self, group_start: Optional[float] = None,
+                  fanout_start: Optional[float] = None) -> dict:
+        """The per-phase latency split for this submission, in ms:
+        admission wait → queue wait → verify → fan-out, plus the
+        end-to-end total.
+
+        The phases are *contiguous* stamps (queue wait ends where the
+        group's prover work starts, which for a coalesced batch includes
+        waiting behind earlier groups), so their sum tracks the client's
+        observed wall time instead of undercounting parse/digest work.
+        Robust to missing stamps — a submission built without them
+        reports zeros for the untracked phases."""
+        now = time.monotonic()
+        received = self.received_at or now
+        admitted = self.admitted_at or received
+        queue_end = (group_start if group_start is not None
+                     else (self.dequeued_at if self.dequeued_at
+                           is not None else admitted))
+        verify_end = (fanout_start if fanout_start is not None
+                      else queue_end)
+        phases = {
+            "admission_ms": max(0.0, admitted - received) * 1000.0,
+            "queue_ms": max(0.0, queue_end - admitted) * 1000.0,
+            "verify_ms": (max(0.0, verify_end - group_start) * 1000.0
+                          if group_start is not None else 0.0),
+            "fanout_ms": (max(0.0, now - fanout_start) * 1000.0
+                          if fanout_start is not None else 0.0),
+        }
+        total = (max(0.0, now - received) * 1000.0 if self.received_at
+                 else sum(phases.values()))
+        phases["total_ms"] = max(total, sum(phases.values()))
+        return {name: round(ms, 3) for name, ms in phases.items()}
 
     def answer(self, frame: dict) -> None:
         """Deliver one frame; a *terminal* frame releases admission
@@ -268,6 +335,23 @@ class VerificationServer:
             metrics=True, events=bool(self.options.events_out),
         )
         self._telemetry_lock = threading.Lock()
+        #: rolling time-series over the daemon's registry (counter
+        #: rates, windowed histogram quantiles) fed by a background
+        #: sampler; the health/SLO surface and ``metrics`` frames read it
+        self.series = TimeSeries()
+        self.sampler = Sampler(
+            self._series_snapshot, series=self.series,
+            interval=self.options.sample_interval,
+        )
+        self.health_policy = HealthPolicy(
+            slo_p99_ms=self.options.slo_p99_ms,
+        )
+        self._started_mono = time.monotonic()
+        #: monotonic sequence stamped on stats/metrics/health payloads
+        #: so a scraper can detect stale or out-of-order reads
+        self._stats_seq = itertools.count(1)
+        self._submit_seq = itertools.count(1)
+        self._recent: "deque[dict]" = deque(maxlen=_RECENT_SUBMISSIONS)
         self._submissions: "queue.Queue[Optional[_Submission]]" = \
             queue.Queue()
         self._listener: Optional[socket.socket] = None
@@ -319,6 +403,7 @@ class VerificationServer:
                                       daemon=True)
             thread.start()
             self._threads.append(thread)
+        self.sampler.start()
 
     @property
     def address_str(self) -> str:
@@ -355,6 +440,7 @@ class VerificationServer:
         self.shutdown()
         for thread in self._threads:
             thread.join(timeout=10)
+        self.sampler.stop()  # final sample lands in the stats payload
         self._flush_outputs()
         if self.options.socket_path is not None:
             with contextlib.suppress(OSError):
@@ -469,6 +555,7 @@ class VerificationServer:
             })
             return None
         if op == "submit":
+            received_at = time.monotonic()
             source = request.get("source")
             if not isinstance(source, str) or not source.strip():
                 self._send(conn, _error_frame(
@@ -508,6 +595,9 @@ class VerificationServer:
                 deadline=(None if deadline_ms is None
                           else time.monotonic() + deadline_ms / 1000.0),
                 ticket=ticket,
+                submit_id=f"sub-{next(self._submit_seq)}",
+                received_at=received_at,
+                admitted_at=time.monotonic(),
             ))
             while True:
                 try:
@@ -532,6 +622,12 @@ class VerificationServer:
             return None
         if op == "stats":
             self._send(conn, self._stats_frame())
+            return None
+        if op == "metrics":
+            self._send(conn, self._metrics_frame(request))
+            return None
+        if op == "health":
+            self._send(conn, self._health_frame())
             return None
         if op == "bye":
             self._send(conn, {"type": "ok", "op": "bye"})
@@ -618,6 +714,9 @@ class VerificationServer:
                 groups[key] = []
                 order.append(key)
             groups[key].append(submission)
+        dequeued_at = time.monotonic()
+        for submission in batch:
+            submission.dequeued_at = dequeued_at
         with self._telemetry_lock:
             self.telemetry.incr("serve.batch")
             self.telemetry.incr("serve.submissions", len(batch))
@@ -625,6 +724,19 @@ class VerificationServer:
                 self.telemetry.metrics.gauge(
                     "serve.queue.depth", float(self.admission.inflight)
                 )
+                for submission in batch:
+                    if not submission.received_at:
+                        continue  # hand-built (tests): nothing to time
+                    admitted = (submission.admitted_at
+                                or submission.received_at)
+                    self.telemetry.metrics.observe(
+                        "serve.admission.seconds",
+                        max(0.0, admitted - submission.received_at),
+                    )
+                    self.telemetry.metrics.observe(
+                        "serve.queue.seconds",
+                        max(0.0, dequeued_at - admitted),
+                    )
             if self.telemetry.events is not None:
                 self.telemetry.events.emit(
                     "serve.batch", size=len(batch), groups=len(order),
@@ -665,26 +777,38 @@ class VerificationServer:
                         "serve.internal_error",
                         error=type(error).__name__,
                     )
-            frame = _error_frame(
-                "internal-error", f"{type(error).__name__}: {error}"
-            )
             for waiter in waiters:
                 if id(waiter) not in answered:
+                    frame = _error_frame(
+                        "internal-error",
+                        f"{type(error).__name__}: {error}",
+                    )
+                    breakdown = waiter.breakdown()
+                    if waiter.submit_id:
+                        frame["submit_id"] = waiter.submit_id
+                    frame["breakdown"] = breakdown
                     waiter.answer(frame)
+                    self._note_recent(waiter, "internal-error", breakdown)
 
     def _verify_group_inner(self, source: str, deadline: Optional[float],
                             waiters: List[_Submission],
                             answered: set) -> None:
         """The fallible body of :meth:`_verify_group`; records each
         waiter that received its terminal frame in ``answered``."""
+        group_start = time.monotonic()
         try:
             spec = parse_program(source)
         except ReflexError as error:
             with self._telemetry_lock:
                 self.telemetry.incr("serve.parse_error")
-            frame = _error_frame("parse-error", str(error))
             for waiter in waiters:
+                frame = _error_frame("parse-error", str(error))
+                breakdown = waiter.breakdown(group_start=group_start)
+                if waiter.submit_id:
+                    frame["submit_id"] = waiter.submit_id
+                frame["breakdown"] = breakdown
                 waiter.answer(frame)
+                self._note_recent(waiter, "parse-error", breakdown)
                 answered.add(id(waiter))
             return
         if not self.breaker.allow():
@@ -694,7 +818,16 @@ class VerificationServer:
         options = self.prover_options
         if deadline is not None:
             options = replace(options, deadline=deadline)
-        sink = obs.Telemetry(metrics=True, events=True)
+        # Tag every span and event this group produces — including the
+        # ones pool workers ship home — with the waiting submit ids, so
+        # one submission's work is traceable end to end even through
+        # coalescing.
+        submit_ids = [w.submit_id for w in waiters if w.submit_id]
+        sink = obs.Telemetry(
+            metrics=True, events=True,
+            tags=({"submit_id": ",".join(submit_ids[:8])}
+                  if submit_ids else None),
+        )
         sink.events = _StreamingEventLog(
             [w.replies for w in waiters if w.stream],
             run_id=sink.run_id,
@@ -728,25 +861,57 @@ class VerificationServer:
             if not deadline_expired:
                 self._cache_verdict(source, spec, report, residue,
                                     program_digest)
+        fanout_start = time.monotonic()
         for waiter in waiters:
             waiter.answer(self._verdict_frame(
-                waiter.session, spec, report, residue, digests,
+                waiter, spec, report, residue, digests,
                 program_digest, counters, wall, len(waiters),
-                deadline_ms=waiter.deadline_ms,
                 deadline_expired=deadline_expired,
+                group_start=group_start,
+                fanout_start=fanout_start,
             ))
             answered.add(id(waiter))
         with self._telemetry_lock:
             self.telemetry.merge_export(sink.export())
+            if self.telemetry.metrics is not None:
+                self.telemetry.metrics.observe("serve.verify.seconds",
+                                               wall)
 
-    def _verdict_frame(self, session: Session, spec, report,
+    def _note_recent(self, waiter: _Submission, outcome: str,
+                     breakdown: dict) -> None:
+        """Remember one finished submission's latency breakdown (the
+        ``recent_submissions`` ring in the stats payload) and feed the
+        end-to-end histogram."""
+        self._recent.append({
+            "submit_id": waiter.submit_id or "(untracked)",
+            "session": waiter.session.sid,
+            "outcome": outcome,
+            "breakdown": breakdown,
+        })
+        with self._telemetry_lock:
+            if self.telemetry.metrics is not None:
+                self.telemetry.metrics.observe(
+                    "serve.e2e.seconds",
+                    breakdown.get("total_ms", 0.0) / 1000.0,
+                )
+
+    def _verdict_frame(self, waiter: _Submission, spec, report,
                        residue: List[dict], digests: Dict[Part, str],
                        program_digest: str, counters: Dict[str, int],
                        wall: float, coalesced: int,
-                       deadline_ms: Optional[int] = None,
-                       deadline_expired: bool = False) -> dict:
-        """The terminal verdict for one session, with its session-scoped
-        incremental diff (which slices changed, what got superseded)."""
+                       deadline_expired: bool = False,
+                       group_start: Optional[float] = None,
+                       fanout_start: Optional[float] = None) -> dict:
+        """The terminal verdict for one submission, with its
+        session-scoped incremental diff (which slices changed, what got
+        superseded) and its per-phase latency breakdown."""
+        session = waiter.session
+        breakdown = waiter.breakdown(group_start=group_start,
+                                     fanout_start=fanout_start)
+        outcome = "proved" if report.all_proved else "unproved"
+        if deadline_expired:
+            outcome = "deadline"
+        self._note_recent(waiter, outcome, breakdown)
         if session.rounds:
             changed = changed_parts(session.digests, digests)
             invalidated = len(self.invalidation.invalidated_keys(
@@ -760,6 +925,7 @@ class VerificationServer:
         return {
             "type": "verdict",
             "session": session.sid,
+            "submit_id": waiter.submit_id or None,
             "round": session.rounds,
             "program": spec.name,
             "program_digest": program_digest,
@@ -775,10 +941,11 @@ class VerificationServer:
             "invalidated_keys": invalidated,
             "counters": counters,
             "seconds": round(wall, 6),
+            "breakdown": breakdown,
             "coalesced": coalesced,
             "generation": self.governor.generation,
             "batch": self._batches,
-            "deadline_ms": deadline_ms,
+            "deadline_ms": waiter.deadline_ms,
             "deadline_expired": deadline_expired,
         }
 
@@ -836,10 +1003,12 @@ class VerificationServer:
         reason = ("the prover backend is unavailable (circuit breaker "
                   "open); answering degraded while it heals")
         for waiter in waiters:
+            breakdown = waiter.breakdown()
             if cached is not None:
                 frame = {
                     "type": "verdict",
                     "session": waiter.session.sid,
+                    "submit_id": waiter.submit_id or None,
                     "round": waiter.session.rounds,
                     "program": cached["program"],
                     "program_digest": cached["program_digest"],
@@ -851,6 +1020,7 @@ class VerificationServer:
                     "invalidated_keys": 0,
                     "counters": {},
                     "seconds": 0.0,
+                    "breakdown": breakdown,
                     "coalesced": len(waiters),
                     "generation": self.governor.generation,
                     "batch": self._batches,
@@ -863,6 +1033,7 @@ class VerificationServer:
                 frame = {
                     "type": "verdict",
                     "session": waiter.session.sid,
+                    "submit_id": waiter.submit_id or None,
                     "round": waiter.session.rounds,
                     "program": spec.name,
                     "program_digest": None,
@@ -874,6 +1045,7 @@ class VerificationServer:
                     "invalidated_keys": 0,
                     "counters": {},
                     "seconds": 0.0,
+                    "breakdown": breakdown,
                     "coalesced": len(waiters),
                     "generation": self.governor.generation,
                     "batch": self._batches,
@@ -883,6 +1055,7 @@ class VerificationServer:
                     "degraded_reason": reason,
                 }
             waiter.answer(frame)
+            self._note_recent(waiter, "degraded", breakdown)
             answered.add(id(waiter))
 
     def _start_probe(self) -> None:
@@ -929,12 +1102,78 @@ class VerificationServer:
 
     # -- stats and artifacts -------------------------------------------------
 
+    def _series_snapshot(self) -> dict:
+        """The sampler's callback: one consistent registry snapshot,
+        with daemon-level gauges injected so their last-values ride the
+        same windows as the counters they explain."""
+        with self._telemetry_lock:
+            snapshot = registry_snapshot(
+                dict(self.telemetry.counters),
+                self.telemetry.metrics.export(),
+            )
+        snapshot["gauges"]["serve.admission.inflight"] = float(
+            self.admission.inflight
+        )
+        snapshot["gauges"]["serve.sessions.active"] = float(
+            len(self.sessions)
+        )
+        snapshot["gauges"]["serve.breaker.open"] = (
+            0.0 if self.breaker.state == "closed" else 1.0
+        )
+        return snapshot
+
+    def _uptime_s(self) -> float:
+        return round(time.monotonic() - self._started_mono, 3)
+
+    def _metrics_frame(self, request: dict) -> dict:
+        """A ``metrics`` response: rolling-window rates and quantiles,
+        lifetime totals, and the Prometheus text exposition of the
+        totals (so one frame feeds both ``repro top`` and a scraper)."""
+        over = request.get("over")
+        if (isinstance(over, bool) or not isinstance(over, (int, float))
+                or over <= 0):
+            over = None
+        snapshot = self._series_snapshot()
+        return {
+            "type": "metrics",
+            "schema_version": STATS_SCHEMA_VERSION,
+            "generated_at": next(self._stats_seq),
+            "uptime_s": self._uptime_s(),
+            "address": self.address_str,
+            "window": self.series.to_dict(over=over),
+            "totals": snapshot,
+            "exposition": prometheus_exposition(snapshot),
+        }
+
+    def _health_frame(self) -> dict:
+        """A ``health`` response: the SLO-aware verdict plus the same
+        hygiene stamps the other observability frames carry."""
+        frame = compute_health(
+            self.health_policy,
+            breaker=self.breaker.to_dict(),
+            admission=self.admission.stats(),
+            series=self.series,
+        )
+        frame.update({
+            "type": "health",
+            "schema_version": STATS_SCHEMA_VERSION,
+            "generated_at": next(self._stats_seq),
+            "uptime_s": self._uptime_s(),
+            "address": self.address_str,
+            "sampler": {"errors": self.sampler.errors,
+                        **self.series.stats()},
+        })
+        return frame
+
     def _stats_frame(self) -> dict:
         """A point-in-time ``stats`` response."""
         with self._telemetry_lock:
             counters = dict(self.telemetry.counters)
         return {
             "type": "stats",
+            "schema_version": STATS_SCHEMA_VERSION,
+            "generated_at": next(self._stats_seq),
+            "uptime_s": self._uptime_s(),
             "address": self.address_str,
             "batches": self._batches,
             "submissions": self._submitted,
@@ -975,6 +1214,9 @@ class VerificationServer:
         """Atomically replace ``out`` with the current stats payload."""
         payload = {
             "serve": {
+                "schema_version": STATS_SCHEMA_VERSION,
+                "generated_at": next(self._stats_seq),
+                "uptime_s": self._uptime_s(),
                 "batches": self._batches,
                 "submissions": self._submitted,
                 "coalesced": self._coalesced,
@@ -985,7 +1227,9 @@ class VerificationServer:
                 "invalidation": self.invalidation.stats(),
                 "admission": self.admission.stats(),
                 "breaker": self.breaker.to_dict(),
+                "recent_submissions": list(self._recent),
             },
+            "timeseries": self.series.to_dict(),
             "telemetry": self.telemetry.to_dict(),
         }
         fd, tmp = tempfile.mkstemp(

@@ -1,0 +1,174 @@
+"""``repro top``: a live terminal dashboard over a serve daemon.
+
+The daemon already exposes everything an operator wants — rolling
+rates and quantiles (``metrics`` frames) and an SLO-aware verdict
+(``health`` frames); this module is deliberately *just a renderer*
+over those two frames plus a polling loop.  :func:`render_top` is a
+pure function from the frames to the screen text, so tests (and other
+front-ends) can exercise the layout without a daemon or a terminal.
+
+The loop tolerates a daemon restart: a failed poll renders an
+"unreachable" panel and keeps polling, reconnecting on the next tick,
+so ``repro top`` can be started before the daemon and survives its
+redeploys.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from .client import ServeClient, ServeError
+
+#: Default seconds between polls.
+DEFAULT_INTERVAL = 2.0
+
+#: Histograms promoted to the latency panel, in display order.
+_LATENCY_PANEL = (
+    ("serve.verify.seconds", "verify"),
+    ("serve.queue.seconds", "queue"),
+    ("serve.admission.seconds", "admission"),
+    ("serve.e2e.seconds", "end-to-end"),
+)
+
+#: Counters promoted to the throughput panel, in display order.
+_RATE_PANEL = (
+    ("serve.submissions", "submissions/s"),
+    ("serve.batch", "batches/s"),
+    ("serve.batch.coalesced", "coalesced/s"),
+    ("serve.shed", "shed/s"),
+    ("serve.client_drop", "client drops/s"),
+)
+
+_STATUS_MARK = {"ok": "+", "degraded": "!", "unhealthy": "X"}
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "     -"
+    return f"{seconds * 1000.0:9.1f}ms"
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:9.2f}"
+
+
+def render_top(metrics: Optional[dict], health: Optional[dict],
+               error: Optional[str] = None, width: int = 72) -> str:
+    """The dashboard text for one poll (no trailing newline).
+
+    ``metrics``/``health`` are the daemon's frames (either may be
+    ``None`` when the poll failed — ``error`` then carries the reason).
+    """
+    rule = "-" * width
+    lines = []
+    if metrics is None or health is None:
+        lines.append("repro top - daemon unreachable")
+        lines.append(rule)
+        lines.append(f"  {error or 'no data yet'}")
+        lines.append(rule)
+        return "\n".join(lines)
+
+    status = str(health.get("status", "?"))
+    lines.append(
+        f"repro top - {metrics.get('address', '?')}"
+        f"  up {float(metrics.get('uptime_s', 0.0)):8.1f}s"
+        f"  health: {status.upper()}"
+    )
+    lines.append(rule)
+
+    window = metrics.get("window", {})
+    span = float(window.get("span_seconds", 0.0))
+    lines.append(f"rolling window: {span:.1f}s "
+                 f"({window.get('stats', {}).get('windows', 0)} samples)")
+    rates = window.get("rates", {})
+    for counter, label in _RATE_PANEL:
+        if counter in rates:
+            lines.append(f"  {label:<16s} {_fmt_rate(rates[counter])}")
+    gauges = window.get("gauges", {})
+    for gauge, label in (("serve.admission.inflight", "inflight"),
+                         ("serve.sessions.active", "sessions"),
+                         ("serve.queue.depth", "queue depth")):
+        if gauge in gauges:
+            lines.append(f"  {label:<16s} {gauges[gauge]:9.0f}")
+    lines.append(rule)
+
+    histograms = window.get("histograms", {})
+    shown = [(name, label) for name, label in _LATENCY_PANEL
+             if name in histograms]
+    if shown:
+        lines.append(f"{'latency':<16s} {'count':>7s} {'p50':>11s} "
+                     f"{'p90':>11s} {'p99':>11s}")
+        for name, label in shown:
+            summary = histograms[name]
+            lines.append(
+                f"  {label:<14s} {summary.get('count', 0):7d}"
+                f" {_fmt_ms(summary.get('p50'))}"
+                f" {_fmt_ms(summary.get('p90'))}"
+                f" {_fmt_ms(summary.get('p99'))}"
+            )
+    else:
+        lines.append("latency: no observations in the window yet")
+    lines.append(rule)
+
+    for check in health.get("checks", ()):
+        mark = _STATUS_MARK.get(str(check.get("status")), "?")
+        lines.append(f" [{mark}] {check.get('name', '?'):<9s} "
+                     f"{check.get('detail', '')}")
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def run_top(address: str, *, interval: float = DEFAULT_INTERVAL,
+            iterations: Optional[int] = None,
+            window: Optional[float] = None,
+            out: Optional[TextIO] = None,
+            clear: Optional[bool] = None,
+            sleep: Callable[[float], None] = time.sleep) -> int:
+    """Poll ``address`` and redraw the dashboard until interrupted.
+
+    ``iterations`` bounds the number of polls (``None`` = forever);
+    ``window`` narrows the rolling horizon the daemon reports over.
+    Returns 0 when the final poll saw a healthy daemon, 1 otherwise —
+    so ``repro top --iterations 1`` doubles as a human-friendly probe.
+    """
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    interval = max(0.1, float(interval))
+    client: Optional[ServeClient] = None
+    healthy = False
+    polls = 0
+    try:
+        while iterations is None or polls < iterations:
+            polls += 1
+            metrics = health = None
+            error: Optional[str] = None
+            try:
+                if client is None:
+                    client = ServeClient.connect_to(address,
+                                                    timeout=interval * 5)
+                metrics = client.metrics(over=window)
+                health = client.health()
+            except (ServeError, OSError) as exc:
+                error = str(exc)
+                if client is not None:
+                    client.close()
+                client = None
+            healthy = (health is not None
+                       and health.get("status") == "ok")
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(render_top(metrics, health, error=error))
+            out.write("\n")
+            out.flush()
+            if iterations is not None and polls >= iterations:
+                break
+            sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if client is not None:
+            client.close()
+    return 0 if healthy else 1

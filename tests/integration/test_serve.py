@@ -402,3 +402,131 @@ class TestSigtermDrain:
                 daemon.wait(timeout=30)
         # The drain flushed artifacts on the way out.
         assert stats_out.exists()
+
+
+class TestObservabilityOverTheWire:
+    """metrics/health frames and end-to-end tracing, over real sockets."""
+
+    def test_metrics_frame_has_windowed_p99_and_valid_exposition(
+            self, server):
+        from repro.obs.export import validate_exposition
+
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            client.submit(car.SOURCE)
+            server.sampler.sample_once()  # don't wait for the interval
+            frame = client.metrics(over=60)
+        assert frame["schema_version"] == 1
+        assert validate_exposition(frame["exposition"]) == []
+        summary = frame["window"]["histograms"]["serve.verify.seconds"]
+        assert summary["count"] >= 1
+        assert summary["p99"] > 0.0
+        totals = frame["totals"]
+        assert totals["counters"]["serve.submissions"] >= 1
+        assert "repro_serve_submissions_total" in frame["exposition"]
+
+    def test_breakdown_sums_to_the_observed_client_wall_time(
+            self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            begin = time.monotonic()
+            verdict = client.submit(car.SOURCE)
+            wall_ms = (time.monotonic() - begin) * 1000.0
+        assert verdict["submit_id"].startswith("sub-")
+        breakdown = verdict["breakdown"]
+        phase_sum = sum(v for k, v in breakdown.items()
+                        if k != "total_ms")
+        # The daemon-side phases are contiguous from admission to
+        # fan-out, so they account for the client's observed wall time
+        # up to socket/serialization overhead.
+        assert phase_sum <= wall_ms + 1.0
+        assert phase_sum >= wall_ms * 0.9 - 5.0
+
+    def test_submit_ids_are_unique_across_a_session(self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            first = client.submit(car.SOURCE)
+            second = client.submit(car.SOURCE)
+        assert first["submit_id"] != second["submit_id"]
+
+    def test_health_transitions_with_the_breaker(self, server):
+        with ServeClient(server.address, timeout=300) as client:
+            client.hello()
+            assert client.health()["status"] == "ok"
+            for _ in range(server.breaker.threshold):
+                server.breaker.record_failure()
+            degraded = client.health()
+            assert degraded["status"] == "degraded"
+            breaker = next(c for c in degraded["checks"]
+                           if c["name"] == "breaker")
+            assert breaker["status"] == "degraded"
+            server.breaker.record_success()
+            assert client.health()["status"] == "ok"
+
+    def test_metrics_and_health_work_without_hello(self, server):
+        """Observability ops are session-free: a probe should not have
+        to open a verification session first."""
+        with ServeClient(server.address, timeout=60) as client:
+            assert client.metrics()["type"] == "metrics"
+            assert client.health()["type"] == "health"
+
+    def test_cli_metrics_and_health_flags(self, tmp_path):
+        sock = str(tmp_path / "d.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--store", str(tmp_path / "store")],
+            env=cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "daemon never bound"
+                time.sleep(0.05)
+            metrics = subprocess.run(
+                [sys.executable, "-m", "repro.serve.client",
+                 "--connect", sock, "--metrics"],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert metrics.returncode == 0, metrics.stderr
+            payload = json.loads(metrics.stdout)
+            assert payload["type"] == "metrics"
+            health = subprocess.run(
+                [sys.executable, "-m", "repro.serve.client",
+                 "--connect", sock, "--health"],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert health.returncode == 0, health.stderr
+            assert json.loads(health.stdout)["status"] == "ok"
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=30)
+
+    def test_cli_top_renders_one_frame_against_a_live_daemon(
+            self, tmp_path):
+        sock = str(tmp_path / "d.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--store", str(tmp_path / "store")],
+            env=cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "daemon never bound"
+                time.sleep(0.05)
+            top = subprocess.run(
+                [sys.executable, "-m", "repro", "top", sock,
+                 "--iterations", "1", "--interval", "0.2"],
+                env=cli_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert top.returncode == 0, top.stderr
+            assert "repro top - " in top.stdout
+            assert "health: OK" in top.stdout
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=30)

@@ -1,6 +1,7 @@
 """Unit tests for the flight recorder (`repro.obs.events`)."""
 
 import json
+import os
 
 from repro.obs.events import Event, EventLog, read_jsonl
 
@@ -105,6 +106,89 @@ class TestFileBacking:
         log = EventLog()
         log.emit("x")
         assert log.flush() == 0
+
+
+class TestRotation:
+    """Size-based rotation of the bound file."""
+
+    @staticmethod
+    def flush_rounds(log, rounds, per_round=4):
+        for round_no in range(rounds):
+            for i in range(per_round):
+                log.emit("tick", round=round_no, i=i)
+            log.flush()
+
+    def test_live_file_stays_under_the_cap(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path, max_bytes=512, keep=3)
+        self.flush_rounds(log, rounds=12)
+        assert log.rotations > 0
+        assert os.path.getsize(path) <= 512 + 400  # one flush of slack
+
+    def test_keep_bounds_the_rotated_set(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path, max_bytes=256, keep=2)
+        self.flush_rounds(log, rounds=20)
+        assert log.rotations > 2
+        assert os.path.exists(f"{path}.1")
+        assert os.path.exists(f"{path}.2")
+        assert not os.path.exists(f"{path}.3")
+
+    def test_seq_is_globally_unique_across_rotated_files(self, tmp_path):
+        """Concatenating rotated files oldest-first replays the run in
+        order: no sequence number repeats, none goes backwards."""
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path, max_bytes=256, keep=4)
+        self.flush_rounds(log, rounds=10)
+        assert log.rotations >= 1
+        seqs = []
+        for name in (f"{path}.3", f"{path}.2", f"{path}.1", path):
+            if os.path.exists(name):
+                seqs.extend(record["seq"] for record in read_jsonl(name))
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+
+    def test_zero_max_bytes_never_rotates(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path, max_bytes=0)
+        self.flush_rounds(log, rounds=50)
+        assert log.rotations == 0
+        assert len(read_jsonl(path)) == 200
+
+    def test_env_defaults_apply(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "256")
+        monkeypatch.setenv("REPRO_EVENTS_KEEP", "1")
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path)
+        self.flush_rounds(log, rounds=20)
+        assert log.rotations > 0
+        assert os.path.exists(f"{path}.1")
+        assert not os.path.exists(f"{path}.2")
+
+    def test_rotation_composes_with_compaction(self, tmp_path):
+        """The soak pattern: flush + compact every episode, with the
+        file rotating underneath — nothing is lost or re-issued."""
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.bind(path, max_bytes=300, keep=8)
+        total = 0
+        for round_no in range(15):
+            log.emit("tick", round=round_no)
+            total += 1
+            log.flush()
+            log.compact()
+        seqs = []
+        for n in range(8, 0, -1):
+            name = f"{path}.{n}"
+            if os.path.exists(name):
+                seqs.extend(r["seq"] for r in read_jsonl(name))
+        seqs.extend(r["seq"] for r in read_jsonl(path))
+        assert seqs == list(range(total))
 
 
 class TestCompact:

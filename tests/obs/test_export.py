@@ -6,7 +6,9 @@ from repro.obs.export import (
     _union_seconds,
     _worker_rows,
     chrome_trace,
+    prometheus_exposition,
     render_report,
+    validate_exposition,
     validate_trace_tree,
     write_chrome_trace,
 )
@@ -173,3 +175,86 @@ class TestRenderReport:
             "counters": {},
         })
         assert report.index("search") < report.index("plan")
+
+
+class TestPrometheusExposition:
+    """The text-format exporter and its structural validator."""
+
+    @staticmethod
+    def snapshot():
+        return {
+            "counters": {"serve.submissions": 42},
+            "gauges": {"serve.queue.depth": 3.0},
+            "histograms": {
+                "serve.verify.seconds": {
+                    "base": 1e-6, "count": 4, "total": 0.01,
+                    "buckets": {0: 1, 10: 3},
+                },
+            },
+        }
+
+    def test_exposition_is_valid_by_its_own_validator(self):
+        text = prometheus_exposition(self.snapshot())
+        assert validate_exposition(text) == []
+
+    def test_counter_gauge_histogram_conventions(self):
+        text = prometheus_exposition(self.snapshot())
+        assert "repro_serve_submissions_total 42" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "# TYPE repro_serve_verify_seconds histogram" in text
+        assert 'repro_serve_verify_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_verify_seconds_count 4" in text
+        assert text.endswith("\n")
+
+    def test_buckets_are_cumulative_in_le_order(self):
+        text = prometheus_exposition(self.snapshot())
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines() if "_bucket{" in line]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_empty_snapshot_is_still_a_valid_payload(self):
+        text = prometheus_exposition({})
+        assert text == "\n"
+        assert validate_exposition(text) == []
+
+    def test_validator_flags_a_missing_type_comment(self):
+        bad = "repro_orphan_total 1\n"
+        assert any("no preceding # TYPE" in c
+                   for c in validate_exposition(bad))
+
+    def test_validator_flags_a_non_cumulative_bucket_series(self):
+        bad = (
+            "# HELP repro_h h\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.001"} 5\n'
+            'repro_h_bucket{le="0.002"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 0.01\n"
+            "repro_h_count 5\n"
+        )
+        assert any("cumulative" in c or "decreas" in c
+                   for c in validate_exposition(bad))
+
+    def test_validator_flags_an_unclosed_histogram(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.001"} 5\n'
+            "repro_h_sum 0.01\n"
+            "repro_h_count 5\n"
+        )
+        assert any("+Inf" in c for c in validate_exposition(bad))
+
+    def test_validator_flags_missing_trailing_newline(self):
+        assert any("newline" in c
+                   for c in validate_exposition("# TYPE a counter"))
+
+    def test_validator_flags_garbage_sample_lines(self):
+        assert any("unparsable" in c
+                   for c in validate_exposition("!!! not a sample\n"))
+
+    def test_metric_names_are_sanitized(self):
+        text = prometheus_exposition(
+            {"counters": {"weird-name.with spaces": 1}})
+        assert validate_exposition(text) == []
+        assert "repro_weird_name_with_spaces_total 1" in text

@@ -65,6 +65,28 @@ class TestHistogram:
         a.merge(exported)
         assert a.buckets == {12: 1}
 
+    def test_merge_renormalizes_a_mismatched_base(self):
+        """Regression: a snapshot exported under a coarser base used to
+        be folded in by raw bucket index, silently shrinking every
+        foreign observation (base-1e-3 bucket 3 is 8 ms, but the same
+        index read under base 1e-6 is 8 µs).  Merge must rebucket by
+        value, not by index."""
+        coarse = Histogram(base=1e-3)
+        coarse.observe(0.008)  # 8 ms -> coarse bucket 3
+        fine = Histogram(base=BASE)
+        fine.merge(coarse.export())
+        assert fine.count == 1
+        # The merged observation still reads as ~8 ms, not ~8 µs.
+        assert fine.quantile(1.0) >= 0.008
+        assert fine.quantile(1.0) < 0.020
+        assert 3 not in fine.buckets  # index 3 under BASE would be 8 µs
+
+    def test_merge_same_base_is_index_preserving(self):
+        a, b = Histogram(), Histogram()
+        b.observe(0.008)
+        a.merge(b.export())
+        assert a.buckets == b.buckets
+
     def test_to_dict_is_json_ready_with_quantiles(self):
         h = Histogram()
         h.observe(0.01)

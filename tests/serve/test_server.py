@@ -547,3 +547,172 @@ class TestSessionResumption:
         finally:
             ours.close()
             thread.join(timeout=10)
+
+
+class TestRequestTracing:
+    """submit_id propagation and the per-submission latency breakdown."""
+
+    @staticmethod
+    def admitted(server, source, **kwargs):
+        """A submission stamped the way ``_dispatch`` stamps it."""
+        sub = submission(server, source, **kwargs)
+        sub.submit_id = f"sub-{id(sub) % 1000}"
+        sub.received_at = time.monotonic() - 0.010
+        sub.admitted_at = sub.received_at + 0.002
+        return sub
+
+    def test_verdict_carries_submit_id_and_breakdown(self, server):
+        sub = self.admitted(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["submit_id"] == sub.submit_id
+        breakdown = verdict["breakdown"]
+        for key in ("admission_ms", "queue_ms", "verify_ms",
+                    "fanout_ms", "total_ms"):
+            assert key in breakdown
+            assert breakdown[key] >= 0.0
+        phase_sum = sum(v for k, v in breakdown.items()
+                        if k != "total_ms")
+        # Contiguous phases: they account for the whole end-to-end time.
+        assert abs(phase_sum - breakdown["total_ms"]) \
+            <= 0.1 * breakdown["total_ms"] + 0.001
+
+    def test_coalesced_waiters_keep_their_own_submit_ids(self, server):
+        subs = [self.admitted(server, car.SOURCE) for _ in range(3)]
+        server._process_batch(subs)
+        ids = {drain(s.replies)[0]["submit_id"] for s in subs}
+        assert ids == {s.submit_id for s in subs}
+        assert len(ids) == 3
+
+    def test_untracked_submission_still_gets_a_breakdown(self, server):
+        """Hand-built submissions (no admission stamps) must not crash
+        the breakdown path."""
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        verdict = drain(sub.replies)[0]
+        assert verdict["submit_id"] is None
+        assert verdict["breakdown"]["total_ms"] >= 0.0
+
+    def test_parse_error_frames_carry_tracing_too(self, server):
+        sub = self.admitted(server, "program broken {")
+        server._process_batch([sub])
+        frame = drain(sub.replies)[0]
+        assert frame["type"] == "error"
+        assert frame["submit_id"] == sub.submit_id
+        assert frame["breakdown"]["total_ms"] >= 0.0
+
+    def test_recent_ring_records_outcomes(self, server):
+        proved = self.admitted(server, car.SOURCE)
+        broken = self.admitted(server, "program broken {")
+        server._process_batch([proved])
+        server._process_batch([broken])
+        outcomes = {row["submit_id"]: row["outcome"]
+                    for row in server._recent}
+        assert outcomes[proved.submit_id] == "proved"
+        assert outcomes[broken.submit_id] == "parse-error"
+        for row in server._recent:
+            assert row["breakdown"]["total_ms"] >= 0.0
+
+    def test_latency_phases_are_observed_as_histograms(self, server):
+        sub = self.admitted(server, car.SOURCE)
+        server._process_batch([sub])
+        histograms = server.telemetry.metrics.histograms
+        for name in ("serve.admission.seconds", "serve.queue.seconds",
+                     "serve.verify.seconds", "serve.e2e.seconds"):
+            assert histograms[name].count >= 1, name
+
+
+class TestMetricsFrame:
+    def test_shape_and_exposition_are_valid(self, server):
+        from repro.obs.export import validate_exposition
+
+        frame = server._metrics_frame({})
+        assert frame["type"] == "metrics"
+        assert frame["schema_version"] == 1
+        assert frame["uptime_s"] >= 0.0
+        assert set(frame["window"]) \
+            >= {"stats", "span_seconds", "rates", "gauges", "histograms"}
+        assert "counters" in frame["totals"]
+        assert validate_exposition(frame["exposition"]) == []
+
+    def test_totals_include_serve_gauges(self, server):
+        gauges = server._metrics_frame({})["totals"]["gauges"]
+        for name in ("serve.admission.inflight", "serve.sessions.active",
+                     "serve.breaker.open"):
+            assert name in gauges
+
+    def test_bad_over_values_fall_back_to_full_horizon(self, server):
+        for over in (True, "60", -1, 0, None, [60]):
+            frame = server._metrics_frame({"over": over})
+            assert frame["type"] == "metrics"
+
+    def test_windowed_p99_after_traffic(self, server):
+        """The acceptance check: submit through the daemon, sample, and
+        the 60s-window p99 for serve.verify.seconds is present."""
+        server.sampler.sample_once()  # anchor before the traffic
+        sub = submission(server, car.SOURCE)
+        server._process_batch([sub])
+        server.sampler.sample_once()
+        frame = server._metrics_frame({"over": 60})
+        summary = frame["window"]["histograms"].get("serve.verify.seconds")
+        assert summary is not None
+        assert summary["count"] >= 1
+        assert summary["p99"] > 0.0
+
+
+class TestHealthFrame:
+    def test_idle_daemon_is_ok(self, server):
+        frame = server._health_frame()
+        assert frame["type"] == "health"
+        assert frame["status"] == "ok"
+        assert {c["name"] for c in frame["checks"]} \
+            == {"breaker", "backlog", "flush", "pool", "slo"}
+        assert frame["sampler"]["errors"] == 0
+
+    def test_open_breaker_degrades_then_recovers(self, server):
+        for _ in range(server.breaker.threshold):
+            server.breaker.record_failure()
+        assert server._health_frame()["status"] == "degraded"
+        server.breaker.record_success()
+        assert server._health_frame()["status"] == "ok"
+
+
+class TestStatsHygiene:
+    def test_stats_frames_are_stamped_and_monotonic(self, server):
+        first = server._stats_frame()
+        second = server._stats_frame()
+        for frame in (first, second):
+            assert frame["schema_version"] == 1
+            assert frame["uptime_s"] >= 0.0
+        assert second["generated_at"] > first["generated_at"]
+
+    def test_stamps_are_shared_across_frame_kinds(self, server):
+        stamps = [server._stats_frame()["generated_at"],
+                  server._metrics_frame({})["generated_at"],
+                  server._health_frame()["generated_at"]]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 3
+
+    def test_stats_out_payload_carries_the_new_sections(self, tmp_path):
+        import json as json_mod
+
+        out = str(tmp_path / "stats.json")
+        options = ServeOptions(store=str(tmp_path / "ps"), stats_out=out)
+        server = VerificationServer(options)
+        sub = submission(server, car.SOURCE)
+        sub.submit_id = "sub-1"
+        sub.received_at = sub.admitted_at = time.monotonic()
+        server._process_batch([sub])
+        server.sampler.sample_once()
+        server.sampler.sample_once()
+        server._flush_outputs()
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json_mod.load(handle)
+        serve = payload["serve"]
+        assert serve["schema_version"] == 1
+        assert serve["uptime_s"] >= 0.0
+        assert serve["generated_at"] >= 1
+        rows = serve["recent_submissions"]
+        assert rows and rows[0]["submit_id"] == "sub-1"
+        assert "timeseries" in payload
+        assert payload["timeseries"]["stats"]["samples"] >= 2

@@ -1,0 +1,151 @@
+"""Unit tests for the ``repro top`` dashboard (`repro.serve.top`).
+
+`render_top` is a pure function from metrics/health frames to screen
+text, so the layout is exercised with fabricated frames; `run_top` gets
+a real daemon via the `server` fixture pattern plus an unreachable
+address for the reconnect path.
+"""
+
+import io
+
+from repro.serve.server import ServeOptions, VerificationServer
+from repro.serve.top import render_top, run_top
+
+
+def metrics_frame(**overrides):
+    frame = {
+        "type": "metrics",
+        "address": "127.0.0.1:9999",
+        "uptime_s": 12.5,
+        "window": {
+            "span_seconds": 60.0,
+            "stats": {"windows": 60, "samples": 61, "evicted": 0,
+                      "capacity": 120},
+            "rates": {"serve.submissions": 4.5, "serve.batch": 2.25,
+                      "serve.shed": 0.0},
+            "gauges": {"serve.admission.inflight": 3.0,
+                       "serve.sessions.active": 2.0},
+            "histograms": {
+                "serve.verify.seconds": {
+                    "count": 270, "total": 13.5, "mean": 0.05,
+                    "p50": 0.032, "p90": 0.065, "p99": 0.131,
+                },
+                "serve.queue.seconds": {
+                    "count": 270, "total": 1.0, "mean": 0.004,
+                    "p50": 0.002, "p90": 0.008, "p99": 0.016,
+                },
+            },
+        },
+        "totals": {"counters": {}, "gauges": {}, "histograms": {}},
+        "exposition": "\n",
+    }
+    frame.update(overrides)
+    return frame
+
+
+def health_frame(status="ok", checks=None):
+    return {
+        "type": "health",
+        "status": status,
+        "window_s": 60.0,
+        "checks": checks if checks is not None else [
+            {"name": "breaker", "status": "ok",
+             "detail": "circuit breaker closed (0 consecutive failures)"},
+            {"name": "slo", "status": status,
+             "detail": "p99 131.0ms vs objective 200.0ms"},
+        ],
+    }
+
+
+class TestRenderTop:
+    def test_healthy_dashboard_layout(self):
+        text = render_top(metrics_frame(), health_frame())
+        assert "127.0.0.1:9999" in text
+        assert "health: OK" in text
+        assert "rolling window: 60.0s (60 samples)" in text
+        assert "submissions/s" in text
+        assert "4.50" in text
+        assert "inflight" in text
+        assert "verify" in text
+        assert "32.0ms" in text   # p50 of serve.verify.seconds
+        assert "131.0ms" in text  # p99
+        assert "[+] breaker" in text
+        assert not text.endswith("\n")
+
+    def test_degraded_checks_are_marked(self):
+        health = health_frame(status="degraded", checks=[
+            {"name": "breaker", "status": "degraded",
+             "detail": "circuit breaker open (4 consecutive failures)"},
+            {"name": "slo", "status": "unhealthy",
+             "detail": "budget burn 3.10x"},
+        ])
+        text = render_top(metrics_frame(), health)
+        assert "health: DEGRADED" in text
+        assert "[!] breaker" in text
+        assert "[X] slo" in text
+
+    def test_quiet_daemon_has_no_latency_rows(self):
+        frame = metrics_frame()
+        frame["window"]["histograms"] = {}
+        text = render_top(frame, health_frame())
+        assert "no observations in the window yet" in text
+
+    def test_unreachable_panel(self):
+        text = render_top(None, None, error="connection refused")
+        assert "unreachable" in text
+        assert "connection refused" in text
+
+    def test_unreachable_panel_without_an_error_string(self):
+        assert "no data yet" in render_top(None, None)
+
+    def test_unknown_check_status_does_not_crash(self):
+        health = health_frame(checks=[
+            {"name": "custom", "status": "weird", "detail": "?"},
+        ])
+        assert "[?] custom" in render_top(metrics_frame(), health)
+
+
+class TestRunTop:
+    def test_against_a_live_daemon(self, tmp_path):
+        options = ServeOptions(store=str(tmp_path / "ps"),
+                               host="127.0.0.1", port=0)
+        server = VerificationServer(options)
+        server.start()
+        try:
+            host, port = server.address
+            out = io.StringIO()
+            code = run_top(f"{host}:{port}", interval=0.1,
+                           iterations=2, out=out, clear=False,
+                           sleep=lambda _: None)
+            text = out.getvalue()
+        finally:
+            server.close()
+        assert code == 0  # idle daemon is healthy
+        assert text.count("repro top - ") == 2
+        assert "health: OK" in text
+
+    def test_unreachable_daemon_renders_and_exits_nonzero(self, tmp_path):
+        missing = str(tmp_path / "no-such.sock")
+        out = io.StringIO()
+        code = run_top(missing, interval=0.1, iterations=2, out=out,
+                       clear=False, sleep=lambda _: None)
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+    def test_clear_sequence_only_for_ttys(self, tmp_path):
+        options = ServeOptions(store=str(tmp_path / "ps"),
+                               host="127.0.0.1", port=0)
+        server = VerificationServer(options)
+        server.start()
+        try:
+            host, port = server.address
+            plain = io.StringIO()
+            run_top(f"{host}:{port}", interval=0.1, iterations=1,
+                    out=plain, clear=False, sleep=lambda _: None)
+            cleared = io.StringIO()
+            run_top(f"{host}:{port}", interval=0.1, iterations=1,
+                    out=cleared, clear=True, sleep=lambda _: None)
+        finally:
+            server.close()
+        assert "\x1b[2J" not in plain.getvalue()
+        assert cleared.getvalue().startswith("\x1b[2J\x1b[H")
